@@ -1,0 +1,76 @@
+"""Wall-clock benchmarks of the reference tridiagonal algorithms.
+
+These time the *actual NumPy numerics* (not the machine model) across
+the registry, so regressions in the vectorised implementations show up
+as real slowdowns.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    cr_pcr_solve,
+    cr_solve,
+    lu_factor,
+    lu_solve,
+    lu_solve_factored,
+    pcr_solve,
+    pcr_split,
+    pcr_thomas_solve,
+    recursive_doubling_solve,
+    thomas_solve,
+    thomas_workspace_solve,
+)
+from repro.systems import generators
+
+M, N = 256, 1024
+
+
+@pytest.fixture(scope="module")
+def batch():
+    return generators.random_dominant(M, N, rng=0)
+
+
+def test_thomas(benchmark, batch):
+    benchmark(thomas_solve, batch)
+
+
+def test_thomas_workspace(benchmark, batch):
+    cp = np.empty(batch.shape)
+    dp = np.empty(batch.shape)
+    x = np.empty(batch.shape)
+    benchmark(thomas_workspace_solve, batch, cp, dp, x)
+
+
+def test_cr(benchmark, batch):
+    benchmark(cr_solve, batch)
+
+
+def test_pcr(benchmark, batch):
+    benchmark(pcr_solve, batch)
+
+
+@pytest.mark.parametrize("switch", [32, 128])
+def test_pcr_thomas(benchmark, batch, switch):
+    benchmark(pcr_thomas_solve, batch, switch)
+
+
+def test_cr_pcr(benchmark, batch):
+    benchmark(cr_pcr_solve, batch, 64)
+
+
+def test_recursive_doubling(benchmark, batch):
+    benchmark(recursive_doubling_solve, batch)
+
+
+def test_lu(benchmark, batch):
+    benchmark(lu_solve, batch)
+
+
+def test_lu_resolve_with_cached_factors(benchmark, batch):
+    factors = lu_factor(batch)
+    benchmark(lu_solve_factored, factors, batch.d)
+
+
+def test_pcr_split_primitive(benchmark, batch):
+    benchmark(pcr_split, batch, 3)

@@ -1,0 +1,45 @@
+"""The GPU/CPU boundary (the paper's closing future-work item) as data.
+
+Maps the dispatch decision across workload shapes: for each system
+count, which engine wins at which system size — the boundary Figure 8
+samples at four points, swept.
+"""
+
+from repro.analysis import ascii_table
+from repro.core import HybridDispatcher
+
+
+def test_dispatch_boundary_map(benchmark, emit):
+    dispatcher = HybridDispatcher("gtx470")
+
+    def sweep():
+        rows = []
+        for m in (1, 4, 16, 64, 256, 1024):
+            cells = []
+            for n_exp in (10, 12, 14, 16, 18, 21):
+                choice = dispatcher.price(m, 1 << n_exp)
+                cells.append(choice.engine)
+            rows.append([m] + cells)
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    text = ascii_table(
+        ["systems \\ size"] + [f"2^{e}" for e in (10, 12, 14, 16, 18, 21)],
+        rows,
+        title="Hybrid dispatch: which engine wins each workload shape (GTX 470)",
+    )
+    emit("dispatch_boundary", text)
+
+    as_map = {row[0]: row[1:] for row in rows}
+    # Figure 8's poles: many 1024-eq systems -> GPU; one 2M-eq system ->
+    # CPU. (Cells near the boundary can flip either way — the two models
+    # price them within a few percent of each other — so only the
+    # structural claims are asserted.)
+    assert as_map[1024][0] == "gpu"
+    assert as_map[1][-1] == "cpu"
+    # Every system count ends on the CPU at the 2M-equation extreme ...
+    for engines in as_map.values():
+        assert engines[-1] == "cpu"
+    # ... and machine-filling counts belong to the GPU below it.
+    for m in (64, 256, 1024):
+        assert all(e == "gpu" for e in as_map[m][:-1]), as_map[m]

@@ -1,0 +1,99 @@
+"""Benchmarks for the extension packages (blocked, banded, D&C sort).
+
+These cover the paper's future-work directions: wall-clock numerics for
+the blocked and banded solvers, and the §VI-C transfer claim — the
+auto-tuned sorter against untuned switch points on the machine model.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import ascii_table
+from repro.banded import banded_lu_solve, random_banded_dominant
+from repro.blocked import (
+    BlockMultiStageSolver,
+    block_pcr_thomas_solve,
+    block_thomas_solve,
+    random_block_dominant,
+)
+from repro.dnc import MultiStageSorter
+
+
+@pytest.fixture(scope="module")
+def block_batch():
+    return random_block_dominant(32, 64, 4, rng=0)
+
+
+def test_block_thomas_wallclock(benchmark, block_batch):
+    benchmark(block_thomas_solve, block_batch)
+
+
+def test_block_hybrid_wallclock(benchmark, block_batch):
+    benchmark(block_pcr_thomas_solve, block_batch, 8)
+
+
+def test_block_multistage_solver_wallclock(benchmark, block_batch):
+    solver = BlockMultiStageSolver("gtx470")
+    solver.solve(block_batch)  # tune outside the timed region
+    result = benchmark(solver.solve, block_batch)
+    assert result.simulated_ms > 0
+
+
+@pytest.mark.parametrize("kl_ku", [(1, 1), (3, 3)])
+def test_banded_lu_wallclock(benchmark, kl_ku):
+    kl, ku = kl_ku
+    batch = random_banded_dominant(32, 256, kl, ku, rng=1)
+    x = benchmark(banded_lu_solve, batch)
+    assert batch.residual(x).max() < 1e-10
+
+
+def test_dnc_sort_wallclock(benchmark):
+    values = np.random.default_rng(2).standard_normal(1 << 17)
+    sorter = MultiStageSorter("gtx470")
+    sorter.sort(values)  # tune outside the timed region
+    result = benchmark(sorter.sort, values)
+    assert np.array_equal(result.values, np.sort(values))
+
+
+def test_dnc_tuning_transfer(benchmark, emit):
+    """§VI-C: the multi-stage strategy + tuning transfers to sorting.
+
+    Compares the tuned sorter's simulated time against fixed bad/naive
+    switch points on each device.
+    """
+    values = np.random.default_rng(3).standard_normal(1 << 20)
+
+    def measure():
+        rows = []
+        for name in ("8800gtx", "gtx280", "gtx470"):
+            tuned = MultiStageSorter(name).sort(values)
+            tiny = MultiStageSorter(name, tile_size=64, coop_threshold=1).sort(values)
+            no_coop = MultiStageSorter(
+                name, tile_size=tuned.tile_size, coop_threshold=1
+            ).sort(values)
+            rows.append(
+                [
+                    name,
+                    tuned.tile_size,
+                    tuned.simulated_ms,
+                    tiny.simulated_ms,
+                    no_coop.simulated_ms,
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    text = ascii_table(
+        [
+            "device",
+            "tuned tile",
+            "tuned ms",
+            "64-elem tiles ms",
+            "no cooperative passes ms",
+        ],
+        rows,
+        title="Extension: auto-tuned multi-stage merge sort (1M elements)",
+    )
+    emit("extension_dnc_sort", text)
+    for row in rows:
+        assert row[2] <= row[3]  # tuned never loses to tiny tiles

@@ -1,0 +1,53 @@
+"""Figure 6 — PCR-Thomas performance vs the stage-3→4 switch point.
+
+Regenerates the per-device sweep of the Thomas hand-over point (16..512
+subsystems, normalised to the optimum), and wall-clock-benchmarks the
+reference hybrid at representative switch points.
+"""
+
+import pytest
+
+from repro.algorithms import pcr_thomas_solve
+from repro.analysis import PAPER_FIG6_OPTIMA, ascii_table, figure6
+from repro.systems import generators
+
+
+def test_figure6_thomas_switch_sweep(benchmark, emit):
+    """Regenerate Figure 6 from the machine model."""
+    data = benchmark.pedantic(figure6, rounds=1, iterations=1)
+    switches = sorted(next(iter(data.values())))
+    rows = []
+    for device, series in data.items():
+        best = max(
+            (s for s, v in series.items() if v is not None),
+            key=lambda s: series[s],
+        )
+        rows.append(
+            [device]
+            + [series[s] for s in switches]
+            + [best, "/".join(map(str, PAPER_FIG6_OPTIMA[device]))]
+        )
+    text = ascii_table(
+        ["device"] + [str(s) for s in switches] + ["our optimum", "paper optimum"],
+        rows,
+        title=(
+            "Figure 6: PCR-Thomas performance vs stage-3->4 switch point "
+            "(subsystems handed to Thomas; 1.0 = best)"
+        ),
+    )
+    emit("figure6", text)
+    for device, series in data.items():
+        best = max(
+            (s for s, v in series.items() if v is not None),
+            key=lambda s: series[s],
+        )
+        assert best in PAPER_FIG6_OPTIMA[device], (device, best)
+
+
+@pytest.mark.parametrize("thomas_switch", [16, 64, 256])
+def test_hybrid_wallclock_at_switch(benchmark, thomas_switch):
+    """Real-numerics wall clock of the hybrid algorithm itself (256
+    systems of 512 equations) at different hand-over points."""
+    batch = generators.random_dominant(256, 512, rng=1)
+    x = benchmark(pcr_thomas_solve, batch, thomas_switch)
+    assert x.shape == batch.shape

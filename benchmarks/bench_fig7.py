@@ -1,0 +1,74 @@
+"""Figure 7 — untuned vs statically vs dynamically tuned, per workload.
+
+Regenerates the paper's 3-devices × 4-workloads grid (normalised to the
+untuned time, with the untuned milliseconds annotated, as in the paper),
+plus the §V headline aggregates, and wall-clock-benchmarks the three
+strategies end-to-end on a scaled workload with exact numerics.
+"""
+
+import pytest
+
+from repro.analysis import (
+    PAPER_DYNAMIC_AVG_SAVINGS,
+    PAPER_FIG7_UNTUNED_MS,
+    PAPER_STATIC_AVG_SAVINGS,
+    ascii_table,
+    figure7,
+    headline_savings,
+)
+from repro.core import MultiStageSolver
+from repro.systems import generators
+
+
+def test_figure7_tuning_comparison(benchmark, emit):
+    """Regenerate Figure 7 from the machine model."""
+    data = benchmark.pedantic(figure7, rounds=1, iterations=1)
+    rows = []
+    for device, cells in data.items():
+        for wl, cell in cells.items():
+            rows.append(
+                [
+                    device,
+                    wl,
+                    cell.untuned_ms,
+                    PAPER_FIG7_UNTUNED_MS[device][wl],
+                    1.0,
+                    cell.static_normalized,
+                    cell.dynamic_normalized,
+                ]
+            )
+    text = ascii_table(
+        [
+            "device",
+            "workload",
+            "untuned ms (ours)",
+            "untuned ms (paper)",
+            "untuned (norm)",
+            "static (norm)",
+            "dynamic (norm)",
+        ],
+        rows,
+        title="Figure 7: tuning-strategy comparison (normalised to untuned)",
+    )
+    agg = headline_savings(data)
+    text += (
+        f"\nheadline: static avg savings {agg['static_avg_savings']:.1%} "
+        f"(paper {PAPER_STATIC_AVG_SAVINGS:.0%}), dynamic avg savings "
+        f"{agg['dynamic_avg_savings']:.1%} (paper {PAPER_DYNAMIC_AVG_SAVINGS:.0%}), "
+        f"max dynamic speedup {agg['dynamic_max_speedup']:.2f}x (paper: up to 5x)"
+    )
+    emit("figure7", text)
+
+    for cells in data.values():
+        for cell in cells.values():
+            assert cell.dynamic_ms <= cell.untuned_ms * 1.02
+
+
+@pytest.mark.parametrize("strategy", ["default", "static", "dynamic"])
+def test_strategy_wallclock(benchmark, strategy):
+    """Real-numerics wall clock per strategy (scaled 2Kx2K: 64 x 2048)."""
+    batch = generators.random_dominant(64, 2048, rng=2)
+    solver = MultiStageSolver("gtx470", strategy)
+    solver.solve(batch)  # warm the tuning cache outside the timed region
+    result = benchmark(solver.solve, batch)
+    assert result.x.shape == batch.shape

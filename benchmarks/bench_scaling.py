@@ -1,0 +1,46 @@
+"""Scaling-study benchmarks (the paper's §VI-B scalability discussion).
+
+Count scaling shows the machine filling and throughput saturating; size
+scaling (fixed equation budget, fewer-but-larger systems) shows the
+growing split overhead that hands the extreme case to the CPU.
+"""
+
+from repro.analysis import ascii_table, count_scaling, size_scaling
+
+
+def test_count_scaling(benchmark, emit):
+    rows = benchmark.pedantic(count_scaling, rounds=1, iterations=1)
+    text = ascii_table(
+        ["systems", "total eqs", "simulated ms", "Meq/s"],
+        [
+            [r["num_systems"], r["total_equations"], r["ms"], r["meqs_per_s"]]
+            for r in rows
+        ],
+        title="Scaling: throughput vs system count (GTX 470, 1024-eq systems)",
+    )
+    emit("scaling_count", text)
+    # Throughput grows as the machine fills ...
+    assert rows[-1]["meqs_per_s"] > 5 * rows[0]["meqs_per_s"]
+    # ... and saturates: the last doubling buys little.
+    assert rows[-1]["meqs_per_s"] < 1.7 * rows[-3]["meqs_per_s"]
+
+
+def test_size_scaling(benchmark, emit):
+    rows = benchmark.pedantic(size_scaling, rounds=1, iterations=1)
+    text = ascii_table(
+        ["system size", "systems", "split steps", "stage-1 steps",
+         "simulated ms", "Meq/s"],
+        [
+            [r["system_size"], r["num_systems"], r["split_steps"],
+             r["stage1_steps"], r["ms"], r["meqs_per_s"]]
+            for r in rows
+        ],
+        title="Scaling: fixed 4M-equation budget, growing system size (GTX 470)",
+    )
+    emit("scaling_size", text)
+    # Split depth grows with system size ...
+    depths = [r["split_steps"] for r in rows]
+    assert depths == sorted(depths)
+    # ... and the single-enormous-system endpoint is the most expensive
+    # shape per equation (the Figure-8 crossover mechanism).
+    assert rows[-1]["meqs_per_s"] < rows[1]["meqs_per_s"]

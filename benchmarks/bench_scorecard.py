@@ -1,0 +1,13 @@
+"""The reproduction scorecard as a benchmark artefact.
+
+Regenerates the whole evaluation and grades every published claim; the
+rendered card lands in ``benchmarks/results/scorecard.txt``.
+"""
+
+from repro.analysis import render_scorecard, reproduction_scorecard
+
+
+def test_reproduction_scorecard(benchmark, emit):
+    checks = benchmark.pedantic(reproduction_scorecard, rounds=1, iterations=1)
+    emit("scorecard", render_scorecard(checks))
+    assert all(c.passed for c in checks)

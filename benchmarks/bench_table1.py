@@ -1,0 +1,30 @@
+"""Table I — the evaluated GPU devices and their capabilities."""
+
+from repro.analysis import ascii_table, table1
+
+
+def test_table1_devices(benchmark, emit):
+    """Regenerate Table I (device list) from the device registry."""
+    rows = benchmark(table1)
+    text = ascii_table(
+        [
+            "Name",
+            "Global Memory Bandwidth (GB/s)",
+            "Shared Memory (KB)",
+            "Processors",
+            "Thread Processors / Processor",
+        ],
+        [
+            [
+                r["name"],
+                r["global_memory_bandwidth_gb_s"],
+                r["shared_memory_kb"],
+                r["num_processors"],
+                r["thread_processors_per_processor"],
+            ]
+            for r in rows
+        ],
+        title="Table I: GPU devices used in tests and benchmarks",
+    )
+    emit("table1", text)
+    assert len(rows) == 3

@@ -1,0 +1,24 @@
+"""Table II — the queryable CUDA device properties."""
+
+from repro.analysis import ascii_table, table2
+from repro.gpu import get_device_spec, query_device
+
+
+def test_table2_queryable_properties(benchmark, emit):
+    """Regenerate Table II (queryable properties) for the GTX 470."""
+    rows = benchmark(table2, "gtx470")
+    text = ascii_table(
+        ["Query Parameter", "Description", "GTX 470 value"],
+        rows,
+        title="Table II: queryable device properties (machine-tuner inputs)",
+    )
+    emit("table2", text)
+    assert any(r[0] == "Shared Memory" for r in rows)
+
+
+def test_device_query_throughput(benchmark):
+    """Wall-clock cost of a device-property query (the static tuner's
+    only runtime dependency)."""
+    spec = get_device_spec("gtx470")
+    props = benchmark(query_device, spec)
+    assert props.num_processors == 14

@@ -1,0 +1,31 @@
+"""Shared fixtures for the benchmark harness.
+
+Every figure/table bench writes its rendered output to
+``benchmarks/results/`` so the regenerated paper tables survive the run
+(pytest captures stdout); the same text is also printed for ``-s`` runs.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def emit(results_dir):
+    """Callable fixture: print a rendered table and persist it."""
+
+    def _emit(name: str, text: str) -> None:
+        print(text)
+        (results_dir / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+
+    return _emit

@@ -1,0 +1,95 @@
+"""ADI (alternating direction implicit) 2-D heat equation demo.
+
+Run with ``python examples/adi_heat2d.py``.
+
+The paper's introduction motivates the solver with ADI methods: each ADI
+half-step solves one tridiagonal system per grid line, hundreds to
+thousands of them in parallel. This example integrates the 2-D heat
+equation on a square grid with the Peaceman-Rachford ADI scheme, using
+the multi-stage GPU solver for every sweep, and validates against the
+analytic decay rate of the fundamental sine mode.
+"""
+
+import numpy as np
+
+from repro.core import MultiStageSolver
+from repro.systems import TridiagonalBatch
+
+
+def adi_step(
+    u: np.ndarray, r: float, solver: MultiStageSolver
+) -> np.ndarray:
+    """One Peaceman-Rachford step: implicit x-sweep, then implicit y-sweep.
+
+    ``r = alpha * dt / (2 dx^2)``. Dirichlet boundaries (u = 0) are
+    handled by the interior-only system with zero boundary couplings.
+    """
+    ny, nx = u.shape
+
+    def implicit_sweep(explicit_field: np.ndarray) -> np.ndarray:
+        # Rows of `explicit_field` are independent systems:
+        # (1 + 2r) u_j - r (u_{j-1} + u_{j+1}) = rhs_j.
+        m, n = explicit_field.shape
+        a = np.full((m, n), -r)
+        b = np.full((m, n), 1.0 + 2.0 * r)
+        c = np.full((m, n), -r)
+        a[:, 0] = 0.0
+        c[:, -1] = 0.0
+        batch = TridiagonalBatch(a, b, c, explicit_field)
+        return solver.solve(batch).x
+
+    def explicit_half(field: np.ndarray) -> np.ndarray:
+        # (1 + r * second-difference) along rows, zero boundaries.
+        out = (1.0 - 2.0 * r) * field
+        out[:, 1:] += r * field[:, :-1]
+        out[:, :-1] += r * field[:, 1:]
+        return out
+
+    # Half-step 1: x-implicit (systems along rows), y-explicit.
+    u_half = implicit_sweep(explicit_half(u.T).T)
+    # Half-step 2: y-implicit (transpose so columns become systems),
+    # x-explicit.
+    u_new = implicit_sweep(explicit_half(u_half).T)
+    return u_new.T
+
+
+def main() -> None:
+    n = 128  # interior points per side -> 128 systems of 128 equations
+    alpha, dt = 1.0, 2.0e-4
+    dx = 1.0 / (n + 1)
+    r = alpha * dt / (2.0 * dx * dx)
+
+    # Initial condition: the (1,1) sine mode, whose exact solution decays
+    # as exp(-2 pi^2 alpha t).
+    x = np.linspace(dx, 1.0 - dx, n)
+    u = np.outer(np.sin(np.pi * x), np.sin(np.pi * x))
+
+    solver = MultiStageSolver("gtx470", "dynamic")
+    steps = 50
+    sim_ms = 0.0
+    for _ in range(steps):
+        u = adi_step(u, r, solver)
+        # Re-solve timing accumulates per sweep; grab the last report.
+    decay_measured = u.max()
+    decay_exact = float(np.exp(-2.0 * np.pi**2 * alpha * dt * steps))
+
+    print(f"grid {n}x{n}, {steps} ADI steps, r = {r:.3f}")
+    print(f"peak after integration: measured {decay_measured:.6f}, "
+          f"analytic {decay_exact:.6f}")
+    rel_err = abs(decay_measured - decay_exact) / decay_exact
+    print(f"relative error vs analytic decay: {rel_err:.2e}")
+    if rel_err > 5e-3:
+        raise SystemExit("ADI integration drifted from the analytic solution")
+
+    # Timing of a single sweep's worth of tridiagonal work on the GPU model.
+    a = np.full((n, n), -r); a[:, 0] = 0
+    c = np.full((n, n), -r); c[:, -1] = 0
+    batch = TridiagonalBatch(a, np.full((n, n), 1 + 2 * r), c, u)
+    res = solver.solve(batch)
+    print(f"\none sweep = {n} systems of {n} eqs: "
+          f"{res.simulated_ms:.4f} simulated ms on {solver.device.name}")
+    print("per-sweep plan:", res.plan.describe().splitlines()[-1].strip())
+
+
+if __name__ == "__main__":
+    main()

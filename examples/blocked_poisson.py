@@ -1,0 +1,71 @@
+"""Block-tridiagonal demo: direct 2-D Poisson via line blocks.
+
+Run with ``python examples/blocked_poisson.py``.
+
+The paper's conclusion names blocked tridiagonal solvers as the next
+challenge; this example exercises the library's blocked extension on the
+canonical source of such systems — a 2-D Poisson problem whose grid
+lines become block rows (diagonal blocks = 1-D operators, couplings =
+identities) — and cross-checks the block solver against a dense solve.
+"""
+
+import numpy as np
+
+from repro.blocked import (
+    BlockMultiStageSolver,
+    BlockTridiagonalBatch,
+    block_dense_solve,
+)
+
+
+def build_poisson_block_system(ny: int, nx: int, f: np.ndarray):
+    """Line-ordered 5-point Laplacian as a block-tridiagonal system."""
+    eye = np.eye(nx)
+    diag = 4.0 * eye - np.eye(nx, k=1) - np.eye(nx, k=-1)
+    A = np.tile(-eye, (1, ny, 1, 1))
+    C = np.tile(-eye, (1, ny, 1, 1))
+    B = np.tile(diag, (1, ny, 1, 1))
+    A[:, 0] = 0
+    C[:, -1] = 0
+    return BlockTridiagonalBatch(A, B, C, f[None, :, :])
+
+
+def main() -> None:
+    ny, nx = 32, 24  # block order 32, block size 24
+    rng = np.random.default_rng(3)
+    f = rng.standard_normal((ny, nx))
+
+    batch = build_poisson_block_system(ny, nx, f)
+    solver = BlockMultiStageSolver("gtx470")
+    result = solver.solve(batch)
+
+    ref = block_dense_solve(batch)
+    err = np.abs(result.X - ref).max() / (np.abs(ref).max() + 1.0)
+    print(f"2-D Poisson {ny}x{nx} as block tridiagonal "
+          f"(n={ny} block rows, k={nx} block size)")
+    print(f"max relative deviation vs dense solve: {err:.2e}")
+    if err > 1e-9:
+        raise SystemExit("block solve disagrees with the dense oracle")
+
+    print(f"tuned: stage3 block rows = {result.stage3_block_rows}, "
+          f"thomas switch = {result.thomas_switch}")
+    print(f"simulated GPU time: {result.simulated_ms:.4f} ms "
+          f"({', '.join(f'{k}: {v:.4f}' for k, v in result.report.stage_ms().items())})")
+
+    # Batched use: many independent Poisson problems at once.
+    m = 64
+    F = rng.standard_normal((m, ny, nx))
+    big = BlockTridiagonalBatch(
+        np.tile(batch.A, (m, 1, 1, 1)),
+        np.tile(batch.B, (m, 1, 1, 1)),
+        np.tile(batch.C, (m, 1, 1, 1)),
+        F,
+    )
+    res = solver.solve(big)
+    worst = big.residual(res.X).max()
+    print(f"\nbatched: {m} independent grids in one solve, "
+          f"worst residual {worst:.2e}, {res.simulated_ms:.3f} simulated ms")
+
+
+if __name__ == "__main__":
+    main()

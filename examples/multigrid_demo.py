@@ -1,0 +1,49 @@
+"""Multigrid with tridiagonal line smoothing (Göddeke's application).
+
+Run with ``python examples/multigrid_demo.py``.
+
+Shows textbook multigrid behaviour — a grid-size-independent contraction
+factor of ~0.1 per V-cycle — with every smoothing sweep running through
+the batched multi-stage tridiagonal solver (zebra line relaxation).
+"""
+
+import numpy as np
+
+from repro.apps import MultigridPoisson2D
+from repro.core import MultiStageSolver
+
+
+def main() -> None:
+    solver = MultiStageSolver("gtx470", "dynamic")
+    print("V-cycle residual contraction per grid size:")
+    for n in (31, 63, 127):
+        mg = MultigridPoisson2D(n, solver=solver)
+        rng = np.random.default_rng(n)
+        f = rng.standard_normal((n, n))
+        u = np.zeros((n, n))
+        norms = [np.linalg.norm(f)]
+        for _ in range(5):
+            u = mg.v_cycle(u, f)
+            norms.append(np.linalg.norm(mg.residual_field(u, f)))
+        factors = [norms[i + 1] / norms[i] for i in range(5)]
+        print(f"  {n:4d}x{n:<4d}: " + "  ".join(f"{f_:.3f}" for f_ in factors)
+              + f"   (simulated smoothing time so far: {mg.simulated_ms:.2f} ms)")
+        if max(factors) > 0.3:
+            raise SystemExit("multigrid contraction degraded")
+
+    # Full solve to discretisation accuracy.
+    n = 127
+    mg = MultigridPoisson2D(n, solver=solver)
+    h = 1.0 / (n + 1)
+    x = np.linspace(h, 1 - h, n)
+    X, Y = np.meshgrid(x, x)
+    u_exact = np.sin(np.pi * X) * np.sin(3 * np.pi * Y)
+    f = (1 + 9) * np.pi**2 * u_exact
+    u = mg.solve(f, tol=1e-10)
+    err = np.abs(u - u_exact).max()
+    print(f"\n{n}x{n} manufactured solution: max error {err:.2e} "
+          f"(h^2 = {h*h:.2e})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,109 @@
+"""Spectral 2-D Poisson solver (Hockney's method) on the batch solver.
+
+Run with ``python examples/spectral_poisson.py``.
+
+Hockney's classic fast Poisson solver — cited in the paper's introduction
+— combines an FFT along one axis with independent tridiagonal solves
+along the other: after a sine transform in x, each Fourier mode ``k``
+satisfies a tridiagonal system in y. That bundle of per-mode systems is
+exactly the "many parallel tridiagonal systems" workload the paper's GPU
+solver targets.
+
+Solves ``∇²u = f`` with homogeneous Dirichlet boundaries and verifies
+against a manufactured solution.
+"""
+
+import numpy as np
+
+from repro.core import MultiStageSolver
+from repro.systems import TridiagonalBatch
+
+
+def poisson_solve(
+    f: np.ndarray, dx: float, solver: MultiStageSolver
+) -> np.ndarray:
+    """Solve ``∇²u = f`` on the unit square, u = 0 on the boundary.
+
+    ``f`` holds interior values, shape ``(ny, nx)``.
+    """
+    ny, nx = f.shape
+    # Sine transform in x (DST-I) via odd-extension FFT.
+    f_hat = _dst1(f, axis=1)
+
+    # For mode k: (d²/dy²) u_hat_k + lambda_k u_hat_k = f_hat_k with
+    # lambda_k = (2 cos(pi (k+1)/(nx+1)) - 2) / dx².
+    k = np.arange(nx)
+    lam = (2.0 * np.cos(np.pi * (k + 1) / (nx + 1)) - 2.0) / dx**2
+
+    # One tridiagonal system per mode, size ny:
+    # u[j-1] + (lam dx² - 2) u[j] + u[j+1] = dx² f_hat[j]   (per column k)
+    m, n = nx, ny
+    a = np.ones((m, n))
+    c = np.ones((m, n))
+    a[:, 0] = 0.0
+    c[:, -1] = 0.0
+    b = np.repeat((lam * dx**2 - 2.0)[:, None], n, axis=1) / 1.0
+    # Guard: b is (modes, ny); actually lam already includes the x part,
+    # so the y-direction stencil is u[j-1] - 2 u[j] + u[j+1] + lam dx² u[j].
+    d = dx**2 * f_hat.T  # (modes, ny)
+
+    batch = TridiagonalBatch(a, b, c, d)
+    u_hat = solver.solve(batch).x.T  # (ny, modes)
+
+    return _idst1(u_hat, axis=1)
+
+
+def _dst1(arr: np.ndarray, axis: int) -> np.ndarray:
+    """Type-I discrete sine transform via odd-extended rFFT."""
+    n = arr.shape[axis]
+    shape = list(arr.shape)
+    shape[axis] = 2 * (n + 1)
+    ext = np.zeros(shape, dtype=arr.dtype)
+    sl = [slice(None)] * arr.ndim
+    sl[axis] = slice(1, n + 1)
+    ext[tuple(sl)] = arr
+    sl[axis] = slice(n + 2, 2 * n + 2)
+    ext[tuple(sl)] = -np.flip(arr, axis=axis)
+    spec = np.fft.rfft(ext, axis=axis)
+    sl[axis] = slice(1, n + 1)
+    # The odd extension makes X[k] = -2i * S[k]; take S.
+    return -spec.imag[tuple(sl)] / 2.0
+
+
+def _idst1(arr: np.ndarray, axis: int) -> np.ndarray:
+    """Inverse of :func:`_dst1`: S∘S = (n+1)/2 · identity."""
+    n = arr.shape[axis]
+    return _dst1(arr, axis) * (2.0 / (n + 1))
+
+
+def main() -> None:
+    n = 255  # interior grid (255 x 255); systems are size 255, not pow2
+    dx = 1.0 / (n + 1)
+    x = np.linspace(dx, 1.0 - dx, n)
+    X, Y = np.meshgrid(x, x)
+
+    # Manufactured solution u = sin(3 pi x) sin(2 pi y).
+    u_exact = np.sin(3 * np.pi * X) * np.sin(2 * np.pi * Y)
+    f = -(9 + 4) * np.pi**2 * u_exact
+
+    solver = MultiStageSolver("gtx470", "dynamic")
+    u = poisson_solve(f, dx, solver)
+
+    err = np.abs(u - u_exact).max()
+    print(f"grid {n}x{n}: {n} tridiagonal systems of {n} equations per solve")
+    print(f"max error vs manufactured solution: {err:.2e} "
+          f"(second-order in dx = {dx:.4f}; dx^2 = {dx*dx:.2e})")
+    if err > 50 * dx * dx:
+        raise SystemExit("Poisson solve exceeded discretisation error budget")
+
+    res = solver.solve(
+        TridiagonalBatch(
+            np.zeros((n, n)), np.full((n, n), -2.0), np.zeros((n, n)), f
+        )
+    )
+    print(f"simulated GPU time for the mode batch: {res.simulated_ms:.4f} ms "
+          f"on {solver.device.name}")
+
+
+if __name__ == "__main__":
+    main()

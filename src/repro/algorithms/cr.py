@@ -1,0 +1,109 @@
+"""Cyclic reduction (CR).
+
+CR is the work-efficient parallel algorithm (O(n) work, 2 log2(n) steps):
+a forward phase repeatedly eliminates the odd-indexed unknowns, halving
+the system, and a backward phase substitutes them back. It is the
+algorithm of Göddeke & Strzodka's multigrid smoother and one half of
+Zhang et al.'s CR-PCR hybrid, which this library implements as a baseline
+(:mod:`repro.algorithms.cr_pcr`).
+
+The batch implementation vectorises each level across all systems and all
+active equations. Power-of-two system sizes are required; pad upstream
+with :func:`repro.algorithms.padding.pad_pow2` otherwise.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from ..systems.tridiagonal import TridiagonalBatch
+from ..util.validation import check_power_of_two
+
+__all__ = ["cr_solve", "cr_forward_levels"]
+
+Coeffs = Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]
+
+
+def _reduce_level(a, b, c, d) -> Tuple[Coeffs, Coeffs]:
+    """One forward-reduction level.
+
+    Splits the current system (size ``n``, even) into the *reduced* system
+    over odd-indexed unknowns (size ``n/2``) and keeps the even-indexed
+    equations for back-substitution. Returns ``(reduced, kept)``.
+    """
+    # Views of even/odd rows.
+    ae, be, ce, de = a[:, 0::2], b[:, 0::2], c[:, 0::2], d[:, 0::2]
+    ao, bo, co, do = a[:, 1::2], b[:, 1::2], c[:, 1::2], d[:, 1::2]
+
+    # Row 2i+1 eliminates x[2i] via row 2i and x[2i+2] via row 2i+2.
+    k1 = ao / be  # coupling to the even row below
+    # Coupling to the even row above: for the last odd row, x[2i+2] does
+    # not exist and co is structurally zero, so k2's divisor is never used;
+    # shift the even rows up and pad with ones.
+    be_up = np.concatenate([be[:, 1:], np.ones_like(be[:, :1])], axis=1)
+    ae_up = np.concatenate([ae[:, 1:], np.zeros_like(ae[:, :1])], axis=1)
+    ce_up = np.concatenate([ce[:, 1:], np.zeros_like(ce[:, :1])], axis=1)
+    de_up = np.concatenate([de[:, 1:], np.zeros_like(de[:, :1])], axis=1)
+    k2 = co / be_up
+
+    ra = -ae * k1
+    rb = bo - ce * k1 - ae_up * k2
+    rc = -ce_up * k2
+    rd = do - de * k1 - de_up * k2
+    return (ra, rb, rc, rd), (ae, be, ce, de)
+
+
+def cr_forward_levels(batch: TridiagonalBatch) -> List[Tuple[Coeffs, Coeffs]]:
+    """Run the forward phase, returning per-level (reduced, kept) pairs.
+
+    Exposed for tests and for the CR-PCR hybrid, which truncates the
+    forward phase early.
+    """
+    n = batch.system_size
+    check_power_of_two(n, "system_size")
+    levels: List[Tuple[Coeffs, Coeffs]] = []
+    coeffs: Coeffs = (batch.a, batch.b, batch.c, batch.d)
+    while coeffs[1].shape[1] > 1:
+        reduced, kept = _reduce_level(*coeffs)
+        levels.append((reduced, kept))
+        coeffs = reduced
+    return levels
+
+
+def _back_substitute(x_odd: np.ndarray, kept: Coeffs) -> np.ndarray:
+    """Recover the full-level solution from the odd-unknown solution.
+
+    ``x_odd`` are the unknowns at indices 1, 3, 5, ... of the level;
+    ``kept`` are the even-indexed equations of that level.
+    """
+    ae, be, ce, de = kept
+    m, half = x_odd.shape
+    x = np.empty((m, 2 * half), dtype=x_odd.dtype)
+    x[:, 1::2] = x_odd
+    # Even row 2i: a*x[2i-1] + b*x[2i] + c*x[2i+1] = d. x[2i-1] is the
+    # previous odd unknown (zero, by structural a[0] = 0, for i = 0).
+    x_prev_odd = np.concatenate(
+        [np.zeros_like(x_odd[:, :1]), x_odd[:, :-1]], axis=1
+    )
+    x[:, 0::2] = (de - ae * x_prev_odd - ce * x_odd) / be
+    return x
+
+
+def cr_solve(batch: TridiagonalBatch) -> np.ndarray:
+    """Solve by classic cyclic reduction (power-of-two sizes).
+
+    Forward-reduces to a single equation per system, solves it, then
+    back-substitutes level by level.
+    """
+    levels = cr_forward_levels(batch)
+    if not levels:
+        # n == 1: direct solve.
+        return batch.d / batch.b
+
+    ra, rb, rc, rd = levels[-1][0]
+    x = rd / rb  # the lone odd unknown of the final level
+    for _, kept in reversed(levels):
+        x = _back_substitute(x, kept)
+    return x

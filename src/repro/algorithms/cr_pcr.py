@@ -1,0 +1,57 @@
+"""The CR-PCR hybrid of Zhang, Cohen & Owens (PPoPP 2010).
+
+This is the strongest prior GPU algorithm the paper compares its base
+kernel against: cyclic reduction's forward phase shrinks the system
+(keeping CR's O(n) work efficiency) until the remaining system is small
+enough to be step-efficiently finished by PCR, after which CR's backward
+phase substitutes the eliminated unknowns.
+
+Like the original, it only targets systems that fit on-chip — the
+limitation the paper's multi-stage design removes — so the baseline
+solver wrapping this algorithm refuses oversized systems
+(:mod:`repro.baselines.zhang_crpcr`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..systems.tridiagonal import TridiagonalBatch
+from ..util.validation import check_power_of_two, ilog2, require
+from .cr import _back_substitute, _reduce_level
+from .pcr import pcr_solve
+
+__all__ = ["cr_pcr_solve"]
+
+
+def cr_pcr_solve(
+    batch: TridiagonalBatch,
+    pcr_switch: int = 64,
+) -> np.ndarray:
+    """Solve with CR forward reduction down to ``pcr_switch`` unknowns,
+    PCR on the reduced system, then CR back-substitution.
+
+    ``pcr_switch`` is the intermediate system size at which the hybrid
+    hands over to PCR (a power of two). ``pcr_switch >= n`` degenerates to
+    pure PCR; ``pcr_switch == 1`` degenerates to pure CR.
+    """
+    n = batch.system_size
+    check_power_of_two(n, "system_size")
+    check_power_of_two(pcr_switch, "pcr_switch")
+    if n == 1:
+        return batch.d / batch.b
+    switch = min(pcr_switch, n)
+    cr_levels = ilog2(n) - ilog2(switch)
+    require(cr_levels >= 0, "internal: negative CR level count")
+
+    coeffs = (batch.a, batch.b, batch.c, batch.d)
+    kept_stack = []
+    for _ in range(cr_levels):
+        reduced, kept = _reduce_level(*coeffs)
+        kept_stack.append(kept)
+        coeffs = reduced
+
+    x = pcr_solve(TridiagonalBatch(*coeffs))
+    for kept in reversed(kept_stack):
+        x = _back_substitute(x, kept)
+    return x

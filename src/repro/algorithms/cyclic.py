@@ -1,0 +1,132 @@
+"""Periodic (cyclic) tridiagonal systems via Sherman-Morrison.
+
+Periodic boundary conditions — ubiquitous in spectral methods and ADI on
+periodic domains — add corner entries coupling the first and last
+unknowns:
+
+    b_0 x_0 + c_0 x_1 + a_0 x_{n-1} = d_0
+    c_{n-1} x_0 + a_{n-1} x_{n-2} + b_{n-1} x_{n-1} = d_{n-1}
+
+The Sherman-Morrison trick writes the cyclic matrix as ``A' + u v^T``
+with ``A'`` strictly tridiagonal, so a cyclic solve costs two ordinary
+tridiagonal solves against the same matrix — which the library's
+factorisation reuse makes nearly the price of one.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..systems.tridiagonal import TridiagonalBatch
+from ..util.errors import ShapeError
+from .thomas import thomas_solve
+
+__all__ = ["CyclicTridiagonalBatch", "cyclic_solve"]
+
+
+class CyclicTridiagonalBatch:
+    """A batch of periodic tridiagonal systems.
+
+    Arrays are ``(m, n)`` like :class:`TridiagonalBatch`, but ``a[:, 0]``
+    (coupling ``x_0`` to ``x_{n-1}``) and ``c[:, -1]`` (coupling
+    ``x_{n-1}`` to ``x_0``) are *used*, not ignored.
+    """
+
+    def __init__(self, a, b, c, d):
+        a = np.atleast_2d(np.asarray(a))
+        b = np.atleast_2d(np.asarray(b))
+        c = np.atleast_2d(np.asarray(c))
+        d = np.atleast_2d(np.asarray(d))
+        if not (a.shape == b.shape == c.shape == d.shape):
+            raise ShapeError("a, b, c, d must share one (m, n) shape")
+        if b.shape[1] < 3:
+            raise ShapeError("cyclic systems need at least 3 equations")
+        self.a, self.b, self.c, self.d = a, b, c, d
+
+    @property
+    def shape(self):
+        """``(m, n)``."""
+        return self.b.shape
+
+    @property
+    def dtype(self):
+        """Common dtype."""
+        return self.b.dtype
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """Apply the cyclic operator to ``(m, n)`` x."""
+        x = np.asarray(x)
+        if x.shape != self.shape:
+            raise ShapeError(f"x has shape {x.shape}, expected {self.shape}")
+        out = self.b * x
+        out += self.a * np.roll(x, 1, axis=1)
+        out += self.c * np.roll(x, -1, axis=1)
+        return out
+
+    def residual(self, x: np.ndarray) -> np.ndarray:
+        """Per-system relative residual."""
+        r = self.matvec(x) - self.d
+        num = np.linalg.norm(r, axis=1)
+        den = np.maximum(
+            np.linalg.norm(self.d, axis=1), np.finfo(self.dtype).tiny
+        )
+        return num / den
+
+
+def cyclic_solve(
+    batch: CyclicTridiagonalBatch,
+    inner_solve: Optional[Callable[[TridiagonalBatch], np.ndarray]] = None,
+) -> np.ndarray:
+    """Solve periodic systems with two tridiagonal solves (Sherman-Morrison).
+
+    ``inner_solve`` is the tridiagonal solver used for the two auxiliary
+    systems (default :func:`~repro.algorithms.thomas.thomas_solve`; pass
+    a :class:`~repro.core.solver.MultiStageSolver`-backed callable to run
+    them on the machine model).
+
+    Decomposition: with ``alpha = a[:, 0]`` and ``beta = c[:, -1]``,
+    choose ``gamma = -b[:, 0]`` and solve ``A' y = d`` and ``A' z = u``
+    where ``A'`` equals the cyclic matrix with corners removed and
+
+        ``b'_0 = b_0 - gamma``,  ``b'_{n-1} = b_{n-1} - alpha beta / gamma``,
+        ``u = (gamma, 0, ..., 0, beta)``,  ``v = (1, 0, ..., 0, alpha/gamma)``.
+
+    Then ``x = y - z (v·y) / (1 + v·z)``.
+    """
+    if inner_solve is None:
+        inner_solve = thomas_solve
+    a, b, c, d = batch.a, batch.b, batch.c, batch.d
+    m, n = batch.shape
+    dtype = batch.dtype
+
+    alpha = a[:, 0].copy()  # corner: row 0, col n-1
+    beta = c[:, -1].copy()  # corner: row n-1, col 0
+    gamma = -b[:, 0]
+
+    a2 = a.copy()
+    b2 = b.copy()
+    c2 = c.copy()
+    a2[:, 0] = 0
+    c2[:, -1] = 0
+    b2[:, 0] = b[:, 0] - gamma
+    b2[:, -1] = b[:, -1] - alpha * beta / gamma
+
+    u = np.zeros((m, n), dtype=dtype)
+    u[:, 0] = gamma
+    u[:, -1] = beta
+
+    stacked = TridiagonalBatch(
+        np.concatenate([a2, a2]),
+        np.concatenate([b2, b2]),
+        np.concatenate([c2, c2]),
+        np.concatenate([d, u]),
+    )
+    yz = inner_solve(stacked)
+    y, z = yz[:m], yz[m:]
+
+    v_dot_y = y[:, 0] + (alpha / gamma) * y[:, -1]
+    v_dot_z = z[:, 0] + (alpha / gamma) * z[:, -1]
+    factor = (v_dot_y / (1.0 + v_dot_z))[:, None]
+    return y - z * factor

@@ -1,0 +1,52 @@
+"""Padding arbitrary system sizes up to powers of two.
+
+CR, PCR, and the hybrids require power-of-two sizes; real workloads do
+not oblige. :func:`pad_pow2` appends decoupled identity equations
+(``x_j = 0``) after the last real row — the appended rows neither read nor
+write the real unknowns because the boundary couplings are structurally
+zero — and :func:`unpad_solution` strips them again.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..systems.tridiagonal import TridiagonalBatch
+from ..util.validation import is_power_of_two, next_power_of_two
+
+__all__ = ["pad_pow2", "unpad_solution"]
+
+
+def pad_pow2(batch: TridiagonalBatch) -> Tuple[TridiagonalBatch, int]:
+    """Pad every system to the next power-of-two size.
+
+    Returns ``(padded_batch, original_size)``. When the size is already a
+    power of two the original batch is returned unchanged.
+    """
+    n = batch.system_size
+    if is_power_of_two(n):
+        return batch, n
+    target = next_power_of_two(n)
+    m = batch.num_systems
+    extra = target - n
+    dtype = batch.dtype
+
+    def _pad(arr: np.ndarray, fill: float) -> np.ndarray:
+        tail = np.full((m, extra), fill, dtype=dtype)
+        return np.concatenate([arr, tail], axis=1)
+
+    return (
+        TridiagonalBatch(
+            _pad(batch.a, 0.0), _pad(batch.b, 1.0), _pad(batch.c, 0.0), _pad(batch.d, 0.0)
+        ),
+        n,
+    )
+
+
+def unpad_solution(x: np.ndarray, original_size: int) -> np.ndarray:
+    """Strip padding columns appended by :func:`pad_pow2`."""
+    if x.shape[1] == original_size:
+        return x
+    return np.ascontiguousarray(x[:, :original_size])

@@ -1,0 +1,169 @@
+"""Parallel cyclic reduction (PCR).
+
+PCR (Hockney & Jesshope) is the step-efficient end of the design space:
+``log2(n)`` steps, but every step updates all ``n`` equations, for
+``O(n log n)`` total work. One PCR step eliminates each equation's
+coupling to its distance-``s`` neighbours and doubles the coupling
+distance, so after ``k`` steps a system of size ``n`` decomposes into
+``2^k`` independent interleaved subsystems of size ``n / 2^k`` — this is
+precisely the *splitting* primitive used by the paper's stage 1, stage 2
+and stage 3.
+
+The module exposes three layers:
+
+- :func:`pcr_step` — one reduction step on raw coefficient arrays;
+- :func:`pcr_split` — ``k`` steps plus the gather that reorders the
+  interleaved subsystems into a contiguous batch (and
+  :func:`pcr_unsplit_solution` to undo the reorder on solutions);
+- :func:`pcr_solve` — full solve by running ``log2(n)`` steps until every
+  subsystem has size 1.
+
+All functions are vectorised over the whole batch.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..systems.tridiagonal import TridiagonalBatch
+from ..util.errors import ConfigurationError
+from ..util.validation import check_power_of_two, ilog2, require
+
+__all__ = [
+    "pcr_step",
+    "pcr_split",
+    "pcr_unsplit_solution",
+    "pcr_solve",
+    "pcr_reduce",
+]
+
+Coeffs = Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]
+
+
+def pcr_step(
+    a: np.ndarray, b: np.ndarray, c: np.ndarray, d: np.ndarray, stride: int
+) -> Coeffs:
+    """One PCR reduction step with coupling distance ``stride``.
+
+    For each equation ``i``, eliminates ``x[i-stride]`` and ``x[i+stride]``
+    using the neighbouring equations, producing a new system whose
+    equations couple at distance ``2 * stride``. Out-of-range neighbours
+    are treated as the identity equation (``b=1, a=c=d=0``), which leaves
+    boundary equations intact.
+
+    Arrays are ``(m, n)``; returns new arrays (inputs are not modified).
+    """
+    m, n = b.shape
+    s = int(stride)
+    require(1 <= s, f"stride must be >= 1, got {s}")
+
+    # Padded neighbour views: index i-s and i+s for every i in one slice.
+    pad = ((0, 0), (s, s))
+    ap = np.pad(a, pad, constant_values=0)
+    bp = np.pad(b, pad, constant_values=1)
+    cp = np.pad(c, pad, constant_values=0)
+    dp = np.pad(d, pad, constant_values=0)
+
+    a_lo, b_lo, c_lo, d_lo = (arr[:, 0:n] for arr in (ap, bp, cp, dp))
+    a_hi, b_hi, c_hi, d_hi = (arr[:, 2 * s :] for arr in (ap, bp, cp, dp))
+
+    alpha = -a / b_lo
+    gamma = -c / b_hi
+
+    new_a = alpha * a_lo
+    new_b = b + alpha * c_lo + gamma * a_hi
+    new_c = gamma * c_hi
+    new_d = d + alpha * d_lo + gamma * d_hi
+    return new_a, new_b, new_c, new_d
+
+
+def pcr_reduce(batch: TridiagonalBatch, steps: int) -> TridiagonalBatch:
+    """Apply ``steps`` PCR steps, keeping the interleaved equation order.
+
+    After the call, equations whose indices are congruent modulo
+    ``2**steps`` form independent subsystems *in place*. Use
+    :func:`pcr_split` when you want them gathered contiguously.
+    """
+    require(steps >= 0, f"steps must be >= 0, got {steps}")
+    a, b, c, d = batch.a, batch.b, batch.c, batch.d
+    stride = 1
+    for _ in range(steps):
+        a, b, c, d = pcr_step(a, b, c, d, stride)
+        stride *= 2
+    return TridiagonalBatch(a, b, c, d)
+
+
+def _gather(arr: np.ndarray, k: int) -> np.ndarray:
+    """Reorder ``(m, n)`` interleaved equations into ``(m * 2^k, n / 2^k)``.
+
+    Subsystem ``j`` of system ``i`` holds equations ``j, j + 2^k, ...`` of
+    the original system — the strided access pattern the paper's kernels
+    pay a coalescing penalty for.
+    """
+    m, n = arr.shape
+    groups = 1 << k
+    sub = n >> k
+    return np.ascontiguousarray(
+        arr.reshape(m, sub, groups).transpose(0, 2, 1)
+    ).reshape(m * groups, sub)
+
+
+def _scatter(arr: np.ndarray, k: int) -> np.ndarray:
+    """Inverse of :func:`_gather` for ``(m * 2^k, sub)`` arrays."""
+    groups = 1 << k
+    mg, sub = arr.shape
+    m = mg // groups
+    return np.ascontiguousarray(
+        arr.reshape(m, groups, sub).transpose(0, 2, 1)
+    ).reshape(m, sub * groups)
+
+
+def pcr_split(batch: TridiagonalBatch, steps: int) -> TridiagonalBatch:
+    """Split each system into ``2**steps`` independent contiguous systems.
+
+    Requires the system size to be divisible by ``2**steps``. The result
+    is a batch of shape ``(m * 2^steps, n / 2^steps)``; solving it and
+    applying :func:`pcr_unsplit_solution` yields the original systems'
+    solutions.
+    """
+    require(steps >= 0, f"steps must be >= 0, got {steps}")
+    if steps == 0:
+        return batch
+    n = batch.system_size
+    groups = 1 << steps
+    if n % groups != 0:
+        raise ConfigurationError(
+            f"system size {n} not divisible by 2**steps = {groups}"
+        )
+    reduced = pcr_reduce(batch, steps)
+    return TridiagonalBatch(
+        _gather(reduced.a, steps),
+        _gather(reduced.b, steps),
+        _gather(reduced.c, steps),
+        _gather(reduced.d, steps),
+    )
+
+
+def pcr_unsplit_solution(x: np.ndarray, steps: int) -> np.ndarray:
+    """Map a split batch's solution back to the original equation order."""
+    require(steps >= 0, f"steps must be >= 0, got {steps}")
+    if steps == 0:
+        return x
+    return _scatter(x, steps)
+
+
+def pcr_solve(batch: TridiagonalBatch) -> np.ndarray:
+    """Solve by pure PCR: reduce until every equation stands alone.
+
+    Requires a power-of-two system size (pad upstream otherwise; see
+    :func:`repro.algorithms.padding.pad_pow2`). ``log2(n)`` steps of
+    ``O(n)`` work each.
+    """
+    n = batch.system_size
+    check_power_of_two(n, "system_size")
+    steps = ilog2(n)
+    reduced = pcr_reduce(batch, steps)
+    # After full reduction every equation reads b * x = d.
+    return reduced.d / reduced.b

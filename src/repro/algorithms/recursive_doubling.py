@@ -1,0 +1,116 @@
+"""Recursive doubling tridiagonal solver (extension algorithm).
+
+The paper positions its method within the classical trio Thomas / CR /
+PCR; recursive doubling (Stone 1973) is the fourth classical parallel
+algorithm and a natural extension target ("optimized banded solvers" are
+named as future work). We include it both for completeness of the
+algorithm registry and as an extra baseline in the ablation benches.
+
+Formulation: the Thomas forward sweep's pivots satisfy the linear
+fractional recurrence ``u_i = b_i - a_i c_{i-1} / u_{i-1}``, which maps to
+the 2x2 matrix product ``M_i = [[b_i, -a_i c_{i-1}], [1, 0]]`` acting on
+homogeneous coordinates: ``u_i = p_i / q_i`` where ``(p_i, q_i)^T =
+M_i M_{i-1} ... M_1 (b_0, 1)^T``. The prefix products are computed with a
+parallel scan in ``log2(n)`` doubling steps; the two triangular solves
+then each reduce to a first-order *linear* recurrence, evaluated with a
+second pair of scans. The result is a solver with O(n log n) work and
+O(log n) depth, like PCR, but built from prefix products.
+
+Numerical caveat: homogeneous 2x2 products can overflow for large ``n``;
+we renormalise each column to unit infinity-norm at every doubling step,
+which leaves the ratio ``p/q`` invariant.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..systems.tridiagonal import TridiagonalBatch
+from ..util.validation import check_power_of_two
+
+__all__ = ["recursive_doubling_solve"]
+
+
+def _prefix_matmul_2x2(mats: np.ndarray) -> np.ndarray:
+    """Inclusive prefix products of ``(m, n, 2, 2)`` matrices along axis 1.
+
+    Uses the Hillis-Steele doubling scan: ``log2(n)`` steps, each a batched
+    matmul of the current prefix with the prefix shifted by the stride.
+    Each step renormalises by the per-matrix infinity norm to avoid
+    overflow (valid because results are used projectively).
+    """
+    out = mats.copy()
+    n = out.shape[1]
+    stride = 1
+    while stride < n:
+        # prefix[i] = prefix[i] @ prefix[i - stride] for i >= stride.
+        head = out[:, stride:]
+        tail = out[:, :-stride]
+        out[:, stride:] = np.einsum("mnij,mnjk->mnik", head, tail)
+        norm = np.abs(out).max(axis=(2, 3), keepdims=True)
+        norm[norm == 0] = 1.0
+        out /= norm
+        stride *= 2
+    return out
+
+
+def _prefix_linear(alpha: np.ndarray, beta: np.ndarray) -> np.ndarray:
+    """Scan the recurrence ``y_i = alpha_i * y_{i-1} + beta_i`` (y_{-1}=0).
+
+    Composition of affine maps ``(a1, b1) ∘ (a0, b0) = (a1 a0, a1 b0 + b1)``
+    scanned by doubling; returns ``y`` of the same shape.
+    """
+    a = alpha.copy()
+    b = beta.copy()
+    n = a.shape[1]
+    stride = 1
+    while stride < n:
+        a_hi = a[:, stride:]
+        b[:, stride:] = a_hi * b[:, :-stride] + b[:, stride:]
+        a[:, stride:] = a_hi * a[:, :-stride]
+        stride *= 2
+    return b
+
+
+def recursive_doubling_solve(batch: TridiagonalBatch) -> np.ndarray:
+    """Solve every system via recursive-doubling scans.
+
+    Requires a power-of-two system size. Accuracy degrades faster than
+    Thomas/PCR on ill-conditioned systems (projective products amplify
+    rounding); fine for diagonally dominant inputs.
+    """
+    n = batch.system_size
+    check_power_of_two(n, "system_size")
+    a, b, c, d = batch.a, batch.b, batch.c, batch.d
+    m = batch.num_systems
+    dtype = batch.dtype
+    if n == 1:
+        return d / b
+
+    # Pivot scan: u_i = b_i - a_i c_{i-1} / u_{i-1}.
+    mats = np.zeros((m, n, 2, 2), dtype=dtype)
+    mats[:, :, 0, 0] = b
+    mats[:, 0, 0, 1] = 0.0
+    mats[:, 1:, 0, 1] = -(a[:, 1:] * c[:, :-1])
+    mats[:, :, 1, 0] = 1.0
+    # M_0 must produce (b_0, 1): replace row 0 with the identity-seeded
+    # matrix [[b0, 0], [0, 1]] acting on (1, 1)... simpler: seed vector
+    # (1, 0) and let M_0 = [[b0, *], [1, 0]] give (b0, 1). The * entry of
+    # M_0 is multiplied by 0, so its value is irrelevant; keep 0.
+    prefix = _prefix_matmul_2x2(mats)
+    p = prefix[:, :, 0, 0]
+    q = prefix[:, :, 1, 0]
+    u = p / q  # pivots u_i
+
+    # Forward solve L y = d: y_i = d_i - (a_i / u_{i-1}) y_{i-1}.
+    alpha_f = np.zeros_like(b)
+    alpha_f[:, 1:] = -(a[:, 1:] / u[:, :-1])
+    y = _prefix_linear(alpha_f, d)
+
+    # Backward solve U x = y: x_i = y_i / u_i - (c_i / u_i) x_{i+1};
+    # reverse the axis so it is again a forward recurrence.
+    alpha_b = np.zeros_like(b)
+    alpha_b[:, :-1] = -(c[:, :-1] / u[:, :-1])
+    beta_b = y / u
+    x_rev = _prefix_linear(alpha_b[:, ::-1].copy(), beta_b[:, ::-1].copy())
+    return x_rev[:, ::-1].copy()

@@ -1,0 +1,100 @@
+"""The Thomas algorithm (tridiagonal LU without pivoting).
+
+Thomas is the work-efficient end of the paper's design space: O(n) work
+but strictly serial along the system. On a batch it vectorises across
+systems — a loop of length ``n`` whose body is an ``(m,)``-wide NumPy
+expression — which is exactly the shape of the paper's stage 4, where each
+GPU thread runs Thomas serially on its own subsystem.
+
+Stability: unconditionally stable for diagonally dominant or symmetric
+positive-definite systems; may break down (zero pivot) otherwise, which is
+reported via :class:`~repro.util.errors.SingularSystemError`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..systems.tridiagonal import TridiagonalBatch
+from ..util.errors import SingularSystemError
+
+__all__ = ["thomas_solve", "thomas_workspace_solve"]
+
+
+def _pivot_floor(dtype: np.dtype) -> float:
+    # Breakdown threshold: pivots below this are treated as numerically
+    # singular. tiny/eps leaves headroom before the division overflows.
+    info = np.finfo(dtype)
+    return float(info.tiny / info.eps)
+
+
+def thomas_solve(batch: TridiagonalBatch, *, check: bool = True) -> np.ndarray:
+    """Solve every system in ``batch`` with the Thomas algorithm.
+
+    Returns an ``(m, n)`` solution array. With ``check=True`` (default) a
+    vanishing pivot raises :class:`SingularSystemError` identifying the
+    first offending system; with ``check=False`` the caller gets whatever
+    IEEE arithmetic produces (useful inside benchmark loops).
+    """
+    a, b, c, d = batch.a, batch.b, batch.c, batch.d
+    m, n = batch.shape
+    dtype = batch.dtype
+
+    # Scratch: modified super-diagonal and RHS of the forward sweep.
+    cp = np.empty((m, n), dtype=dtype)
+    dp = np.empty((m, n), dtype=dtype)
+    floor = _pivot_floor(dtype)
+
+    beta = b[:, 0].copy()
+    if check and (np.abs(beta) <= floor).any():
+        idx = int(np.argmax(np.abs(beta) <= floor))
+        raise SingularSystemError(
+            f"zero pivot at row 0 of system {idx}", system_index=idx
+        )
+    cp[:, 0] = c[:, 0] / beta
+    dp[:, 0] = d[:, 0] / beta
+
+    for i in range(1, n):
+        beta = b[:, i] - a[:, i] * cp[:, i - 1]
+        if check and (np.abs(beta) <= floor).any():
+            idx = int(np.argmax(np.abs(beta) <= floor))
+            raise SingularSystemError(
+                f"zero pivot at row {i} of system {idx}", system_index=idx
+            )
+        cp[:, i] = c[:, i] / beta
+        dp[:, i] = (d[:, i] - a[:, i] * dp[:, i - 1]) / beta
+
+    x = np.empty((m, n), dtype=dtype)
+    x[:, -1] = dp[:, -1]
+    for i in range(n - 2, -1, -1):
+        x[:, i] = dp[:, i] - cp[:, i] * x[:, i + 1]
+    return x
+
+
+def thomas_workspace_solve(
+    batch: TridiagonalBatch,
+    cp: np.ndarray,
+    dp: np.ndarray,
+    x: np.ndarray,
+) -> np.ndarray:
+    """Allocation-free Thomas for hot benchmark loops.
+
+    ``cp``, ``dp`` and ``x`` must be caller-owned ``(m, n)`` arrays of the
+    batch dtype; they are overwritten. No singularity checks are performed.
+    Returns ``x``.
+    """
+    a, b, c, d = batch.a, batch.b, batch.c, batch.d
+    n = batch.system_size
+
+    np.divide(c[:, 0], b[:, 0], out=cp[:, 0])
+    np.divide(d[:, 0], b[:, 0], out=dp[:, 0])
+    for i in range(1, n):
+        beta = b[:, i] - a[:, i] * cp[:, i - 1]
+        np.divide(c[:, i], beta, out=cp[:, i])
+        np.divide(d[:, i] - a[:, i] * dp[:, i - 1], beta, out=dp[:, i])
+
+    x[:, -1] = dp[:, -1]
+    for i in range(n - 2, -1, -1):
+        np.multiply(cp[:, i], x[:, i + 1], out=x[:, i])
+        np.subtract(dp[:, i], x[:, i], out=x[:, i])
+    return x

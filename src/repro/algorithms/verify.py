@@ -1,0 +1,51 @@
+"""Solution verification helpers shared by tests, examples and tuners.
+
+Verification is residual-based (``||Ax - d|| / ||d||``) so it needs no
+reference solution; tolerances default per dtype with headroom for the
+log-depth algorithms, whose rounding error grows with ``log2(n)``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..systems.tridiagonal import TridiagonalBatch
+from ..util.errors import NumericsError
+
+__all__ = ["default_tolerance", "max_residual", "assert_solution"]
+
+
+def default_tolerance(batch: TridiagonalBatch) -> float:
+    """Residual tolerance scaled by dtype epsilon and system depth."""
+    eps = float(np.finfo(batch.dtype).eps)
+    depth = max(1.0, math.log2(max(2, batch.system_size)))
+    return 64.0 * eps * depth
+
+
+def max_residual(batch: TridiagonalBatch, x: np.ndarray) -> float:
+    """Worst relative residual across the batch."""
+    return float(batch.residual(x).max())
+
+
+def assert_solution(
+    batch: TridiagonalBatch,
+    x: np.ndarray,
+    *,
+    tol: float | None = None,
+    context: str = "solution",
+) -> float:
+    """Raise :class:`NumericsError` unless ``x`` solves the batch.
+
+    Returns the measured worst residual on success so callers can log it.
+    """
+    if not np.isfinite(x).all():
+        raise NumericsError(f"{context} contains non-finite values")
+    tol = default_tolerance(batch) if tol is None else tol
+    worst = max_residual(batch, x)
+    if worst > tol:
+        raise NumericsError(
+            f"{context} residual {worst:.3e} exceeds tolerance {tol:.3e}"
+        )
+    return worst

@@ -1,0 +1,71 @@
+"""Experiment harness: figure/table data producers and report rendering."""
+
+from .experiments import (
+    PAPER_DYNAMIC_AVG_SAVINGS,
+    PAPER_DYNAMIC_MAX_SPEEDUP,
+    PAPER_FIG5_OPTIMA,
+    PAPER_FIG6_OPTIMA,
+    PAPER_FIG7_UNTUNED_MS,
+    PAPER_FIG8_CPU_MS,
+    PAPER_FIG8_GPU_MS,
+    PAPER_FIG8_SPEEDUPS,
+    PAPER_MAX_ONCHIP,
+    PAPER_STATIC_AVG_SAVINGS,
+)
+from .export import (
+    figure5_to_csv,
+    figure6_to_csv,
+    figure7_to_csv,
+    figure8_to_csv,
+    figures_to_json,
+)
+from .figures import (
+    DTYPE_SIZE,
+    Figure7Cell,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    headline_savings,
+)
+from .report import ascii_table, format_value, section
+from .scaling import count_scaling, size_scaling
+from .scorecard import Check, render_scorecard, reproduction_scorecard
+from .tables import table1, table2
+from .timeline import render_timeline
+
+__all__ = [
+    "figure5_to_csv",
+    "figure6_to_csv",
+    "figure7_to_csv",
+    "figure8_to_csv",
+    "figures_to_json",
+    "figure5",
+    "figure6",
+    "figure7",
+    "figure8",
+    "Figure7Cell",
+    "headline_savings",
+    "DTYPE_SIZE",
+    "table1",
+    "table2",
+    "ascii_table",
+    "format_value",
+    "section",
+    "render_timeline",
+    "count_scaling",
+    "size_scaling",
+    "Check",
+    "reproduction_scorecard",
+    "render_scorecard",
+    "PAPER_FIG5_OPTIMA",
+    "PAPER_FIG6_OPTIMA",
+    "PAPER_FIG7_UNTUNED_MS",
+    "PAPER_STATIC_AVG_SAVINGS",
+    "PAPER_DYNAMIC_AVG_SAVINGS",
+    "PAPER_DYNAMIC_MAX_SPEEDUP",
+    "PAPER_FIG8_GPU_MS",
+    "PAPER_FIG8_CPU_MS",
+    "PAPER_FIG8_SPEEDUPS",
+    "PAPER_MAX_ONCHIP",
+]

@@ -1,0 +1,114 @@
+"""Machine-readable export of the experiment data (CSV / JSON).
+
+The text tables in :mod:`repro.analysis.report` are for humans; these
+helpers serialise the same figure data for plotting pipelines and
+regression dashboards.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Dict
+
+from .figures import Figure7Cell
+
+__all__ = [
+    "figure5_to_csv",
+    "figure6_to_csv",
+    "figure7_to_csv",
+    "figure8_to_csv",
+    "figures_to_json",
+]
+
+
+def _series_to_csv(data: Dict[str, Dict[int, float]], x_name: str) -> str:
+    out = io.StringIO()
+    writer = csv.writer(out)
+    xs = sorted(next(iter(data.values())))
+    writer.writerow(["device"] + [f"{x_name}={x}" for x in xs])
+    for device, series in data.items():
+        writer.writerow(
+            [device] + ["" if series[x] is None else f"{series[x]:.6f}" for x in xs]
+        )
+    return out.getvalue()
+
+
+def figure5_to_csv(data: Dict[str, Dict[int, float]]) -> str:
+    """Figure-5 sweep as CSV (one row per device)."""
+    return _series_to_csv(data, "stage3_size")
+
+
+def figure6_to_csv(data: Dict[str, Dict[int, float]]) -> str:
+    """Figure-6 sweep as CSV (one row per device)."""
+    return _series_to_csv(data, "thomas_switch")
+
+
+def figure7_to_csv(data: Dict[str, Dict[str, Figure7Cell]]) -> str:
+    """Figure-7 grid as long-format CSV."""
+    out = io.StringIO()
+    writer = csv.writer(out)
+    writer.writerow(
+        ["device", "workload", "untuned_ms", "static_ms", "dynamic_ms",
+         "static_normalized", "dynamic_normalized"]
+    )
+    for device, row in data.items():
+        for workload, cell in row.items():
+            writer.writerow(
+                [
+                    device,
+                    workload,
+                    f"{cell.untuned_ms:.6f}",
+                    f"{cell.static_ms:.6f}",
+                    f"{cell.dynamic_ms:.6f}",
+                    f"{cell.static_normalized:.6f}",
+                    f"{cell.dynamic_normalized:.6f}",
+                ]
+            )
+    return out.getvalue()
+
+
+def figure8_to_csv(data: Dict[str, Dict[str, float]]) -> str:
+    """Figure-8 comparison as CSV."""
+    out = io.StringIO()
+    writer = csv.writer(out)
+    writer.writerow(["workload", "gpu_ms", "cpu_ms", "speedup"])
+    for workload, vals in data.items():
+        writer.writerow(
+            [
+                workload,
+                f"{vals['gpu_ms']:.6f}",
+                f"{vals['cpu_ms']:.6f}",
+                f"{vals['speedup']:.6f}",
+            ]
+        )
+    return out.getvalue()
+
+
+def figures_to_json(fig5=None, fig6=None, fig7=None, fig8=None) -> str:
+    """Bundle any subset of figure data into one JSON document."""
+    doc: dict = {}
+    if fig5 is not None:
+        doc["figure5"] = {
+            d: {str(k): v for k, v in row.items()} for d, row in fig5.items()
+        }
+    if fig6 is not None:
+        doc["figure6"] = {
+            d: {str(k): v for k, v in row.items()} for d, row in fig6.items()
+        }
+    if fig7 is not None:
+        doc["figure7"] = {
+            d: {
+                wl: {
+                    "untuned_ms": cell.untuned_ms,
+                    "static_ms": cell.static_ms,
+                    "dynamic_ms": cell.dynamic_ms,
+                }
+                for wl, cell in row.items()
+            }
+            for d, row in fig7.items()
+        }
+    if fig8 is not None:
+        doc["figure8"] = fig8
+    return json.dumps(doc, indent=2, sort_keys=True)

@@ -1,0 +1,236 @@
+"""Data producers for the paper's figures (5, 6, 7, 8).
+
+Each function returns plain data structures (dicts keyed like the paper's
+axes); the benchmark harnesses render them as tables. Timings come from
+the machine model at the paper's *nominal* workload shapes via
+:func:`repro.core.pricing.simulate_plan` / :func:`price_base_kernel` —
+identical to what the real solver records (a regression test pins this),
+but without materialising multi-gigabyte batches in host memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..core.config import SwitchPoints
+from ..core.pricing import price_base_kernel, simulate_plan
+from ..core.tuning import DefaultTuner, MachineQueryTuner, SelfTuner
+from ..gpu.executor import Device, make_device
+from ..gpu.spec import device_names
+from ..systems.suite import paper_workloads
+from ..baselines.mkl import MklLikeCpuSolver
+from ..util.errors import ResourceExhaustedError
+
+__all__ = [
+    "figure5",
+    "figure6",
+    "figure7",
+    "figure8",
+    "Figure7Cell",
+    "headline_savings",
+    "DTYPE_SIZE",
+]
+
+# The paper's CUDA 3.1-era kernels are single precision.
+DTYPE_SIZE = 4
+
+_FIG5_SIZES = (128, 256, 512, 1024)
+_FIG6_SWITCHES = (16, 32, 64, 128, 256, 512)
+
+
+def _tuned_switch_points(
+    device: Device,
+    dtype_size: int,
+    num_systems: int = 0,
+    system_size: int = 0,
+) -> SwitchPoints:
+    return SelfTuner().switch_points(
+        device, num_systems, system_size, dtype_size
+    )
+
+
+def figure5(
+    devices: Tuple[str, ...] = device_names(),
+    *,
+    dtype_size: int = DTYPE_SIZE,
+    num_systems: int = 2048,
+    system_size: int = 1024,
+) -> Dict[str, Dict[int, Optional[float]]]:
+    """Relative performance vs stage-2→3 switch point, per device.
+
+    Workload: many machine-filling systems of 1024 equations — the shape
+    behind the paper's §V observation that the GTX 470 prefers splitting
+    1024-sized systems one step further to 512. Values are normalised to
+    the best switch point (1.0 = optimal); infeasible sizes (exceeding
+    on-chip capacity) are ``None``.
+    """
+    out: Dict[str, Dict[int, Optional[float]]] = {}
+    for name in devices:
+        device = make_device(name)
+        tuned = _tuned_switch_points(device, dtype_size, num_systems, system_size)
+        times: Dict[int, Optional[float]] = {}
+        for size in _FIG5_SIZES:
+            if size > device.max_onchip_system_size(dtype_size):
+                times[size] = None
+                continue
+            switch = tuned.with_(
+                stage3_system_size=size,
+                thomas_switch=min(tuned.thomas_switch, size),
+                stage1_target_systems=1,  # many systems: stage 1 idle
+            )
+            _, report = simulate_plan(
+                device, num_systems, system_size, dtype_size, switch
+            )
+            times[size] = report.total_ms
+        best = min(t for t in times.values() if t is not None)
+        out[name] = {
+            size: (best / t if t is not None else None)
+            for size, t in times.items()
+        }
+    return out
+
+
+def figure6(
+    devices: Tuple[str, ...] = device_names(),
+    *,
+    dtype_size: int = DTYPE_SIZE,
+    num_systems: int = 2048,
+) -> Dict[str, Dict[int, Optional[float]]]:
+    """PCR-Thomas base-kernel performance vs stage-3→4 switch point.
+
+    Workload: a machine-filling batch of shared-memory-resident systems
+    at each device's maximum on-chip size. Normalised to the optimum.
+    """
+    out: Dict[str, Dict[int, Optional[float]]] = {}
+    for name in devices:
+        device = make_device(name)
+        size = device.max_onchip_system_size(dtype_size)
+        times: Dict[int, Optional[float]] = {}
+        for switch in _FIG6_SWITCHES:
+            if switch > size:
+                times[switch] = None
+                continue
+            times[switch] = price_base_kernel(
+                device,
+                num_systems,
+                size,
+                dtype_size,
+                thomas_switch=switch,
+                variant="coalesced",
+                stride=1,
+            )
+        best = min(t for t in times.values() if t is not None)
+        out[name] = {
+            sw: (best / t if t is not None else None)
+            for sw, t in times.items()
+        }
+    return out
+
+
+@dataclass(frozen=True)
+class Figure7Cell:
+    """One device × workload cell of Figure 7."""
+
+    untuned_ms: float
+    static_ms: float
+    dynamic_ms: float
+
+    @property
+    def static_normalized(self) -> float:
+        """Static time / untuned time (paper plots normalised bars)."""
+        return self.static_ms / self.untuned_ms
+
+    @property
+    def dynamic_normalized(self) -> float:
+        """Dynamic time / untuned time."""
+        return self.dynamic_ms / self.untuned_ms
+
+
+def figure7(
+    devices: Tuple[str, ...] = device_names(),
+    *,
+    dtype_size: int = DTYPE_SIZE,
+) -> Dict[str, Dict[str, Figure7Cell]]:
+    """Untuned vs static vs dynamic across the paper's four workloads."""
+    out: Dict[str, Dict[str, Figure7Cell]] = {}
+    for name in devices:
+        device = make_device(name)
+        default_sp = DefaultTuner().switch_points(device, 0, 0, dtype_size)
+        static_sp = MachineQueryTuner().switch_points(device, 0, 0, dtype_size)
+        row: Dict[str, Figure7Cell] = {}
+        for wl in paper_workloads():
+            dynamic_sp = _tuned_switch_points(
+                device, dtype_size, wl.num_systems, wl.system_size
+            )
+            times = {}
+            for label, sp in (
+                ("untuned", default_sp),
+                ("static", static_sp),
+                ("dynamic", dynamic_sp),
+            ):
+                _, report = simulate_plan(
+                    device, wl.num_systems, wl.system_size, dtype_size, sp
+                )
+                times[label] = report.total_ms
+            row[wl.name] = Figure7Cell(
+                untuned_ms=times["untuned"],
+                static_ms=times["static"],
+                dynamic_ms=times["dynamic"],
+            )
+        out[name] = row
+    return out
+
+
+def headline_savings(
+    fig7: Dict[str, Dict[str, Figure7Cell]]
+) -> Dict[str, float]:
+    """Section-V aggregates over the Figure-7 grid.
+
+    Returns average runtime savings of static and dynamic tuning versus
+    untuned, and the maximum dynamic speedup.
+    """
+    static_savings: List[float] = []
+    dynamic_savings: List[float] = []
+    speedups: List[float] = []
+    for row in fig7.values():
+        for cell in row.values():
+            static_savings.append(1.0 - cell.static_normalized)
+            dynamic_savings.append(1.0 - cell.dynamic_normalized)
+            speedups.append(cell.untuned_ms / cell.dynamic_ms)
+    count = len(static_savings)
+    return {
+        "static_avg_savings": sum(static_savings) / count,
+        "dynamic_avg_savings": sum(dynamic_savings) / count,
+        "dynamic_max_speedup": max(speedups),
+    }
+
+
+def figure8(
+    *,
+    device: str = "gtx470",
+    dtype_size: int = DTYPE_SIZE,
+) -> Dict[str, Dict[str, float]]:
+    """GPU (dynamically tuned) vs CPU MKL model, paper workloads.
+
+    Returns ``{workload: {gpu_ms, cpu_ms, speedup}}`` where ``speedup`` is
+    CPU/GPU (>1 means the GPU wins; the paper's 1×2M point is ~0.7).
+    """
+    dev = make_device(device)
+    cpu = MklLikeCpuSolver()
+    out: Dict[str, Dict[str, float]] = {}
+    for wl in paper_workloads():
+        dynamic_sp = _tuned_switch_points(
+            dev, dtype_size, wl.num_systems, wl.system_size
+        )
+        _, report = simulate_plan(
+            dev, wl.num_systems, wl.system_size, dtype_size, dynamic_sp
+        )
+        gpu_ms = report.total_ms
+        cpu_ms = cpu.modeled_time_ms(wl.num_systems, wl.system_size, dtype_size)
+        out[wl.name] = {
+            "gpu_ms": gpu_ms,
+            "cpu_ms": cpu_ms,
+            "speedup": cpu_ms / gpu_ms,
+        }
+    return out

@@ -1,0 +1,67 @@
+"""Plain-text table rendering for benchmark output.
+
+The benchmark harnesses print the same rows/series the paper reports;
+this module owns the formatting so every bench looks alike.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+__all__ = ["ascii_table", "format_value", "section"]
+
+
+def format_value(value) -> str:
+    """Uniform cell formatting: floats to 3 significant figures."""
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:.3g}"
+        return f"{value:.3g}"
+    return str(value)
+
+
+def ascii_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    *,
+    title: Optional[str] = None,
+) -> str:
+    """Render a boxed ASCII table."""
+    str_rows: List[List[str]] = [[format_value(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells, fill=" "):
+        return (
+            "| "
+            + " | ".join(c.ljust(w, fill) for c, w in zip(cells, widths))
+            + " |"
+        )
+
+    sep = "+-" + "-+-".join("-" * w for w in widths) + "-+"
+    out = []
+    if title:
+        out.append(title)
+    out.append(sep)
+    out.append(line(headers))
+    out.append(sep)
+    for row in str_rows:
+        out.append(line(row))
+    out.append(sep)
+    return "\n".join(out)
+
+
+def section(name: str) -> str:
+    """A separator heading used between bench outputs."""
+    bar = "=" * max(8, len(name) + 4)
+    return f"\n{bar}\n  {name}\n{bar}"

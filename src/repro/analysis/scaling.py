@@ -1,0 +1,77 @@
+"""Scaling studies — the §VI-B scalability discussion as data.
+
+Two sweeps on the machine model, both with dynamically tuned switch
+points:
+
+- **count scaling**: fixed system size, growing system count — shows the
+  machine filling up and throughput saturating;
+- **size scaling**: fixed total equations, growing system size (fewer,
+  larger systems) — shows the growing split overhead that ultimately
+  hands the single-enormous-system case to the CPU (Figure 8's 1×2M).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..core.tuning import SelfTuner
+from ..core.pricing import simulate_plan
+from ..gpu.executor import make_device
+
+__all__ = ["count_scaling", "size_scaling"]
+
+
+def count_scaling(
+    device: str = "gtx470",
+    *,
+    system_size: int = 1024,
+    counts: Tuple[int, ...] = (1, 4, 16, 64, 256, 1024, 4096),
+    dtype_size: int = 4,
+) -> List[Dict[str, float]]:
+    """Simulated time and throughput vs the number of systems."""
+    dev = make_device(device)
+    tuner = SelfTuner()
+    rows = []
+    for m in counts:
+        sp = tuner.switch_points(dev, m, system_size, dtype_size)
+        _, report = simulate_plan(dev, m, system_size, dtype_size, sp)
+        eqs = m * system_size
+        rows.append(
+            {
+                "num_systems": m,
+                "total_equations": eqs,
+                "ms": report.total_ms,
+                "meqs_per_s": eqs / report.total_ms / 1e3,
+            }
+        )
+    return rows
+
+
+def size_scaling(
+    device: str = "gtx470",
+    *,
+    total_equations: int = 1 << 22,
+    sizes: Tuple[int, ...] = (256, 1024, 4096, 16384, 65536, 1 << 20, 1 << 22),
+    dtype_size: int = 4,
+) -> List[Dict[str, float]]:
+    """Simulated time vs system size at a fixed total-equation budget."""
+    dev = make_device(device)
+    tuner = SelfTuner()
+    rows = []
+    for n in sizes:
+        if n > total_equations:
+            continue
+        m = total_equations // n
+        sp = tuner.switch_points(dev, m, n, dtype_size)
+        plan, report = simulate_plan(dev, m, n, dtype_size, sp)
+        rows.append(
+            {
+                "system_size": n,
+                "num_systems": m,
+                "split_steps": plan.total_split_steps,
+                "stage1_steps": plan.stage1_steps,
+                "ms": report.total_ms,
+                "meqs_per_s": total_equations / report.total_ms / 1e3,
+            }
+        )
+    return rows

@@ -1,0 +1,162 @@
+"""The reproduction scorecard: every paper claim, checked in one call.
+
+:func:`reproduction_scorecard` regenerates the evaluation and grades each
+published claim (Fig. 5/6 optima, §V headline savings, Fig. 8 speedup
+ladder and crossover, on-chip capacities) against the measured values.
+It backs the CLI's ``verify`` command, a regression test, and the
+EXPERIMENTS.md narrative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..gpu.spec import PAPER_DEVICES
+from .experiments import (
+    PAPER_DYNAMIC_AVG_SAVINGS,
+    PAPER_FIG5_OPTIMA,
+    PAPER_FIG6_OPTIMA,
+    PAPER_FIG8_SPEEDUPS,
+    PAPER_MAX_ONCHIP,
+    PAPER_STATIC_AVG_SAVINGS,
+)
+from .figures import figure5, figure6, figure7, figure8, headline_savings
+from .report import ascii_table
+
+__all__ = ["Check", "reproduction_scorecard", "render_scorecard"]
+
+
+@dataclass(frozen=True)
+class Check:
+    """One graded claim."""
+
+    claim: str
+    expected: str
+    measured: str
+    passed: bool
+
+
+def _argbest(series) -> int:
+    return max(
+        (k for k, v in series.items() if v is not None), key=lambda k: series[k]
+    )
+
+
+def reproduction_scorecard() -> List[Check]:
+    """Regenerate the evaluation and grade every claim."""
+    checks: List[Check] = []
+
+    # On-chip capacities (§V).
+    for name, expected in PAPER_MAX_ONCHIP.items():
+        measured = PAPER_DEVICES[name].max_onchip_system_size(4)
+        checks.append(
+            Check(
+                claim=f"{name}: largest on-chip system",
+                expected=str(expected),
+                measured=str(measured),
+                passed=measured == expected,
+            )
+        )
+
+    # Figure 5 optima.
+    fig5 = figure5()
+    for name, expected in PAPER_FIG5_OPTIMA.items():
+        best = _argbest(fig5[name])
+        near_top = [k for k, v in fig5[name].items() if v is not None and v > 0.85]
+        passed = best in expected or any(e in near_top for e in expected)
+        checks.append(
+            Check(
+                claim=f"{name}: Fig.5 optimal stage-2->3 switch",
+                expected="/".join(map(str, expected)),
+                measured=str(best),
+                passed=passed,
+            )
+        )
+
+    # Figure 6 optima.
+    fig6 = figure6()
+    for name, expected in PAPER_FIG6_OPTIMA.items():
+        best = _argbest(fig6[name])
+        checks.append(
+            Check(
+                claim=f"{name}: Fig.6 optimal stage-3->4 switch",
+                expected="/".join(map(str, expected)),
+                measured=str(best),
+                passed=best in expected,
+            )
+        )
+
+    # Figure 7 headlines + ordering.
+    fig7 = figure7()
+    agg = headline_savings(fig7)
+    checks.append(
+        Check(
+            claim="static tuning avg savings (~17%)",
+            expected=f"{PAPER_STATIC_AVG_SAVINGS:.0%}",
+            measured=f"{agg['static_avg_savings']:.1%}",
+            passed=0.10 <= agg["static_avg_savings"] <= 0.25,
+        )
+    )
+    checks.append(
+        Check(
+            claim="dynamic tuning avg savings (~32%)",
+            expected=f"{PAPER_DYNAMIC_AVG_SAVINGS:.0%}",
+            measured=f"{agg['dynamic_avg_savings']:.1%}",
+            passed=0.25 <= agg["dynamic_avg_savings"] <= 0.45,
+        )
+    )
+    never_loses = all(
+        cell.dynamic_ms <= min(cell.untuned_ms, cell.static_ms) * 1.02
+        for row in fig7.values()
+        for cell in row.values()
+    )
+    checks.append(
+        Check(
+            claim="dynamic tuning never loses to static/untuned",
+            expected="always best",
+            measured="always best" if never_loses else "loses somewhere",
+            passed=never_loses,
+        )
+    )
+
+    # Figure 8 speedups and the crossover.
+    fig8 = figure8()
+    for wl, expected in PAPER_FIG8_SPEEDUPS.items():
+        measured = fig8[wl]["speedup"]
+        if wl == "1x2M":
+            passed = measured < 1.0
+        else:
+            passed = 0.5 * expected <= measured <= 2.0 * expected
+        checks.append(
+            Check(
+                claim=f"Fig.8 {wl}: GPU speedup vs CPU",
+                expected=f"{expected:g}x",
+                measured=f"{measured:.2f}x",
+                passed=passed,
+            )
+        )
+    ladder = [fig8[wl]["speedup"] for wl in ("1Kx1K", "2Kx2K", "4Kx4K", "1x2M")]
+    checks.append(
+        Check(
+            claim="Fig.8: GPU advantage decreases with workload size",
+            expected="monotone decreasing",
+            measured="monotone" if ladder == sorted(ladder, reverse=True) else "non-monotone",
+            passed=ladder == sorted(ladder, reverse=True),
+        )
+    )
+    return checks
+
+
+def render_scorecard(checks: List[Check]) -> str:
+    """ASCII rendering, with a pass/fail tally."""
+    table = ascii_table(
+        ["claim", "paper", "measured", "status"],
+        [
+            [c.claim, c.expected, c.measured, "PASS" if c.passed else "FAIL"]
+            for c in checks
+        ],
+        title="Reproduction scorecard",
+    )
+    passed = sum(c.passed for c in checks)
+    return f"{table}\n{passed}/{len(checks)} claims reproduced"

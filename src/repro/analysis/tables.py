@@ -1,0 +1,77 @@
+"""Data producers for the paper's tables (I and II)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..gpu.query import query_device
+from ..gpu.spec import PAPER_DEVICES
+from ..util.units import KIB
+
+__all__ = ["table1", "table2"]
+
+
+def table1() -> List[Dict[str, object]]:
+    """Table I: the evaluated devices and their headline capabilities."""
+    rows = []
+    for spec in PAPER_DEVICES.values():
+        rows.append(
+            {
+                "name": spec.name,
+                "global_memory_bandwidth_gb_s": spec.global_bandwidth_gb_s,
+                "shared_memory_kb": spec.shared_mem_per_processor // KIB,
+                "num_processors": spec.num_processors,
+                "thread_processors_per_processor": spec.thread_processors,
+            }
+        )
+    return rows
+
+
+def table2(device: str = "gtx470") -> List[Tuple[str, str, object]]:
+    """Table II: queryable device properties with their descriptions.
+
+    Returns ``(parameter, description, value on the chosen device)``
+    triples — everything the machine-query tuner is allowed to see.
+    """
+    from ..gpu.spec import get_device_spec
+
+    props = query_device(get_device_spec(device))
+    return [
+        (
+            "Global Mem",
+            "Total amount of global memory available",
+            props.global_mem_bytes,
+        ),
+        (
+            "Processors",
+            "Total number of processors; each has n thread processors",
+            props.num_processors,
+        ),
+        (
+            "Constant Memory",
+            "Constant memory per block, broadcast across MPs",
+            props.constant_mem_bytes,
+        ),
+        (
+            "Shared Memory",
+            "Shared memory per processor; limits concurrent systems and "
+            "the largest on-chip PCR-Thomas solve",
+            props.shared_mem_per_processor,
+        ),
+        (
+            "Register Memory",
+            "Registers per block; trades thread count against registers "
+            "per thread",
+            props.registers_per_processor,
+        ),
+        (
+            "Grid Dimensions",
+            "API limit on the number of blocks per grid",
+            props.max_grid_blocks,
+        ),
+        (
+            "Warp Size",
+            "Lockstep granularity (32 threads on all NVIDIA parts)",
+            props.warp_size,
+        ),
+    ]

@@ -1,0 +1,54 @@
+"""ASCII timeline (Gantt) rendering of a solve's launch records.
+
+``SimReport`` already carries per-launch breakdowns; this module draws
+them as a proportional timeline so the stage structure of a solve —
+where the milliseconds go — is visible at a glance in a terminal:
+
+    stage1_coop_pcr     |####                |  4.21 ms
+    stage2_global_pcr   |    ##########      | 11.80 ms
+    stage3_pcr_thomas   |              ###   |  2.51 ms
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..gpu.executor import SimReport
+
+__all__ = ["render_timeline"]
+
+
+def render_timeline(report: SimReport, *, width: int = 60) -> str:
+    """Render a report's launches as a proportional ASCII timeline.
+
+    Each row is one launch (labelled by stage and kernel), positioned and
+    sized by its share of the end-to-end simulated time.
+    """
+    total = report.total_ms
+    if total <= 0 or not report.records:
+        return f"{report.device_name}: (no launches)"
+
+    label_width = max(
+        (len(f"{r.stage} {r.breakdown.name}") for r in report.records),
+        default=8,
+    )
+    label_width = min(label_width, 44)
+
+    lines: List[str] = [
+        f"{report.device_name}: {total:.3f} ms over "
+        f"{report.num_launches} launches"
+    ]
+    elapsed = 0.0
+    for rec in report.records:
+        start = elapsed
+        elapsed += rec.total_ms
+        begin = int(round(width * start / total))
+        end = max(begin + 1, int(round(width * elapsed / total)))
+        end = min(end, width)
+        bar = " " * begin + "#" * (end - begin) + " " * (width - end)
+        label = f"{rec.stage} {rec.breakdown.name}"[:label_width]
+        lines.append(
+            f"{label:<{label_width}} |{bar}| {rec.total_ms:8.3f} ms "
+            f"({rec.breakdown.bound}-bound)"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,23 @@
+"""Application-level wrappers: ADI diffusion, splines, Poisson, ocean mixing."""
+
+from .adi import AdiDiffusion2D, AdiDiffusion3D, AdiStepReport
+from .black_scholes import BlackScholesPricer, black_scholes_closed_form
+from .multigrid import MultigridPoisson2D
+from .ocean import VerticalMixingStepper
+from .poisson import PoissonSolver2D, dst1, idst1
+from .spline import NaturalSplineBatch, fit_natural_splines
+
+__all__ = [
+    "AdiDiffusion2D",
+    "AdiDiffusion3D",
+    "AdiStepReport",
+    "BlackScholesPricer",
+    "black_scholes_closed_form",
+    "MultigridPoisson2D",
+    "NaturalSplineBatch",
+    "fit_natural_splines",
+    "PoissonSolver2D",
+    "dst1",
+    "idst1",
+    "VerticalMixingStepper",
+]

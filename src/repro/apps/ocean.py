@@ -1,0 +1,87 @@
+"""Implicit vertical-mixing stepper for ocean-model column ensembles.
+
+Each water column is an independent tridiagonal system per time step
+(the HYCOM-class workload from the paper's introduction). The stepper is
+conservative by construction (no-flux boundaries) and unconditionally
+stable (backward Euler), and both properties are pinned by tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+import numpy as np
+
+from ..core.solver import MultiStageSolver
+from ..systems.tridiagonal import TridiagonalBatch
+from ..util.errors import ConfigurationError, ShapeError
+
+__all__ = ["VerticalMixingStepper"]
+
+
+@dataclass
+class VerticalMixingStepper:
+    """Backward-Euler vertical diffusion for ``(columns, levels)`` fields.
+
+    ``kappa`` (m²/s) and ``thickness`` (m) are per-cell; interface
+    coefficients are arithmetic means. Insulating top/bottom boundaries
+    conserve each column's heat content exactly (up to round-off).
+    """
+
+    kappa: np.ndarray
+    thickness: np.ndarray
+    dt: float
+    solver: Union[MultiStageSolver, str, None] = None
+    last_simulated_ms: float = 0.0
+
+    def __post_init__(self) -> None:
+        self.kappa = np.asarray(self.kappa, dtype=float)
+        self.thickness = np.asarray(self.thickness, dtype=float)
+        if self.kappa.ndim != 2 or self.kappa.shape != self.thickness.shape:
+            raise ShapeError("kappa and thickness must be matching 2-D arrays")
+        if (self.kappa < 0).any() or (self.thickness <= 0).any():
+            raise ConfigurationError(
+                "kappa must be non-negative and thickness positive"
+            )
+        if self.dt <= 0:
+            raise ConfigurationError("dt must be positive")
+        if self.solver is None or isinstance(self.solver, str):
+            self.solver = MultiStageSolver(self.solver or "gtx470", "dynamic")
+
+        m, n = self.kappa.shape
+        k_int = 0.5 * (self.kappa[:, 1:] + self.kappa[:, :-1])
+        dz_int = 0.5 * (self.thickness[:, 1:] + self.thickness[:, :-1])
+        flux = self.dt * k_int / dz_int
+        a = np.zeros((m, n))
+        c = np.zeros((m, n))
+        a[:, 1:] = -flux / self.thickness[:, 1:]
+        c[:, :-1] = -flux / self.thickness[:, :-1]
+        self._a, self._c = a, c
+        self._b = 1.0 - a - c
+
+    @property
+    def shape(self):
+        """``(columns, levels)``."""
+        return self.kappa.shape
+
+    def step(self, field: np.ndarray) -> np.ndarray:
+        """Advance one implicit step; returns the new field."""
+        field = np.asarray(field, dtype=float)
+        if field.shape != self.shape:
+            raise ShapeError(f"field has shape {field.shape}, expected {self.shape}")
+        result = self.solver.solve(
+            TridiagonalBatch(self._a, self._b, self._c, field)
+        )
+        self.last_simulated_ms = result.simulated_ms
+        return result.x
+
+    def run(self, field: np.ndarray, steps: int) -> np.ndarray:
+        """Advance ``steps`` implicit steps."""
+        for _ in range(int(steps)):
+            field = self.step(field)
+        return field
+
+    def column_heat(self, field: np.ndarray) -> np.ndarray:
+        """Per-column heat content ``Σ T_i dz_i`` (the conserved quantity)."""
+        return (np.asarray(field, dtype=float) * self.thickness).sum(axis=1)

@@ -1,0 +1,120 @@
+"""Batched natural cubic-spline fitting on the tridiagonal solver.
+
+A production wrapper around the classic spline system: fit many curves
+sharing one knot vector in a single batched solve (one tridiagonal
+system per curve), then evaluate anywhere. Matches
+``scipy.interpolate.CubicSpline(bc_type="natural")`` to machine
+precision (tested).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+import numpy as np
+
+from ..core.solver import MultiStageSolver
+from ..systems.tridiagonal import TridiagonalBatch
+from ..util.errors import ConfigurationError, ShapeError
+
+__all__ = ["NaturalSplineBatch", "fit_natural_splines"]
+
+
+@dataclass(frozen=True)
+class NaturalSplineBatch:
+    """Fitted natural cubic splines sharing a knot vector.
+
+    ``t`` is the ``(n,)`` knot vector; ``y`` and ``second_derivatives``
+    are ``(curves, n)``. Construct via :func:`fit_natural_splines`.
+    """
+
+    t: np.ndarray
+    y: np.ndarray
+    second_derivatives: np.ndarray
+    simulated_ms: float
+
+    @property
+    def num_curves(self) -> int:
+        """Number of fitted curves."""
+        return self.y.shape[0]
+
+    def __call__(self, tq: np.ndarray) -> np.ndarray:
+        """Evaluate all curves at query points ``tq``; returns (curves, q).
+
+        Queries outside the knot range extrapolate with the boundary
+        cubic (as scipy does).
+        """
+        t, y, M = self.t, self.y, self.second_derivatives
+        tq = np.asarray(tq, dtype=float)
+        idx = np.clip(np.searchsorted(t, tq) - 1, 0, len(t) - 2)
+        h = t[idx + 1] - t[idx]
+        lo = (t[idx + 1] - tq) / h
+        hi = (tq - t[idx]) / h
+        return (
+            lo[None] * y[:, idx]
+            + hi[None] * y[:, idx + 1]
+            + ((lo**3 - lo) * h**2 / 6.0)[None] * M[:, idx]
+            + ((hi**3 - hi) * h**2 / 6.0)[None] * M[:, idx + 1]
+        )
+
+    def derivative(self, tq: np.ndarray) -> np.ndarray:
+        """First derivatives of all curves at ``tq``."""
+        t, y, M = self.t, self.y, self.second_derivatives
+        tq = np.asarray(tq, dtype=float)
+        idx = np.clip(np.searchsorted(t, tq) - 1, 0, len(t) - 2)
+        h = t[idx + 1] - t[idx]
+        lo = (t[idx + 1] - tq) / h
+        hi = (tq - t[idx]) / h
+        slope = (y[:, idx + 1] - y[:, idx]) / h[None]
+        return (
+            slope
+            + ((-3 * lo**2 + 1) * h / 6.0)[None] * M[:, idx]
+            + ((3 * hi**2 - 1) * h / 6.0)[None] * M[:, idx + 1]
+        )
+
+
+def fit_natural_splines(
+    t: np.ndarray,
+    y: np.ndarray,
+    solver: Union[MultiStageSolver, str, None] = None,
+) -> NaturalSplineBatch:
+    """Fit natural cubic splines through ``y`` at shared knots ``t``.
+
+    ``t`` is ``(n,)`` strictly increasing with ``n >= 3``; ``y`` is
+    ``(curves, n)`` (a single ``(n,)`` curve is promoted).
+    """
+    t = np.asarray(t, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if y.ndim == 1:
+        y = y[None, :]
+    if t.ndim != 1 or t.shape[0] < 3:
+        raise ConfigurationError("need a 1-D knot vector with >= 3 knots")
+    if (np.diff(t) <= 0).any():
+        raise ConfigurationError("knots must be strictly increasing")
+    if y.shape[1] != t.shape[0]:
+        raise ShapeError(
+            f"y has {y.shape[1]} columns, expected {t.shape[0]} (one per knot)"
+        )
+    if solver is None or isinstance(solver, str):
+        solver = MultiStageSolver(solver or "gtx470", "dynamic")
+
+    h = np.diff(t)
+    m, n = y.shape
+    interior = n - 2
+
+    a = np.zeros((m, interior))
+    b = np.zeros((m, interior))
+    c = np.zeros((m, interior))
+    a[:, 1:] = h[1:-1]
+    b[:] = 2.0 * (h[:-1] + h[1:])
+    c[:, :-1] = h[1:-1]
+    slope = np.diff(y, axis=1) / h
+    d = 6.0 * np.diff(slope, axis=1)
+
+    result = solver.solve(TridiagonalBatch(a, b, c, d))
+    M = np.zeros((m, n))
+    M[:, 1:-1] = result.x
+    return NaturalSplineBatch(
+        t=t, y=y, second_derivatives=M, simulated_ms=result.simulated_ms
+    )

@@ -1,0 +1,13 @@
+"""Banded-solver extension (the paper's "optimized banded solvers")."""
+
+from .containers import BandedBatch
+from .generators import finite_difference_biharmonic, random_banded_dominant
+from .lu import banded_lu_solve, scipy_banded_oracle
+
+__all__ = [
+    "BandedBatch",
+    "random_banded_dominant",
+    "finite_difference_biharmonic",
+    "banded_lu_solve",
+    "scipy_banded_oracle",
+]

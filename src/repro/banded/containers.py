@@ -1,0 +1,168 @@
+"""Banded matrix batches in LAPACK band storage.
+
+The paper's conclusion names "optimized banded solvers" alongside blocked
+ones as the next challenge. A banded system with ``kl`` sub- and ``ku``
+super-diagonals is stored in the LAPACK ``gbsv`` layout: an
+``(m, kl + ku + 1, n)`` array whose row ``ku + i - j`` column ``j`` holds
+``A[i, j]`` — exactly what ``scipy.linalg.solve_banded`` consumes, so
+interchange is free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from ..systems.tridiagonal import TridiagonalBatch
+from ..util.errors import ShapeError
+from ..util.validation import check_dtype
+
+__all__ = ["BandedBatch"]
+
+
+@dataclass(frozen=True)
+class BandedBatch:
+    """A batch of ``m`` banded systems ``A x = d``.
+
+    ``bands`` is ``(m, kl + ku + 1, n)`` in LAPACK layout; ``d`` is
+    ``(m, n)``. Entries of ``bands`` outside the matrix (the triangular
+    corners) are ignored and zeroed on construction.
+    """
+
+    bands: np.ndarray
+    d: np.ndarray
+    kl: int
+    ku: int
+
+    def __post_init__(self) -> None:
+        bands = np.asarray(self.bands)
+        d = np.asarray(self.d)
+        if self.kl < 0 or self.ku < 0:
+            raise ShapeError("kl and ku must be non-negative")
+        if bands.ndim != 3:
+            raise ShapeError(f"bands must be 3-D, got ndim={bands.ndim}")
+        m, rows, n = bands.shape
+        if rows != self.kl + self.ku + 1:
+            raise ShapeError(
+                f"bands has {rows} rows, expected kl+ku+1 = {self.kl + self.ku + 1}"
+            )
+        if d.shape != (m, n):
+            raise ShapeError(f"d has shape {d.shape}, expected {(m, n)}")
+        if self.kl >= n or self.ku >= n:
+            raise ShapeError("bandwidths must be smaller than the system size")
+        dtype = check_dtype(bands, "bands")
+        if d.dtype != dtype:
+            raise ShapeError(f"d dtype {d.dtype} != bands dtype {dtype}")
+        # Zero the out-of-matrix corners: row r holds diagonal (ku - r),
+        # valid for columns max(0, r-ku) .. n-1 + min(0, r-ku).
+        bands = bands.copy()
+        for r in range(rows):
+            diag = self.ku - r  # super-diagonals positive
+            if diag > 0:
+                bands[:, r, :diag] = 0
+            elif diag < 0:
+                bands[:, r, n + diag:] = 0
+        object.__setattr__(self, "bands", np.ascontiguousarray(bands))
+        object.__setattr__(self, "d", np.ascontiguousarray(d))
+
+    # -- shape ------------------------------------------------------------
+
+    @property
+    def num_systems(self) -> int:
+        """Independent systems ``m``."""
+        return self.bands.shape[0]
+
+    @property
+    def system_size(self) -> int:
+        """Equations per system ``n``."""
+        return self.bands.shape[2]
+
+    @property
+    def bandwidth(self) -> Tuple[int, int]:
+        """``(kl, ku)``."""
+        return (self.kl, self.ku)
+
+    @property
+    def dtype(self) -> np.dtype:
+        """Common dtype."""
+        return self.bands.dtype
+
+    # -- accessors ----------------------------------------------------------
+
+    def diagonal(self, offset: int) -> np.ndarray:
+        """The ``offset`` diagonal of every system as an ``(m, n)`` array
+        (out-of-matrix positions are zero). Positive = super-diagonal."""
+        if not -self.kl <= offset <= self.ku:
+            raise ShapeError(f"diagonal {offset} outside band ({-self.kl}..{self.ku})")
+        return self.bands[:, self.ku - offset, :]
+
+    # -- linear algebra -----------------------------------------------------
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """``A @ x`` per system for ``(m, n)`` x."""
+        x = np.asarray(x, dtype=self.dtype)
+        if x.shape != self.d.shape:
+            raise ShapeError(f"x has shape {x.shape}, expected {self.d.shape}")
+        n = self.system_size
+        out = np.zeros_like(x)
+        for offset in range(-self.kl, self.ku + 1):
+            diag = self.diagonal(offset)
+            if offset >= 0:
+                # A[i, i+offset] stored at column i+offset.
+                out[:, : n - offset] += diag[:, offset:] * x[:, offset:]
+            else:
+                out[:, -offset:] += diag[:, : n + offset] * x[:, : n + offset]
+        return out
+
+    def residual(self, x: np.ndarray) -> np.ndarray:
+        """Per-system relative residual."""
+        r = self.matvec(x) - self.d
+        num = np.linalg.norm(r, axis=1)
+        den = np.maximum(np.linalg.norm(self.d, axis=1), np.finfo(self.dtype).tiny)
+        return num / den
+
+    def to_dense(self) -> np.ndarray:
+        """Dense ``(m, n, n)`` matrices — for small-system tests only."""
+        m, _, n = self.bands.shape
+        out = np.zeros((m, n, n), dtype=self.dtype)
+        for offset in range(-self.kl, self.ku + 1):
+            diag = self.diagonal(offset)
+            idx = np.arange(n - abs(offset))
+            if offset >= 0:
+                out[:, idx, idx + offset] = diag[:, offset:]
+            else:
+                out[:, idx - offset, idx] = diag[:, : n + offset]
+        return out
+
+    # -- conversions ----------------------------------------------------------
+
+    @classmethod
+    def from_tridiagonal(cls, batch: TridiagonalBatch) -> "BandedBatch":
+        """View a tridiagonal batch as a ``(1, 1)``-banded batch."""
+        m, n = batch.shape
+        bands = np.zeros((m, 3, n), dtype=batch.dtype)
+        bands[:, 0, 1:] = batch.c[:, :-1]
+        bands[:, 1, :] = batch.b
+        bands[:, 2, :-1] = batch.a[:, 1:]
+        return cls(bands, batch.d, kl=1, ku=1)
+
+    def to_tridiagonal(self) -> TridiagonalBatch:
+        """Convert a ``(1, 1)``-banded batch back to tridiagonal form."""
+        if self.bandwidth != (1, 1):
+            raise ShapeError(
+                f"only (1,1)-banded batches are tridiagonal, got {self.bandwidth}"
+            )
+        m, _, n = self.bands.shape
+        a = np.zeros((m, n), dtype=self.dtype)
+        c = np.zeros((m, n), dtype=self.dtype)
+        a[:, 1:] = self.bands[:, 2, :-1]
+        c[:, :-1] = self.bands[:, 0, 1:]
+        return TridiagonalBatch(a, self.bands[:, 1, :], c, self.d)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"BandedBatch(m={self.num_systems}, n={self.system_size}, "
+            f"kl={self.kl}, ku={self.ku}, dtype={self.dtype})"
+        )

@@ -1,0 +1,83 @@
+"""Generators for banded batches."""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from ..util.errors import ConfigurationError
+from ..util.validation import check_positive_int
+from .containers import BandedBatch
+
+__all__ = ["random_banded_dominant", "finite_difference_biharmonic"]
+
+RngLike = Union[None, int, np.random.Generator]
+
+
+def _rng(rng: RngLike) -> np.random.Generator:
+    if isinstance(rng, np.random.Generator):
+        return rng
+    return np.random.default_rng(rng)
+
+
+def random_banded_dominant(
+    num_systems: int,
+    system_size: int,
+    kl: int,
+    ku: int,
+    *,
+    dominance: float = 2.0,
+    rng: RngLike = None,
+    dtype=np.float64,
+) -> BandedBatch:
+    """Random strictly diagonally dominant banded systems."""
+    check_positive_int(num_systems, "num_systems")
+    check_positive_int(system_size, "system_size")
+    if kl < 0 or ku < 0 or kl >= system_size or ku >= system_size:
+        raise ConfigurationError(
+            f"invalid bandwidths kl={kl}, ku={ku} for size {system_size}"
+        )
+    if dominance < 1.0:
+        raise ConfigurationError(f"dominance must be >= 1, got {dominance}")
+    gen = _rng(rng)
+    m, n = num_systems, system_size
+    bands = gen.uniform(-1.0, 1.0, (m, kl + ku + 1, n)).astype(dtype)
+    # Off-diagonal magnitude sum per row i: walk the band rows.
+    offdiag = np.zeros((m, n), dtype=dtype)
+    for r in range(kl + ku + 1):
+        if r == ku:
+            continue
+        offset = ku - r
+        # Column j stores A[j - offset, j]; contribution to row i = j - offset.
+        if offset >= 0:
+            offdiag[:, : n - offset] += np.abs(bands[:, r, offset:])
+        else:
+            offdiag[:, -offset:] += np.abs(bands[:, r, : n + offset])
+    sign = np.where(gen.random((m, n)) < 0.5, -1.0, 1.0).astype(dtype)
+    bands[:, ku, :] = sign * (dominance * offdiag + gen.uniform(0.5, 1.5, (m, n)))
+    d = gen.standard_normal((m, n)).astype(dtype)
+    return BandedBatch(bands, d, kl=kl, ku=ku)
+
+
+def finite_difference_biharmonic(
+    num_systems: int,
+    system_size: int,
+    *,
+    rng: RngLike = None,
+    dtype=np.float64,
+) -> BandedBatch:
+    """1-D biharmonic (fourth-derivative) systems: pentadiagonal
+    ``[1, -4, 6, -4, 1]`` — the classic beyond-tridiagonal stencil."""
+    gen = _rng(rng)
+    m, n = num_systems, system_size
+    if n < 5:
+        raise ConfigurationError("biharmonic stencil needs n >= 5")
+    bands = np.zeros((m, 5, n), dtype=dtype)
+    bands[:, 0, :] = 1.0
+    bands[:, 1, :] = -4.0
+    bands[:, 2, :] = 6.0 + 1.0  # +I keeps it safely nonsingular
+    bands[:, 3, :] = -4.0
+    bands[:, 4, :] = 1.0
+    d = gen.standard_normal((m, n)).astype(dtype)
+    return BandedBatch(bands, d, kl=2, ku=2)

@@ -1,0 +1,19 @@
+"""Comparators: MKL-like CPU, Zhang CR-PCR, global-only PCR, Sakharnykh."""
+
+from .global_only import GlobalPcrSolver, GlobalSolveResult
+from .mkl import INTEL_CORE_I5_34GHZ, CpuSolveResult, CpuSpec, MklLikeCpuSolver
+from .sakharnykh import SakharnykhSolveResult, SakharnykhSolver
+from .zhang_crpcr import ZhangCrPcrSolver, ZhangSolveResult
+
+__all__ = [
+    "MklLikeCpuSolver",
+    "CpuSpec",
+    "CpuSolveResult",
+    "INTEL_CORE_I5_34GHZ",
+    "ZhangCrPcrSolver",
+    "ZhangSolveResult",
+    "GlobalPcrSolver",
+    "GlobalSolveResult",
+    "SakharnykhSolver",
+    "SakharnykhSolveResult",
+]

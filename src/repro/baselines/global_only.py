@@ -1,0 +1,72 @@
+"""Global-memory-only PCR solver (the Egloff-style reference point).
+
+Runs PCR to completion entirely against global memory — no shared-memory
+stage at all. Egloff's report (cited in the paper's introduction)
+estimates ~60% performance degradation for this approach versus an
+effective shared-memory implementation; the degradation emerges here from
+the per-step global traffic (every one of the ``log2 n`` steps re-streams
+the full working set) instead of a single load/solve/store.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..algorithms.pcr import pcr_reduce
+from ..gpu.executor import Device, SimReport, make_device
+from ..kernels import CoopPcrKernel, DivideKernel, KernelContext, dtype_size
+from ..systems.tridiagonal import TridiagonalBatch
+from ..util.validation import check_power_of_two, ilog2
+
+__all__ = ["GlobalPcrSolver", "GlobalSolveResult"]
+
+
+@dataclass(frozen=True)
+class GlobalSolveResult:
+    """Solution plus simulated timing of the global-only solver."""
+
+    x: np.ndarray
+    report: SimReport
+
+    @property
+    def simulated_ms(self) -> float:
+        """Simulated end-to-end time."""
+        return self.report.total_ms
+
+
+class GlobalPcrSolver:
+    """Pure global-memory PCR: ``log2(n)`` full-sweep launches + divide."""
+
+    def __init__(self, device):
+        self.device: Device = make_device(device)
+
+    def solve(self, batch: TridiagonalBatch) -> GlobalSolveResult:
+        """Solve ``batch`` with global-memory PCR only."""
+        n = batch.system_size
+        check_power_of_two(n, "system_size")
+        session = self.device.session()
+        ctx = KernelContext(session)
+        steps = ilog2(n)
+        coop = CoopPcrKernel()
+        dsize = dtype_size(batch.dtype)
+        # Every step is a full grid-wide pass (coalesced, good efficiency —
+        # the sin is the repeated traffic, not the access pattern).
+        from ..gpu.memory import partition_camping_factor
+
+        stride = 1
+        for _ in range(steps):
+            cost = coop.cost_per_step(ctx, batch.total_equations, dsize)
+            # Unlike stage 1's scattered cooperative gathers, a plain
+            # global PCR sweep streams contiguously — but still camps on
+            # memory partitions at large coupling strides.
+            cost.bandwidth_efficiency = partition_camping_factor(
+                self.device.spec, stride
+            )
+            cost.extra_sync_us = 0.0
+            session.submit(cost, stage="global_pcr_full")
+            stride *= 2
+        reduced = pcr_reduce(batch, steps)
+        x = DivideKernel().run(ctx, reduced)
+        return GlobalSolveResult(x=x, report=session.report())

@@ -1,0 +1,62 @@
+"""Sakharnykh-style thread-per-system Thomas solver (paper §III-A).
+
+The contemporaneous alternative hybrid: split first, then hand each
+subsystem to a CUDA *thread* running Thomas in global memory. The
+paper's two criticisms are reproduced by the cost model:
+
+1. it cannot use shared memory (all per-thread systems together exceed
+   on-chip capacity), so every Thomas sweep streams global memory;
+2. it is "only good at solving a large number of small systems" —
+   thread-level parallelism means small workloads leave the machine idle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..algorithms.pcr import pcr_split, pcr_unsplit_solution
+from ..gpu.executor import Device, SimReport, make_device
+from ..kernels import GlobalPcrKernel, KernelContext, ThomasGlobalKernel
+from ..systems.tridiagonal import TridiagonalBatch
+from ..util.validation import check_power_of_two, ilog2
+
+__all__ = ["SakharnykhSolver", "SakharnykhSolveResult"]
+
+
+@dataclass(frozen=True)
+class SakharnykhSolveResult:
+    """Solution plus simulated timing."""
+
+    x: np.ndarray
+    report: SimReport
+
+    @property
+    def simulated_ms(self) -> float:
+        """Simulated end-to-end time."""
+        return self.report.total_ms
+
+
+class SakharnykhSolver:
+    """PCR split to thread-sized systems, then thread-per-system Thomas."""
+
+    def __init__(self, device, thread_system_size: int = 64):
+        self.device: Device = make_device(device)
+        check_power_of_two(thread_system_size, "thread_system_size")
+        self.thread_system_size = thread_system_size
+
+    def solve(self, batch: TridiagonalBatch) -> SakharnykhSolveResult:
+        """Split every system to ``thread_system_size`` and Thomas-solve."""
+        n = batch.system_size
+        check_power_of_two(n, "system_size")
+        session = self.device.session()
+        ctx = KernelContext(session)
+        target = min(self.thread_system_size, n)
+        steps = ilog2(n) - ilog2(target)
+        work = batch
+        if steps > 0:
+            work = GlobalPcrKernel().run(ctx, work, target, stage="split")
+        x = ThomasGlobalKernel(layout="interleaved").run(ctx, work)
+        x = pcr_unsplit_solution(x, steps)
+        return SakharnykhSolveResult(x=x, report=session.report())

@@ -1,0 +1,124 @@
+"""The prior state of the art: Zhang et al.'s shared-memory-only solver.
+
+Zhang, Cohen & Owens (PPoPP 2010) solve each system entirely inside one
+processor's shared memory with a CR-PCR hybrid. It is fast on small
+systems but — the limitation motivating this paper — it simply cannot
+accept a system larger than shared memory: this wrapper raises
+:class:`ResourceExhaustedError` exactly where the original would fail to
+launch.
+
+The cost model mirrors the base-kernel accounting with CR's cheaper
+forward work replacing part of the PCR phase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..algorithms.cr_pcr import cr_pcr_solve
+from ..gpu.cost import ComputePhase, KernelCost
+from ..gpu.executor import Device, SimReport, make_device
+from ..gpu.memory import MemoryTraffic
+from ..kernels.base import (
+    PCR_SMEM_INSTR_PER_EQ,
+    SMEM_LOAD_VALUES_PER_EQ,
+    KernelContext,
+    dtype_size,
+    warp_padded_threads,
+    warps_for,
+)
+from ..systems.tridiagonal import TridiagonalBatch
+from ..util.errors import ResourceExhaustedError
+from ..util.validation import check_power_of_two, ilog2
+
+__all__ = ["ZhangCrPcrSolver", "ZhangSolveResult"]
+
+# CR's per-equation forward/backward update is slightly cheaper than a
+# PCR update (one neighbour pair instead of two at full width).
+_CR_INSTR_PER_EQ = 18.0
+
+
+@dataclass(frozen=True)
+class ZhangSolveResult:
+    """Solution plus simulated timing of the smem-only solver."""
+
+    x: np.ndarray
+    report: SimReport
+
+    @property
+    def simulated_ms(self) -> float:
+        """Simulated end-to-end time."""
+        return self.report.total_ms
+
+
+class ZhangCrPcrSolver:
+    """CR-PCR per block, shared memory only — refuses oversized systems."""
+
+    def __init__(self, device, pcr_switch: int = 64):
+        self.device: Device = make_device(device)
+        check_power_of_two(pcr_switch, "pcr_switch")
+        self.pcr_switch = pcr_switch
+
+    def max_system_size(self, dsize: int) -> int:
+        """Largest system this solver accepts on its device."""
+        return self.device.max_onchip_system_size(dsize)
+
+    def solve(self, batch: TridiagonalBatch) -> ZhangSolveResult:
+        """Solve ``batch`` if — and only if — it fits in shared memory."""
+        n = batch.system_size
+        check_power_of_two(n, "system_size")
+        dsize = dtype_size(batch.dtype)
+        limit = self.max_system_size(dsize)
+        if n > limit:
+            raise ResourceExhaustedError(
+                f"system size {n} exceeds shared memory capacity {limit} of "
+                f"{self.device.name}; the smem-only solver cannot split "
+                f"(this is the limitation the multi-stage method removes)"
+            )
+        session = self.device.session()
+        ctx = KernelContext(session)
+        session.submit(self._cost(ctx, batch.num_systems, n, dsize), stage="cr_pcr_smem")
+        x = cr_pcr_solve(batch, self.pcr_switch)
+        return ZhangSolveResult(x=x, report=session.report())
+
+    def _cost(
+        self, ctx: KernelContext, num_systems: int, n: int, dsize: int
+    ) -> KernelCost:
+        spec = ctx.spec
+        switch = min(self.pcr_switch, n)
+        cr_levels = ilog2(n) - ilog2(switch)
+        threads = min(warp_padded_threads(max(32, n // 2)), spec.max_threads_per_block)
+
+        # CR forward+backward touches a geometrically shrinking set.
+        cr_eq_updates = 0.0
+        width = n
+        for _ in range(cr_levels):
+            cr_eq_updates += width  # forward eliminate + back substitute
+            width //= 2
+        pcr_warp_instr = (
+            num_systems
+            * ilog2(max(2, switch))
+            * warps_for(switch)
+            * PCR_SMEM_INSTR_PER_EQ
+        )
+        cr_warp_instr = (
+            num_systems * (cr_eq_updates / 32.0) * _CR_INSTR_PER_EQ
+        )
+        traffic = MemoryTraffic()
+        traffic.add(
+            spec, num_systems * SMEM_LOAD_VALUES_PER_EQ * n * dsize, stride=1
+        )
+        return KernelCost(
+            name=f"zhang_cr_pcr[switch={switch}]",
+            grid_blocks=num_systems,
+            threads_per_block=threads,
+            smem_per_block=4 * n * dsize,
+            regs_per_thread=ctx.regs_per_thread_for_system(n, threads),
+            phases=[
+                ComputePhase(cr_warp_instr),
+                ComputePhase(pcr_warp_instr, active_threads_per_block=switch),
+            ],
+            traffic=traffic,
+        )

@@ -1,0 +1,32 @@
+"""Block-tridiagonal extension (the paper's stated "next challenge")."""
+
+from .algorithms import (
+    block_dense_solve,
+    block_pcr_reduce,
+    block_pcr_solve,
+    block_pcr_split,
+    block_pcr_step,
+    block_pcr_thomas_solve,
+    block_pcr_unsplit_solution,
+    block_thomas_solve,
+)
+from .containers import BlockTridiagonalBatch
+from .generators import coupled_channels, poisson_2d_lines, random_block_dominant
+from .solver import BlockMultiStageSolver, BlockSolveResult
+
+__all__ = [
+    "BlockTridiagonalBatch",
+    "random_block_dominant",
+    "poisson_2d_lines",
+    "coupled_channels",
+    "block_thomas_solve",
+    "block_pcr_step",
+    "block_pcr_reduce",
+    "block_pcr_split",
+    "block_pcr_unsplit_solution",
+    "block_pcr_solve",
+    "block_pcr_thomas_solve",
+    "block_dense_solve",
+    "BlockMultiStageSolver",
+    "BlockSolveResult",
+]

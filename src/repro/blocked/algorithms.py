@@ -1,0 +1,198 @@
+"""Block-tridiagonal algorithms: block Thomas, block PCR, and the hybrid.
+
+Each scalar operation of the tridiagonal algorithms becomes a ``k×k``
+block operation: divisions become block solves, multiplications become
+block matmuls. All routines vectorise over the batch (and, for PCR, over
+block rows) using batched ``numpy.linalg`` kernels.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..util.errors import ConfigurationError, SingularSystemError
+from ..util.validation import check_power_of_two, ilog2, require
+from .containers import BlockTridiagonalBatch
+
+__all__ = [
+    "block_thomas_solve",
+    "block_pcr_step",
+    "block_pcr_reduce",
+    "block_pcr_split",
+    "block_pcr_unsplit_solution",
+    "block_pcr_solve",
+    "block_pcr_thomas_solve",
+    "block_dense_solve",
+]
+
+BlockCoeffs = Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]
+
+
+def _solve_blocks(mats: np.ndarray, rhs: np.ndarray) -> np.ndarray:
+    """Batched ``mats^{-1} rhs`` where rhs may be blocks or vectors."""
+    try:
+        return np.linalg.solve(mats, rhs)
+    except np.linalg.LinAlgError as exc:
+        raise SingularSystemError(f"singular diagonal block: {exc}") from exc
+
+
+def block_thomas_solve(batch: BlockTridiagonalBatch) -> np.ndarray:
+    """Block forward-elimination / back-substitution (block Thomas).
+
+    O(n k^3) work per system; serial in ``n``, batched over systems.
+    """
+    A, B, C, D = batch.A, batch.B, batch.C, batch.D
+    m, n, k = batch.shape
+
+    # Forward sweep: Cp_i = (B_i - A_i Cp_{i-1})^{-1} C_i, similarly Dp.
+    Cp = np.empty_like(C)
+    Dp = np.empty_like(D)
+    Cp[:, 0] = _solve_blocks(B[:, 0], C[:, 0])
+    Dp[:, 0] = _solve_blocks(B[:, 0], D[:, 0][..., None])[..., 0]
+    for i in range(1, n):
+        denom = B[:, i] - A[:, i] @ Cp[:, i - 1]
+        Cp[:, i] = _solve_blocks(denom, C[:, i])
+        rhs = D[:, i] - np.einsum("mij,mj->mi", A[:, i], Dp[:, i - 1])
+        Dp[:, i] = _solve_blocks(denom, rhs[..., None])[..., 0]
+
+    X = np.empty_like(D)
+    X[:, -1] = Dp[:, -1]
+    for i in range(n - 2, -1, -1):
+        X[:, i] = Dp[:, i] - np.einsum("mij,mj->mi", Cp[:, i], X[:, i + 1])
+    return X
+
+
+def block_pcr_step(
+    A: np.ndarray, B: np.ndarray, C: np.ndarray, D: np.ndarray, stride: int
+) -> BlockCoeffs:
+    """One block-PCR reduction step at coupling distance ``stride``.
+
+    Out-of-range neighbours act as identity block rows
+    (``B = I, A = C = 0, D = 0``).
+    """
+    m, n, k, _ = B.shape
+    s = int(stride)
+    require(s >= 1, f"stride must be >= 1, got {s}")
+    eye = np.broadcast_to(np.eye(k, dtype=B.dtype), (m, s, k, k))
+    zero_blk = np.zeros((m, s, k, k), dtype=B.dtype)
+    zero_vec = np.zeros((m, s, k), dtype=B.dtype)
+
+    Ap = np.concatenate([zero_blk, A, zero_blk], axis=1)
+    Bp = np.concatenate([eye, B, eye], axis=1)
+    Cp = np.concatenate([zero_blk, C, zero_blk], axis=1)
+    Dp = np.concatenate([zero_vec, D, zero_vec], axis=1)
+
+    A_lo, B_lo, C_lo, D_lo = (arr[:, 0:n] for arr in (Ap, Bp, Cp, Dp))
+    A_hi, B_hi, C_hi, D_hi = (arr[:, 2 * s :] for arr in (Ap, Bp, Cp, Dp))
+
+    # alpha = -A B_lo^{-1}, gamma = -C B_hi^{-1} (right-solves via
+    # transposed left-solves).
+    alpha = -np.swapaxes(
+        _solve_blocks(np.swapaxes(B_lo, -1, -2), np.swapaxes(A, -1, -2)), -1, -2
+    )
+    gamma = -np.swapaxes(
+        _solve_blocks(np.swapaxes(B_hi, -1, -2), np.swapaxes(C, -1, -2)), -1, -2
+    )
+
+    new_A = alpha @ A_lo
+    new_B = B + alpha @ C_lo + gamma @ A_hi
+    new_C = gamma @ C_hi
+    new_D = (
+        D
+        + np.einsum("mnij,mnj->mni", alpha, D_lo)
+        + np.einsum("mnij,mnj->mni", gamma, D_hi)
+    )
+    return new_A, new_B, new_C, new_D
+
+
+def block_pcr_reduce(batch: BlockTridiagonalBatch, steps: int) -> BlockTridiagonalBatch:
+    """Apply ``steps`` block-PCR steps, keeping interleaved order."""
+    require(steps >= 0, f"steps must be >= 0, got {steps}")
+    A, B, C, D = batch.A, batch.B, batch.C, batch.D
+    stride = 1
+    for _ in range(steps):
+        A, B, C, D = block_pcr_step(A, B, C, D, stride)
+        stride *= 2
+    return BlockTridiagonalBatch(A, B, C, D)
+
+
+def _gather(arr: np.ndarray, k_steps: int) -> np.ndarray:
+    m, n = arr.shape[:2]
+    groups = 1 << k_steps
+    sub = n >> k_steps
+    rest = arr.shape[2:]
+    return np.ascontiguousarray(
+        arr.reshape((m, sub, groups) + rest).swapaxes(1, 2)
+    ).reshape((m * groups, sub) + rest)
+
+
+def _scatter(arr: np.ndarray, k_steps: int) -> np.ndarray:
+    groups = 1 << k_steps
+    mg, sub = arr.shape[:2]
+    rest = arr.shape[2:]
+    m = mg // groups
+    return np.ascontiguousarray(
+        arr.reshape((m, groups, sub) + rest).swapaxes(1, 2)
+    ).reshape((m, sub * groups) + rest)
+
+
+def block_pcr_split(
+    batch: BlockTridiagonalBatch, steps: int
+) -> BlockTridiagonalBatch:
+    """Split each system into ``2**steps`` independent contiguous systems."""
+    require(steps >= 0, f"steps must be >= 0, got {steps}")
+    if steps == 0:
+        return batch
+    n = batch.num_block_rows
+    if n % (1 << steps) != 0:
+        raise ConfigurationError(
+            f"block rows {n} not divisible by 2**steps = {1 << steps}"
+        )
+    reduced = block_pcr_reduce(batch, steps)
+    return BlockTridiagonalBatch(
+        _gather(reduced.A, steps),
+        _gather(reduced.B, steps),
+        _gather(reduced.C, steps),
+        _gather(reduced.D, steps),
+    )
+
+
+def block_pcr_unsplit_solution(X: np.ndarray, steps: int) -> np.ndarray:
+    """Undo :func:`block_pcr_split`'s reordering on a solution array."""
+    require(steps >= 0, f"steps must be >= 0, got {steps}")
+    if steps == 0:
+        return X
+    return _scatter(X, steps)
+
+
+def block_pcr_solve(batch: BlockTridiagonalBatch) -> np.ndarray:
+    """Pure block PCR: reduce until every block row stands alone."""
+    n = batch.num_block_rows
+    check_power_of_two(n, "num_block_rows")
+    reduced = block_pcr_reduce(batch, ilog2(n))
+    return _solve_blocks(reduced.B, reduced.D[..., None])[..., 0]
+
+
+def block_pcr_thomas_solve(
+    batch: BlockTridiagonalBatch, thomas_switch: int = 16
+) -> np.ndarray:
+    """The multi-stage hybrid, blockwise: PCR-split, then block Thomas."""
+    n = batch.num_block_rows
+    check_power_of_two(n, "num_block_rows")
+    check_power_of_two(thomas_switch, "thomas_switch")
+    if n == 1:
+        return _solve_blocks(batch.B, batch.D[..., None])[..., 0]
+    steps = ilog2(min(thomas_switch, n))
+    split = block_pcr_split(batch, steps)
+    X = block_thomas_solve(split)
+    return block_pcr_unsplit_solution(X, steps)
+
+
+def block_dense_solve(batch: BlockTridiagonalBatch) -> np.ndarray:
+    """Oracle: assemble dense matrices and solve (small systems only)."""
+    m, n, k = batch.shape
+    dense = batch.to_dense()
+    flat = np.linalg.solve(dense, batch.D.reshape(m, n * k, 1))[..., 0]
+    return flat.reshape(m, n, k)

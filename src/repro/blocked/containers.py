@@ -1,0 +1,160 @@
+"""Block-tridiagonal system containers.
+
+The paper's conclusion names "high-performance blocked tridiagonal
+solvers" as the next challenge; this package implements that extension.
+
+A block-tridiagonal system of block order ``n`` with ``k×k`` blocks reads
+
+    A_i X_{i-1} + B_i X_i + C_i X_{i+1} = D_i,   i = 0..n-1,
+
+with ``A_0 = C_{n-1} = 0``. :class:`BlockTridiagonalBatch` stores ``m``
+such systems as ``(m, n, k, k)`` block arrays and an ``(m, n, k)``
+right-hand side. Such systems arise from 2-D elliptic problems
+line-ordered along one axis (each grid line is one block row) and from
+coupled-channel ODE discretisations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from ..util.errors import ShapeError
+from ..util.validation import check_dtype
+
+__all__ = ["BlockTridiagonalBatch"]
+
+
+@dataclass(frozen=True)
+class BlockTridiagonalBatch:
+    """A batch of ``m`` block-tridiagonal systems.
+
+    ``A``, ``B``, ``C`` are ``(m, n, k, k)``; ``D`` is ``(m, n, k)``.
+    The unused corner blocks (``A[:, 0]`` and ``C[:, -1]``) are zeroed on
+    construction.
+    """
+
+    A: np.ndarray
+    B: np.ndarray
+    C: np.ndarray
+    D: np.ndarray
+
+    def __post_init__(self) -> None:
+        A = np.asarray(self.A)
+        B = np.asarray(self.B)
+        C = np.asarray(self.C)
+        D = np.asarray(self.D)
+        for name, arr in (("A", A), ("B", B), ("C", C)):
+            if arr.ndim != 4:
+                raise ShapeError(f"{name} must be (m, n, k, k), got ndim={arr.ndim}")
+        if D.ndim != 3:
+            raise ShapeError(f"D must be (m, n, k), got ndim={D.ndim}")
+        if not (A.shape == B.shape == C.shape):
+            raise ShapeError(
+                f"block arrays disagree: A{A.shape} B{B.shape} C{C.shape}"
+            )
+        m, n, k, k2 = B.shape
+        if k != k2:
+            raise ShapeError(f"blocks must be square, got {k}x{k2}")
+        if D.shape != (m, n, k):
+            raise ShapeError(f"D has shape {D.shape}, expected {(m, n, k)}")
+        if n < 1 or k < 1:
+            raise ShapeError("need at least one block row and block size >= 1")
+        dtype = check_dtype(B, "B")
+        for name, arr in (("A", A), ("C", C), ("D", D)):
+            if arr.dtype != dtype:
+                raise ShapeError(f"{name} dtype {arr.dtype} != B dtype {dtype}")
+        if A[:, 0].any():
+            A = A.copy()
+            A[:, 0] = 0
+        if C[:, -1].any():
+            C = C.copy()
+            C[:, -1] = 0
+        object.__setattr__(self, "A", np.ascontiguousarray(A))
+        object.__setattr__(self, "B", np.ascontiguousarray(B))
+        object.__setattr__(self, "C", np.ascontiguousarray(C))
+        object.__setattr__(self, "D", np.ascontiguousarray(D))
+
+    # -- shape ------------------------------------------------------------
+
+    @property
+    def num_systems(self) -> int:
+        """Independent systems ``m``."""
+        return self.B.shape[0]
+
+    @property
+    def num_block_rows(self) -> int:
+        """Block rows per system ``n``."""
+        return self.B.shape[1]
+
+    @property
+    def block_size(self) -> int:
+        """Block order ``k``."""
+        return self.B.shape[2]
+
+    @property
+    def shape(self) -> Tuple[int, int, int]:
+        """``(m, n, k)``."""
+        return (self.num_systems, self.num_block_rows, self.block_size)
+
+    @property
+    def total_unknowns(self) -> int:
+        """Scalar unknowns per batch: ``m * n * k``."""
+        return self.D.size
+
+    @property
+    def dtype(self) -> np.dtype:
+        """Common dtype."""
+        return self.B.dtype
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes across all arrays."""
+        return self.A.nbytes + self.B.nbytes + self.C.nbytes + self.D.nbytes
+
+    # -- linear algebra -----------------------------------------------------
+
+    def matvec(self, X: np.ndarray) -> np.ndarray:
+        """Apply the block operator to ``X`` of shape ``(m, n, k)``."""
+        X = np.asarray(X, dtype=self.dtype)
+        if X.shape != self.D.shape:
+            raise ShapeError(f"X has shape {X.shape}, expected {self.D.shape}")
+        out = np.einsum("mnij,mnj->mni", self.B, X)
+        out[:, 1:] += np.einsum("mnij,mnj->mni", self.A[:, 1:], X[:, :-1])
+        out[:, :-1] += np.einsum("mnij,mnj->mni", self.C[:, :-1], X[:, 1:])
+        return out
+
+    def residual(self, X: np.ndarray) -> np.ndarray:
+        """Per-system relative residual."""
+        r = self.matvec(X) - self.D
+        num = np.linalg.norm(r.reshape(self.num_systems, -1), axis=1)
+        den = np.maximum(
+            np.linalg.norm(self.D.reshape(self.num_systems, -1), axis=1),
+            np.finfo(self.dtype).tiny,
+        )
+        return num / den
+
+    def to_dense(self) -> np.ndarray:
+        """Dense ``(m, n*k, n*k)`` matrices — for small-system tests only."""
+        m, n, k = self.shape
+        out = np.zeros((m, n * k, n * k), dtype=self.dtype)
+        for i in range(n):
+            sl = slice(i * k, (i + 1) * k)
+            out[:, sl, sl] = self.B[:, i]
+            if i > 0:
+                out[:, sl, slice((i - 1) * k, i * k)] = self.A[:, i]
+            if i < n - 1:
+                out[:, sl, slice((i + 1) * k, (i + 2) * k)] = self.C[:, i]
+        return out
+
+    def copy(self) -> "BlockTridiagonalBatch":
+        """Deep copy."""
+        return BlockTridiagonalBatch(
+            self.A.copy(), self.B.copy(), self.C.copy(), self.D.copy()
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        m, n, k = self.shape
+        return f"BlockTridiagonalBatch(m={m}, n={n}, k={k}, dtype={self.dtype})"

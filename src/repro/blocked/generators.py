@@ -1,0 +1,128 @@
+"""Generators for block-tridiagonal batches."""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from ..util.errors import ConfigurationError
+from ..util.validation import check_positive_int
+from .containers import BlockTridiagonalBatch
+
+__all__ = ["random_block_dominant", "poisson_2d_lines", "coupled_channels"]
+
+RngLike = Union[None, int, np.random.Generator]
+
+
+def _rng(rng: RngLike) -> np.random.Generator:
+    if isinstance(rng, np.random.Generator):
+        return rng
+    return np.random.default_rng(rng)
+
+
+def random_block_dominant(
+    num_systems: int,
+    num_block_rows: int,
+    block_size: int,
+    *,
+    dominance: float = 3.0,
+    rng: RngLike = None,
+    dtype=np.float64,
+) -> BlockTridiagonalBatch:
+    """Random block-row diagonally dominant systems.
+
+    Off-diagonal blocks are random with infinity-norm <= 1; diagonal
+    blocks are ``s·I + noise`` with ``s`` large enough that every block
+    row is strictly dominant (``||B^{-1}|| (||A|| + ||C||) < 1``), which
+    guarantees stability of the pivotless block algorithms.
+    """
+    check_positive_int(num_systems, "num_systems")
+    check_positive_int(num_block_rows, "num_block_rows")
+    check_positive_int(block_size, "block_size")
+    if dominance <= 1.0:
+        raise ConfigurationError(f"dominance must be > 1, got {dominance}")
+    gen = _rng(rng)
+    m, n, k = num_systems, num_block_rows, block_size
+
+    def offdiag():
+        blocks = gen.uniform(-1.0, 1.0, (m, n, k, k)).astype(dtype)
+        norms = np.abs(blocks).sum(axis=3).max(axis=2)  # infinity norm
+        return blocks / np.maximum(norms, 1.0)[:, :, None, None]
+
+    A = offdiag()
+    C = offdiag()
+    A[:, 0] = 0
+    C[:, -1] = 0
+    noise = gen.uniform(-0.3, 0.3, (m, n, k, k)).astype(dtype)
+    eye = np.eye(k, dtype=dtype)
+    # Row sums of |A| + |C| bound the off-diagonal contribution; 2.3
+    # covers the two unit-norm blocks plus the noise.
+    B = dominance * 2.3 * eye[None, None] + noise
+    D = gen.standard_normal((m, n, k)).astype(dtype)
+    return BlockTridiagonalBatch(A, B, C, D)
+
+
+def poisson_2d_lines(
+    num_systems: int,
+    grid_rows: int,
+    grid_cols: int,
+    *,
+    rng: RngLike = None,
+    dtype=np.float64,
+) -> BlockTridiagonalBatch:
+    """2-D Poisson (5-point stencil), line-ordered: the canonical source.
+
+    Each grid line is one block row: the diagonal block is the 1-D
+    operator ``tridiag(-1, 4, -1)`` of size ``grid_cols``; the coupling
+    blocks are ``-I``. Block order ``n = grid_rows``, block size
+    ``k = grid_cols``.
+    """
+    gen = _rng(rng)
+    m, n, k = num_systems, grid_rows, grid_cols
+    eye = np.eye(k, dtype=dtype)
+    diag_block = 4.0 * eye - np.eye(k, k=1, dtype=dtype) - np.eye(k, k=-1, dtype=dtype)
+    A = np.broadcast_to(-eye, (m, n, k, k)).copy()
+    C = np.broadcast_to(-eye, (m, n, k, k)).copy()
+    B = np.broadcast_to(diag_block, (m, n, k, k)).copy()
+    A[:, 0] = 0
+    C[:, -1] = 0
+    D = gen.standard_normal((m, n, k)).astype(dtype)
+    return BlockTridiagonalBatch(A, B, C, D)
+
+
+def coupled_channels(
+    num_systems: int,
+    num_block_rows: int,
+    block_size: int,
+    *,
+    coupling: float = 0.2,
+    rng: RngLike = None,
+    dtype=np.float64,
+) -> BlockTridiagonalBatch:
+    """Coupled-channel two-point BVP discretisations.
+
+    ``k`` fields coupled pointwise by a random symmetric positive
+    channel matrix, each diffusing along the line — an implicit step of a
+    reaction-diffusion system. Dominant by construction for
+    ``coupling < 1``.
+    """
+    if not 0.0 <= coupling < 1.0:
+        raise ConfigurationError(f"coupling must be in [0, 1), got {coupling}")
+    gen = _rng(rng)
+    m, n, k = num_systems, num_block_rows, block_size
+    eye = np.eye(k, dtype=dtype)
+    # Per-system channel coupling: symmetric, spectral radius <= coupling.
+    W = gen.standard_normal((m, k, k)).astype(dtype)
+    W = 0.5 * (W + W.transpose(0, 2, 1))
+    radius = np.abs(np.linalg.eigvalsh(W)).max(axis=1)
+    W *= (coupling / np.maximum(radius, 1e-12))[:, None, None]
+
+    A = np.broadcast_to(-eye, (m, n, k, k)).copy()
+    C = np.broadcast_to(-eye, (m, n, k, k)).copy()
+    A[:, 0] = 0
+    C[:, -1] = 0
+    B = (3.0 * eye)[None, None] + W[:, None]
+    B = np.broadcast_to(B, (m, n, k, k)).copy()
+    D = gen.standard_normal((m, n, k)).astype(dtype)
+    return BlockTridiagonalBatch(A, B, C, D)

@@ -1,0 +1,290 @@
+"""Multi-stage block-tridiagonal solver on the simulated GPU.
+
+The scalar solver's strategy transfers blockwise: split oversized systems
+with block PCR in global memory, then solve on-chip with a hybrid
+block-PCR/block-Thomas kernel. Block arithmetic changes the constants —
+O(k³) flops and O(k²) bytes per block row — which shifts every switch
+point, so the solver re-tunes itself with the same seeded hill-climb
+machinery the scalar self-tuner uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..core.tuning.search import pow2_hill_climb
+from ..gpu.cost import ComputePhase, KernelCost
+from ..gpu.executor import Device, SimReport, make_device
+from ..gpu.memory import MemoryTraffic
+from ..kernels.base import dtype_size, warps_for
+from ..util.errors import PlanError, ResourceExhaustedError
+from ..util.validation import check_power_of_two, ilog2, is_power_of_two
+from .algorithms import (
+    block_pcr_split,
+    block_pcr_thomas_solve,
+    block_pcr_unsplit_solution,
+)
+from .containers import BlockTridiagonalBatch
+
+__all__ = ["BlockSolveResult", "BlockMultiStageSolver"]
+
+# Flop-derived issue-slot estimates per block row (dense k^3 kernels).
+_BLOCK_PCR_INSTR_K3 = 6.0  # two block solves + four block matmuls
+_BLOCK_THOMAS_INSTR_K3 = 3.0  # one solve + two matmuls per sweep step
+# Values moved per block row per global split step: own row + write
+# (aligned), two neighbour rows (misaligned); each row is 3k^2 + k values.
+_ALIGNED_ROWS = 2.0
+_NEIGHBOR_ROWS = 2.0
+
+
+def _row_values(k: int) -> float:
+    return 3.0 * k * k + k
+
+
+@dataclass(frozen=True)
+class BlockSolveResult:
+    """Solution plus provenance of one blocked solve."""
+
+    X: np.ndarray
+    report: SimReport
+    stage3_block_rows: int
+    thomas_switch: int
+
+    @property
+    def simulated_ms(self) -> float:
+        """Simulated end-to-end time."""
+        return self.report.total_ms
+
+
+class BlockMultiStageSolver:
+    """Split-then-solve for block-tridiagonal batches.
+
+    ``stage3_block_rows`` and ``thomas_switch`` may be pinned; left as
+    ``None`` they are tuned per (device, block size, dtype) with seeded
+    hill climbs against the cost model and cached on the instance.
+    """
+
+    def __init__(
+        self,
+        device,
+        *,
+        stage3_block_rows: Optional[int] = None,
+        thomas_switch: Optional[int] = None,
+    ):
+        self.device: Device = make_device(device)
+        if stage3_block_rows is not None:
+            check_power_of_two(stage3_block_rows, "stage3_block_rows")
+        if thomas_switch is not None:
+            check_power_of_two(thomas_switch, "thomas_switch")
+        self._fixed_stage3 = stage3_block_rows
+        self._fixed_thomas = thomas_switch
+        self._tuned: Dict[Tuple[int, int], Tuple[int, int]] = {}
+
+    # -- capacity ---------------------------------------------------------
+
+    def max_onchip_block_rows(self, block_size: int, dsize: int) -> int:
+        """Largest power-of-two block-row count solvable on one SM.
+
+        Shared memory holds three k×k blocks plus two k-vectors per row;
+        registers hold the scalar-equivalent working set (32 per unknown).
+        """
+        spec = self.device.spec
+        bytes_per_row = (3 * block_size * block_size + 2 * block_size) * dsize
+        by_smem = spec.shared_mem_per_processor // bytes_per_row
+        by_regs = spec.registers_per_processor // (32 * block_size)
+        limit = min(by_smem, by_regs)
+        if limit < 1:
+            raise ResourceExhaustedError(
+                f"block size {block_size} does not fit on-chip on "
+                f"{self.device.name}"
+            )
+        return 1 << (int(limit).bit_length() - 1)
+
+    # -- cost model ----------------------------------------------------------
+
+    def _smem_kernel_cost(
+        self,
+        num_systems: int,
+        block_rows: int,
+        block_size: int,
+        dsize: int,
+        thomas_switch: int,
+    ) -> KernelCost:
+        spec = self.device.spec
+        k = block_size
+        n = block_rows
+        switch = min(thomas_switch, n)
+        pcr_steps = ilog2(switch) if switch > 1 else 0
+
+        threads = min(max(32, n * k), spec.max_threads_per_block)
+        smem = (3 * k * k + 2 * k) * n * dsize
+        regs = max(8, (32 * n * k) // max(1, threads))
+
+        k3 = float(k) ** 3
+        pcr_instr = (
+            num_systems * pcr_steps * n * _BLOCK_PCR_INSTR_K3 * k3 / 32.0
+        )
+        rows = n // switch
+        thomas_instr = (
+            num_systems * 2 * rows * switch * _BLOCK_THOMAS_INSTR_K3 * k3 / 32.0
+        )
+        traffic = MemoryTraffic()
+        traffic.add(
+            spec,
+            num_systems * n * (_row_values(k) + k) * dsize,
+            stride=1,
+        )
+        return KernelCost(
+            name=f"block_pcr_thomas[k={k},T={switch}]",
+            grid_blocks=num_systems,
+            threads_per_block=threads,
+            smem_per_block=smem,
+            regs_per_thread=regs,
+            phases=[
+                ComputePhase(pcr_instr, active_threads_per_block=min(n * k, threads)),
+                ComputePhase(
+                    thomas_instr,
+                    active_threads_per_block=max(1, min(switch * k, threads)),
+                ),
+            ],
+            traffic=traffic,
+        )
+
+    def _split_kernel_cost(
+        self,
+        num_systems: int,
+        block_rows: int,
+        block_size: int,
+        dsize: int,
+        steps: int,
+    ) -> KernelCost:
+        spec = self.device.spec
+        k = block_size
+        total_rows = num_systems * block_rows
+        k3 = float(k) ** 3
+        instr = total_rows * steps * _BLOCK_PCR_INSTR_K3 * k3 / 32.0
+        traffic = MemoryTraffic()
+        traffic.add(
+            spec,
+            steps * total_rows * _ALIGNED_ROWS * _row_values(k) * dsize,
+            stride=1,
+        )
+        traffic.add(
+            spec,
+            steps * total_rows * _NEIGHBOR_ROWS * _row_values(k) * dsize,
+            misaligned=True,
+        )
+        return KernelCost(
+            name=f"block_global_pcr[steps={steps}]",
+            grid_blocks=num_systems,
+            threads_per_block=min(256, spec.max_threads_per_block),
+            regs_per_thread=32,
+            phases=[ComputePhase(instr)],
+            traffic=traffic,
+        )
+
+    def _price(
+        self,
+        num_systems: int,
+        block_rows: int,
+        block_size: int,
+        dsize: int,
+        stage3: int,
+        thomas: int,
+    ) -> float:
+        session = self.device.session()
+        if stage3 < block_rows:
+            steps = ilog2(block_rows) - ilog2(stage3)
+            session.submit(
+                self._split_kernel_cost(
+                    num_systems, block_rows, block_size, dsize, steps
+                ),
+                stage="split",
+            )
+            num_systems <<= steps
+        session.submit(
+            self._smem_kernel_cost(
+                num_systems, min(stage3, block_rows), block_size, dsize, thomas
+            ),
+            stage="solve",
+        )
+        return session.report().total_ms
+
+    # -- tuning ----------------------------------------------------------------
+
+    def tuned_parameters(
+        self, block_rows: int, block_size: int, dsize: int
+    ) -> Tuple[int, int]:
+        """(stage3_block_rows, thomas_switch), tuning on first use."""
+        max_rows = self.max_onchip_block_rows(block_size, dsize)
+        if self._fixed_stage3 is not None and self._fixed_thomas is not None:
+            return min(self._fixed_stage3, max_rows), self._fixed_thomas
+        key = (block_size, dsize)
+        if key not in self._tuned:
+            ref_rows = max(4 * max_rows, 8)
+            ref_m = max(64, 4 * self.device.spec.num_processors)
+            per_size: Dict[int, int] = {}
+
+            def cost_of_size(size: int) -> float:
+                t_opt, t_ms = pow2_hill_climb(
+                    lambda t: self._price(
+                        ref_m, ref_rows, block_size, dsize, size, t
+                    ),
+                    seed=min(16, size),
+                    lo=1,
+                    hi=size,
+                )
+                per_size[size] = t_opt
+                return t_ms
+
+            seed = max_rows
+            stage3, _ = pow2_hill_climb(
+                cost_of_size, seed=seed, lo=2, hi=max_rows
+            )
+            self._tuned[key] = (stage3, per_size[stage3])
+        stage3, thomas = self._tuned[key]
+        if self._fixed_stage3 is not None:
+            stage3 = min(self._fixed_stage3, max_rows)
+        if self._fixed_thomas is not None:
+            thomas = self._fixed_thomas
+        return stage3, thomas
+
+    # -- solving ------------------------------------------------------------------
+
+    def solve(self, batch: BlockTridiagonalBatch) -> BlockSolveResult:
+        """Solve a block-tridiagonal batch; exact numerics + timing."""
+        m, n, k = batch.shape
+        if not is_power_of_two(n):
+            raise PlanError(
+                f"block solver requires a power-of-two block-row count, got {n}"
+            )
+        dsize = dtype_size(batch.dtype)
+        stage3, thomas = self.tuned_parameters(n, k, dsize)
+        stage3 = min(stage3, n)
+
+        session = self.device.session()
+        work = batch
+        steps = 0
+        if n > stage3:
+            steps = ilog2(n) - ilog2(stage3)
+            session.submit(
+                self._split_kernel_cost(m, n, k, dsize, steps), stage="split"
+            )
+            work = block_pcr_split(batch, steps)
+        session.submit(
+            self._smem_kernel_cost(
+                work.num_systems, work.num_block_rows, k, dsize, thomas
+            ),
+            stage="solve",
+        )
+        X = block_pcr_thomas_solve(work, thomas)
+        X = block_pcr_unsplit_solution(X, steps)
+        return BlockSolveResult(
+            X=X,
+            report=session.report(),
+            stage3_block_rows=stage3,
+            thomas_switch=thomas,
+        )

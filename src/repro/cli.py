@@ -1,0 +1,305 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``devices``
+    List the simulated GPUs and their (queryable) capabilities.
+``solve``
+    Build a workload, solve it, and print the plan and timing report.
+``tune``
+    Run the self-tuner for a device and print the chosen switch points
+    and the search-trace summary.
+``figures``
+    Regenerate every table/figure of the paper's evaluation into a
+    directory of text files.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from .algorithms import max_residual
+from .analysis import (
+    ascii_table,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    headline_savings,
+    table1,
+    table2,
+)
+from .core import MultiStageSolver, SelfTuner
+from .gpu import device_names, make_device
+from .systems import PAPER_WORKLOAD_NAMES, build_workload
+from .util.errors import ReproError
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Auto-tuned multi-stage tridiagonal solving on a simulated GPU",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("devices", help="list the simulated GPUs")
+
+    p_solve = sub.add_parser("solve", help="solve a workload and report timing")
+    p_solve.add_argument(
+        "--device", default="gtx470", help="device name (default: gtx470)"
+    )
+    p_solve.add_argument(
+        "--workload",
+        default="1Kx1K",
+        help=f"one of {', '.join(PAPER_WORKLOAD_NAMES)} or MxN (e.g. 64x2048)",
+    )
+    p_solve.add_argument(
+        "--tuning",
+        default="dynamic",
+        choices=["default", "static", "dynamic"],
+        help="parameter-selection strategy",
+    )
+    p_solve.add_argument(
+        "--scale",
+        type=int,
+        default=8,
+        help="shrink the workload's data by this factor for host-side "
+        "numerics (timing is always for the nominal shape; default 8)",
+    )
+    p_solve.add_argument("--seed", type=int, default=0)
+
+    p_tune = sub.add_parser("tune", help="run the self-tuner for a device")
+    p_tune.add_argument("--device", default="gtx470")
+    p_tune.add_argument(
+        "--dtype-size", type=int, default=4, choices=[4, 8], dest="dtype_size"
+    )
+    p_tune.add_argument(
+        "--cache", default=None, help="JSON file to persist tuned parameters"
+    )
+
+    p_fig = sub.add_parser(
+        "figures", help="regenerate every table/figure of the evaluation"
+    )
+    p_fig.add_argument(
+        "--out", default="results", help="output directory (default: results/)"
+    )
+    p_fig.add_argument(
+        "--csv",
+        action="store_true",
+        help="also write machine-readable CSV next to each text table",
+    )
+
+    sub.add_parser(
+        "verify",
+        help="regenerate the evaluation and grade every paper claim",
+    )
+    return parser
+
+
+def _cmd_devices(out) -> int:
+    rows = []
+    for name in device_names():
+        device = make_device(name)
+        props = device.properties()
+        rows.append(
+            [
+                name,
+                props.name,
+                props.num_processors,
+                props.thread_processors,
+                props.shared_mem_per_processor // 1024,
+                device.max_onchip_system_size(4),
+            ]
+        )
+    out.write(
+        ascii_table(
+            ["id", "name", "SMs", "cores/SM", "smem KB", "on-chip max (f32)"],
+            rows,
+            title="Simulated devices",
+        )
+        + "\n"
+    )
+    return 0
+
+
+def _parse_workload(text: str):
+    if text in PAPER_WORKLOAD_NAMES:
+        return text
+    try:
+        m, n = text.lower().split("x")
+        from .systems import Workload
+
+        return Workload(text, int(m), int(n))
+    except Exception:
+        raise ReproError(
+            f"workload must be one of {PAPER_WORKLOAD_NAMES} or MxN, got {text!r}"
+        ) from None
+
+
+def _cmd_solve(args, out) -> int:
+    workload = _parse_workload(args.workload)
+    batch = build_workload(workload, seed=args.seed, scale=args.scale)
+    solver = MultiStageSolver(args.device, args.tuning)
+    result = solver.solve(batch)
+    out.write(f"device   : {solver.device.name}\n")
+    out.write(f"workload : {batch.num_systems} x {batch.system_size} "
+              f"(scale 1/{args.scale})\n")
+    out.write(f"tuning   : {result.switch_points.describe()}\n")
+    out.write(result.plan.describe() + "\n")
+    out.write(result.report.describe() + "\n")
+    out.write(f"residual : {max_residual(batch, result.x):.3e}\n")
+    return 0
+
+
+def _cmd_tune(args, out) -> int:
+    device = make_device(args.device)
+    tuner = SelfTuner(cache=args.cache)
+    sp = tuner.switch_points(device, 0, 0, args.dtype_size)
+    out.write(f"device: {device.name}\n")
+    out.write(f"tuned : {sp.describe()}\n")
+    trace = tuner.last_trace
+    if trace is None:
+        out.write("search: served from cache (0 probes)\n")
+    else:
+        out.write(
+            f"search: {trace.num_evaluations} model probes "
+            f"(stage3 {trace.evaluations_for('stage3_size')}, "
+            f"thomas {trace.evaluations_for('thomas_switch')}, "
+            f"crossover {trace.evaluations_for('variant_crossover')}, "
+            f"stage1 {trace.evaluations_for('stage1_target')})\n"
+        )
+    return 0
+
+
+def _cmd_figures(args, out) -> int:
+    os.makedirs(args.out, exist_ok=True)
+
+    def save(name: str, text: str) -> None:
+        path = os.path.join(args.out, f"{name}.txt")
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+        out.write(f"wrote {path}\n")
+
+    save(
+        "table1",
+        ascii_table(
+            ["name", "bandwidth GB/s", "smem KB", "SMs", "cores/SM"],
+            [
+                [
+                    r["name"],
+                    r["global_memory_bandwidth_gb_s"],
+                    r["shared_memory_kb"],
+                    r["num_processors"],
+                    r["thread_processors_per_processor"],
+                ]
+                for r in table1()
+            ],
+            title="Table I",
+        ),
+    )
+    save(
+        "table2",
+        ascii_table(["parameter", "description", "value"], table2(), title="Table II"),
+    )
+
+    def save_csv(name: str, text: str) -> None:
+        if not getattr(args, "csv", False):
+            return
+        path = os.path.join(args.out, f"{name}.csv")
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        out.write(f"wrote {path}\n")
+
+    from .analysis import (
+        figure5_to_csv,
+        figure6_to_csv,
+        figure7_to_csv,
+        figure8_to_csv,
+    )
+
+    f5 = figure5()
+    sizes = sorted(next(iter(f5.values())))
+    save(
+        "figure5",
+        ascii_table(
+            ["device"] + [str(s) for s in sizes],
+            [[d] + [row[s] for s in sizes] for d, row in f5.items()],
+            title="Figure 5 (relative perf vs stage-2->3 switch)",
+        ),
+    )
+    save_csv("figure5", figure5_to_csv(f5))
+    f6 = figure6()
+    switches = sorted(next(iter(f6.values())))
+    save(
+        "figure6",
+        ascii_table(
+            ["device"] + [str(s) for s in switches],
+            [[d] + [row[s] for s in switches] for d, row in f6.items()],
+            title="Figure 6 (relative perf vs stage-3->4 switch)",
+        ),
+    )
+    save_csv("figure6", figure6_to_csv(f6))
+    f7 = figure7()
+    rows = []
+    for device, cells in f7.items():
+        for wl, cell in cells.items():
+            rows.append(
+                [device, wl, cell.untuned_ms, cell.static_normalized, cell.dynamic_normalized]
+            )
+    agg = headline_savings(f7)
+    save(
+        "figure7",
+        ascii_table(
+            ["device", "workload", "untuned ms", "static norm", "dynamic norm"],
+            rows,
+            title="Figure 7 (tuning strategies)",
+        )
+        + f"\nstatic avg savings {agg['static_avg_savings']:.1%}, "
+        f"dynamic avg savings {agg['dynamic_avg_savings']:.1%}",
+    )
+    save_csv("figure7", figure7_to_csv(f7))
+    f8 = figure8()
+    save(
+        "figure8",
+        ascii_table(
+            ["workload", "GPU ms", "CPU ms", "speedup"],
+            [[wl, v["gpu_ms"], v["cpu_ms"], v["speedup"]] for wl, v in f8.items()],
+            title="Figure 8 (GPU vs CPU)",
+        ),
+    )
+    save_csv("figure8", figure8_to_csv(f8))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None, out=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    out = out or sys.stdout
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "devices":
+            return _cmd_devices(out)
+        if args.command == "solve":
+            return _cmd_solve(args, out)
+        if args.command == "tune":
+            return _cmd_tune(args, out)
+        if args.command == "figures":
+            return _cmd_figures(args, out)
+        if args.command == "verify":
+            from .analysis import render_scorecard, reproduction_scorecard
+
+            checks = reproduction_scorecard()
+            out.write(render_scorecard(checks) + "\n")
+            return 0 if all(c.passed for c in checks) else 1
+        raise AssertionError("unreachable")
+    except ReproError as exc:
+        out.write(f"error: {exc}\n")
+        return 2

@@ -1,0 +1,38 @@
+"""The multi-stage solver and its tuners (the paper's contribution)."""
+
+from .config import SwitchPoints
+from .dispatch import HybridChoice, HybridDispatcher
+from .planner import SolvePlan, plan_solve
+from .pricing import price_base_kernel, simulate_plan
+from .solver import MultiStageSolver, SolveResult, solve
+from .tuning import (
+    DEFAULT_SWITCH_POINTS,
+    DefaultTuner,
+    MachineQueryTuner,
+    SelfTuner,
+    Tuner,
+    TuningCache,
+    TuningTrace,
+    make_tuner,
+)
+
+__all__ = [
+    "SwitchPoints",
+    "HybridDispatcher",
+    "HybridChoice",
+    "SolvePlan",
+    "plan_solve",
+    "simulate_plan",
+    "price_base_kernel",
+    "MultiStageSolver",
+    "SolveResult",
+    "solve",
+    "Tuner",
+    "TuningTrace",
+    "TuningCache",
+    "DefaultTuner",
+    "MachineQueryTuner",
+    "SelfTuner",
+    "DEFAULT_SWITCH_POINTS",
+    "make_tuner",
+]

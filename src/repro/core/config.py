@@ -1,0 +1,87 @@
+"""Switch-point configuration for the multi-stage solver.
+
+A :class:`SwitchPoints` instance is the complete tunable state of the
+solver — the object the paper's three parameter-selection strategies
+produce:
+
+- ``stage1_target_systems`` — stage-1→2 switch: cooperative splitting
+  stops once this many independent systems exist;
+- ``stage3_system_size`` — stage-2→3 switch: global splitting stops once
+  subsystems reach this size, which then solves on-chip;
+- ``thomas_switch`` — stage-3→4 switch inside the base kernel: PCR stops
+  once this many parallel subsystems exist per system;
+- ``base_variant`` / ``variant_crossover_stride`` — which memory-access
+  variant of the base kernel to use. A fixed variant (default/static
+  tuners) or a learned stride crossover (self-tuner: strided wins above
+  the crossover).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from ..util.errors import ConfigurationError
+from ..util.validation import check_positive_int, check_power_of_two
+
+__all__ = ["SwitchPoints"]
+
+
+@dataclass(frozen=True)
+class SwitchPoints:
+    """Complete tunable state of the multi-stage solver."""
+
+    stage1_target_systems: int = 16
+    stage3_system_size: int = 256
+    thomas_switch: int = 64
+    base_variant: str = "coalesced"
+    variant_crossover_stride: Optional[int] = None
+    # Provenance label ("default" / "static" / "dynamic" / "manual"),
+    # carried through reports for the Figure-7 comparison.
+    source: str = "manual"
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.stage1_target_systems, "stage1_target_systems")
+        check_power_of_two(self.stage3_system_size, "stage3_system_size")
+        check_power_of_two(self.thomas_switch, "thomas_switch")
+        if self.base_variant not in ("coalesced", "strided"):
+            raise ConfigurationError(
+                f"unknown base_variant {self.base_variant!r}"
+            )
+        if self.variant_crossover_stride is not None:
+            check_positive_int(
+                self.variant_crossover_stride, "variant_crossover_stride"
+            )
+
+    def variant_for_stride(self, stride: int) -> str:
+        """Pick the base-kernel variant for subsystems at ``stride``.
+
+        With a learned crossover, contiguous/small strides use the
+        coalesced kernel and large strides the strided one; otherwise the
+        fixed ``base_variant`` applies.
+        """
+        if stride <= 1:
+            return "coalesced"
+        if self.variant_crossover_stride is None:
+            return self.base_variant
+        return (
+            "strided" if stride >= self.variant_crossover_stride else "coalesced"
+        )
+
+    def with_(self, **kwargs) -> "SwitchPoints":
+        """Copy with selected fields replaced."""
+        return replace(self, **kwargs)
+
+    def describe(self) -> str:
+        """One-line summary for logs and benchmark tables."""
+        crossover = (
+            f", crossover@{self.variant_crossover_stride}"
+            if self.variant_crossover_stride is not None
+            else ""
+        )
+        return (
+            f"[{self.source}] stage1->2 @ {self.stage1_target_systems} systems, "
+            f"stage2->3 @ size {self.stage3_system_size}, "
+            f"stage3->4 @ {self.thomas_switch} subsystems, "
+            f"variant {self.base_variant}{crossover}"
+        )

@@ -1,0 +1,110 @@
+"""Hybrid GPU/CPU dispatch — the paper's closing future-work item.
+
+The conclusion's last sentence: "extend our techniques to also explore
+the boundary between GPU and CPU." Figure 8 already shows where that
+boundary lies (the CPU wins the single 2M-equation system); this module
+automates the decision: price a workload on both engines' cost models
+and run whichever is cheaper.
+
+:class:`HybridDispatcher` exposes the decision (`choose`), the solve
+(`solve`, exact numerics either way), and the learned boundary
+(`crossover_size`) — the system size at which, for a given system count,
+the CPU overtakes the GPU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+import numpy as np
+
+from ..baselines.mkl import INTEL_CORE_I5_34GHZ, CpuSpec, MklLikeCpuSolver
+from ..gpu.executor import Device, make_device
+from ..kernels import dtype_size
+from ..systems.tridiagonal import TridiagonalBatch
+from ..util.validation import check_positive_int
+from .pricing import simulate_plan
+from .solver import MultiStageSolver
+from .tuning import SelfTuner
+
+__all__ = ["HybridChoice", "HybridDispatcher"]
+
+
+@dataclass(frozen=True)
+class HybridChoice:
+    """Outcome of one dispatch decision."""
+
+    engine: str  # "gpu" or "cpu"
+    gpu_ms: float
+    cpu_ms: float
+
+    @property
+    def advantage(self) -> float:
+        """How much faster the chosen engine is (>= 1)."""
+        slow, fast = max(self.gpu_ms, self.cpu_ms), min(self.gpu_ms, self.cpu_ms)
+        return slow / max(fast, 1e-300)
+
+
+class HybridDispatcher:
+    """Route tridiagonal workloads to the faster engine, per shape."""
+
+    def __init__(
+        self,
+        device: Union[Device, str] = "gtx470",
+        cpu: CpuSpec = INTEL_CORE_I5_34GHZ,
+        *,
+        tuner: Optional[SelfTuner] = None,
+    ):
+        self.device = make_device(device)
+        self.tuner = tuner or SelfTuner()
+        self.cpu_solver = MklLikeCpuSolver(cpu)
+
+    # -- pricing & decision ---------------------------------------------------
+
+    def price(
+        self, num_systems: int, system_size: int, dsize: int = 4
+    ) -> HybridChoice:
+        """Model both engines for a workload shape and pick the faster."""
+        check_positive_int(num_systems, "num_systems")
+        check_positive_int(system_size, "system_size")
+        sp = self.tuner.switch_points(self.device, num_systems, system_size, dsize)
+        _, report = simulate_plan(
+            self.device, num_systems, system_size, dsize, sp
+        )
+        gpu_ms = report.total_ms
+        cpu_ms = self.cpu_solver.modeled_time_ms(num_systems, system_size, dsize)
+        return HybridChoice(
+            engine="gpu" if gpu_ms <= cpu_ms else "cpu",
+            gpu_ms=gpu_ms,
+            cpu_ms=cpu_ms,
+        )
+
+    def choose(self, batch: TridiagonalBatch) -> HybridChoice:
+        """The dispatch decision for a concrete batch."""
+        return self.price(
+            batch.num_systems, batch.system_size, dtype_size(batch.dtype)
+        )
+
+    def crossover_size(
+        self, num_systems: int, *, dsize: int = 4, max_exp: int = 24
+    ) -> Optional[int]:
+        """Smallest power-of-two system size the CPU wins for this count.
+
+        Returns ``None`` when the GPU wins every probed size (the usual
+        case for machine-filling system counts).
+        """
+        for exp in range(6, max_exp + 1):
+            if self.price(num_systems, 1 << exp, dsize).engine == "cpu":
+                return 1 << exp
+        return None
+
+    # -- solving ------------------------------------------------------------------
+
+    def solve(self, batch: TridiagonalBatch):
+        """Solve on the chosen engine; returns ``(x, choice)``."""
+        choice = self.choose(batch)
+        if choice.engine == "gpu":
+            result = MultiStageSolver(self.device, self.tuner).solve(batch)
+            return result.x, choice
+        return self.cpu_solver.solve(batch).x, choice

@@ -1,0 +1,149 @@
+"""The workflow planner — Figure 1 of the paper as code.
+
+Given a workload shape ``(m, n)``, a device, and a set of switch points,
+the planner decides how many cooperative (stage-1) and independent
+(stage-2) split steps to run and how the surviving subsystems are solved
+on-chip. The plan is a pure description; the solver executes it.
+
+Decision logic (paper §III-D):
+
+1. systems that already fit on-chip skip straight to stage 3;
+2. otherwise split down to ``stage3_system_size``. While there are fewer
+   independent systems than ``stage1_target_systems``, split
+   cooperatively (stage 1); once enough systems exist, each block splits
+   its own system (stage 2);
+3. on-chip, PCR until ``thomas_switch`` subsystems, then Thomas (stage 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..util.errors import PlanError
+from ..util.validation import ilog2, is_power_of_two, next_power_of_two
+from .config import SwitchPoints
+
+__all__ = ["SolvePlan", "plan_solve"]
+
+
+@dataclass(frozen=True)
+class SolvePlan:
+    """Executable description of one multi-stage solve."""
+
+    num_systems: int  # m, after padding
+    system_size: int  # n, after padding (power of two)
+    stage1_steps: int
+    stage2_steps: int
+    stage3_system_size: int  # size entering the on-chip kernel
+    thomas_switch: int  # clamped to stage3_system_size
+    variant: str  # base-kernel variant actually used
+    stride: int  # interleaving stride at stage 3
+
+    @property
+    def total_split_steps(self) -> int:
+        """Total PCR splitting depth before the on-chip solve."""
+        return self.stage1_steps + self.stage2_steps
+
+    @property
+    def uses_stage1(self) -> bool:
+        """Whether cooperative splitting participates."""
+        return self.stage1_steps > 0
+
+    @property
+    def uses_stage2(self) -> bool:
+        """Whether per-block splitting participates."""
+        return self.stage2_steps > 0
+
+    @property
+    def systems_entering_stage2(self) -> int:
+        """Independent systems after stage 1."""
+        return self.num_systems << self.stage1_steps
+
+    @property
+    def systems_entering_stage3(self) -> int:
+        """Independent systems entering the on-chip kernel."""
+        return self.num_systems << self.total_split_steps
+
+    def describe(self) -> str:
+        """Multi-line human-readable plan."""
+        lines = [
+            f"workload {self.num_systems} x {self.system_size}:",
+        ]
+        if self.uses_stage1:
+            lines.append(
+                f"  stage 1: {self.stage1_steps} cooperative split steps -> "
+                f"{self.systems_entering_stage2} systems"
+            )
+        if self.uses_stage2:
+            lines.append(
+                f"  stage 2: {self.stage2_steps} per-block split steps -> "
+                f"{self.systems_entering_stage3} systems of "
+                f"{self.stage3_system_size}"
+            )
+        lines.append(
+            f"  stage 3+4: {self.variant} PCR-Thomas "
+            f"(switch at {self.thomas_switch}, stride {self.stride})"
+        )
+        return "\n".join(lines)
+
+
+def plan_solve(
+    device,
+    num_systems: int,
+    system_size: int,
+    dtype_size: int,
+    switch: SwitchPoints,
+) -> SolvePlan:
+    """Build a :class:`SolvePlan` for ``(num_systems, system_size)``.
+
+    ``system_size`` may be any positive integer; the plan is built for the
+    padded power-of-two size (the solver pads the data accordingly).
+
+    Raises :class:`PlanError` when no valid plan exists (e.g. the
+    requested on-chip size exceeds the device's capacity).
+    """
+    if num_systems < 1 or system_size < 1:
+        raise PlanError("workload must have at least one system and equation")
+    n = (
+        system_size
+        if is_power_of_two(system_size)
+        else next_power_of_two(system_size)
+    )
+    m = num_systems
+
+    max_onchip = device.max_onchip_system_size(dtype_size)
+    stage3 = min(switch.stage3_system_size, max_onchip)
+    if stage3 < 2 and n > 1:
+        raise PlanError(
+            f"device {device.name} cannot host any useful on-chip system"
+        )
+
+    if n <= stage3:
+        # Fits on-chip immediately: single base-kernel launch.
+        stage3 = n
+        k1 = k2 = 0
+    else:
+        total_steps = ilog2(n) - ilog2(stage3)
+        if m >= switch.stage1_target_systems:
+            k1 = 0
+        else:
+            # Smallest k1 with m * 2^k1 >= target (cooperative splitting
+            # stops as soon as stage 2 can fill the machine).
+            deficit = -(-switch.stage1_target_systems // m)  # ceil
+            k1 = max(0, (deficit - 1).bit_length())
+            k1 = min(k1, total_steps)
+        k2 = total_steps - k1
+
+    stride = 1 << (k1 + k2)
+    thomas = min(switch.thomas_switch, stage3)
+    variant = switch.variant_for_stride(stride)
+    return SolvePlan(
+        num_systems=m,
+        system_size=n,
+        stage1_steps=k1,
+        stage2_steps=k2,
+        stage3_system_size=stage3,
+        thomas_switch=thomas,
+        variant=variant,
+        stride=stride,
+    )

@@ -1,0 +1,99 @@
+"""Data-free plan pricing.
+
+:func:`simulate_plan` prices a full multi-stage solve — same kernels, same
+launch parameters, same cost records as :class:`MultiStageSolver.solve` —
+without touching any coefficient data. It is the stopwatch of the dynamic
+self-tuner and of the figure benchmarks at the paper's nominal workload
+sizes (where running the numerics in host NumPy would dwarf the model
+evaluation). A regression test pins ``simulate_plan`` and the real solver
+to identical timings.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..gpu.executor import Device, SimReport
+from ..kernels import (
+    CoopPcrKernel,
+    GlobalPcrKernel,
+    KernelContext,
+    PcrThomasSmemKernel,
+)
+from .config import SwitchPoints
+from .planner import SolvePlan, plan_solve
+
+__all__ = ["simulate_plan", "price_base_kernel"]
+
+
+def simulate_plan(
+    device: Device,
+    num_systems: int,
+    system_size: int,
+    dtype_size: int,
+    switch: SwitchPoints,
+) -> Tuple[SolvePlan, SimReport]:
+    """Price the full multi-stage solve of an ``(m, n)`` workload."""
+    plan = plan_solve(device, num_systems, system_size, dtype_size, switch)
+    session = device.session()
+    ctx = KernelContext(session)
+    m, n = plan.num_systems, plan.system_size
+
+    if plan.uses_stage1:
+        coop = CoopPcrKernel()
+        total_eqs = m * n
+        stride = 1
+        for _ in range(plan.stage1_steps):
+            session.submit(
+                coop.cost_per_step(ctx, total_eqs, dtype_size, stride=stride),
+                stage="stage1_coop_pcr",
+            )
+            stride *= 2
+    if plan.uses_stage2:
+        splitter = GlobalPcrKernel()
+        session.submit(
+            splitter.cost(
+                ctx,
+                plan.systems_entering_stage2,
+                n >> plan.stage1_steps,
+                dtype_size,
+                plan.stage2_steps,
+                start_stride=1 << plan.stage1_steps,
+            ),
+            stage="stage2_global_pcr",
+        )
+    base = PcrThomasSmemKernel(
+        thomas_switch=plan.thomas_switch, variant=plan.variant
+    )
+    session.submit(
+        base.cost(
+            ctx,
+            plan.systems_entering_stage3,
+            plan.stage3_system_size,
+            dtype_size,
+            plan.stride,
+        ),
+        stage="stage3_pcr_thomas",
+    )
+    return plan, session.report()
+
+
+def price_base_kernel(
+    device: Device,
+    num_systems: int,
+    system_size: int,
+    dtype_size: int,
+    *,
+    thomas_switch: int,
+    variant: str,
+    stride: int = 1,
+) -> float:
+    """Price a single base-kernel launch, in simulated milliseconds."""
+    session = device.session()
+    ctx = KernelContext(session)
+    kernel = PcrThomasSmemKernel(thomas_switch=thomas_switch, variant=variant)
+    breakdown = session.submit(
+        kernel.cost(ctx, num_systems, system_size, dtype_size, stride),
+        stage="microbench",
+    )
+    return breakdown.total_ms

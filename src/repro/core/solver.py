@@ -1,0 +1,168 @@
+"""The multi-stage tridiagonal solver — the paper's primary contribution.
+
+:class:`MultiStageSolver` binds a simulated device to a switch-point
+source (an explicit :class:`SwitchPoints` or a tuner) and executes the
+Figure-1 workflow on any workload that fits global memory:
+
+    stage 1 (cooperative PCR) → stage 2 (per-block PCR) →
+    stage 3 (on-chip PCR) → stage 4 (Thomas)
+
+``solve`` returns the exact solution together with the simulated-timing
+report; :func:`solve` is the one-call functional front door.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+import numpy as np
+
+from ..algorithms.padding import pad_pow2, unpad_solution
+from ..algorithms.pcr import pcr_unsplit_solution
+from ..algorithms.verify import assert_solution
+from ..gpu.executor import Device, SimReport, make_device
+from ..kernels import (
+    CoopPcrKernel,
+    GlobalPcrKernel,
+    KernelContext,
+    PcrThomasSmemKernel,
+    dtype_size,
+)
+from ..systems.tridiagonal import TridiagonalBatch
+from ..util.errors import ConfigurationError
+from .config import SwitchPoints
+from .planner import SolvePlan, plan_solve
+
+__all__ = ["SolveResult", "MultiStageSolver", "solve"]
+
+
+@dataclass(frozen=True)
+class SolveResult:
+    """Solution plus provenance of one multi-stage solve."""
+
+    x: np.ndarray
+    plan: SolvePlan
+    switch_points: SwitchPoints
+    report: SimReport
+
+    @property
+    def simulated_ms(self) -> float:
+        """Simulated end-to-end GPU time."""
+        return self.report.total_ms
+
+
+class MultiStageSolver:
+    """The paper's solver, parameterised by device and switch points.
+
+    ``tuning`` may be an explicit :class:`SwitchPoints`, a tuner instance
+    (anything with ``switch_points(device, num_systems, system_size,
+    dtype_size)``), or one of the strategy names ``"default"``,
+    ``"static"``, ``"dynamic"``.
+    """
+
+    def __init__(
+        self,
+        device: Union[Device, str],
+        tuning: Union[SwitchPoints, str, "object", None] = "default",
+        *,
+        verify: bool = False,
+    ):
+        self.device = make_device(device)
+        self.verify = verify
+        self._tuner = None
+        self._switch: Optional[SwitchPoints] = None
+        if tuning is None:
+            tuning = "default"
+        if isinstance(tuning, SwitchPoints):
+            self._switch = tuning
+        elif isinstance(tuning, str):
+            from .tuning import make_tuner
+
+            self._tuner = make_tuner(tuning)
+        elif hasattr(tuning, "switch_points"):
+            self._tuner = tuning
+        else:
+            raise ConfigurationError(
+                f"tuning must be SwitchPoints, a tuner, or a strategy name; "
+                f"got {type(tuning).__name__}"
+            )
+
+    # -- switch-point resolution -------------------------------------------
+
+    def switch_points_for(
+        self, num_systems: int, system_size: int, dsize: int
+    ) -> SwitchPoints:
+        """Resolve switch points for a workload shape."""
+        if self._switch is not None:
+            return self._switch
+        return self._tuner.switch_points(
+            self.device, num_systems, system_size, dsize
+        )
+
+    def plan_for(self, batch: TridiagonalBatch) -> SolvePlan:
+        """The plan this solver would execute for ``batch``."""
+        dsize = dtype_size(batch.dtype)
+        switch = self.switch_points_for(
+            batch.num_systems, batch.system_size, dsize
+        )
+        return plan_solve(
+            self.device, batch.num_systems, batch.system_size, dsize, switch
+        )
+
+    # -- execution -------------------------------------------------------------
+
+    def solve(self, batch: TridiagonalBatch) -> SolveResult:
+        """Solve ``batch``; returns solution, plan, and timing report."""
+        dsize = dtype_size(batch.dtype)
+        self.device.check_fits_global(batch.nbytes + batch.d.nbytes)
+        switch = self.switch_points_for(
+            batch.num_systems, batch.system_size, dsize
+        )
+        plan = plan_solve(
+            self.device, batch.num_systems, batch.system_size, dsize, switch
+        )
+
+        padded, original_n = pad_pow2(batch)
+        session = self.device.session()
+        ctx = KernelContext(session)
+
+        work = padded
+        if plan.uses_stage1:
+            work = CoopPcrKernel().run(ctx, work, plan.stage1_steps)
+        if plan.uses_stage2:
+            work = GlobalPcrKernel().run(
+                ctx,
+                work,
+                plan.stage3_system_size,
+                start_stride=1 << plan.stage1_steps,
+            )
+        kernel = PcrThomasSmemKernel(
+            thomas_switch=plan.thomas_switch, variant=plan.variant
+        )
+        x = kernel.run(ctx, work, stride=plan.stride)
+        # Undo the gathers innermost-first: the stage-2 split acted on the
+        # stage-1 split's output, so their inverses compose in reverse.
+        x = pcr_unsplit_solution(x, plan.stage2_steps)
+        x = pcr_unsplit_solution(x, plan.stage1_steps)
+        x = unpad_solution(x, original_n)
+
+        if self.verify:
+            assert_solution(batch, x, context="multi-stage solve")
+        return SolveResult(
+            x=x,
+            plan=plan,
+            switch_points=switch,
+            report=session.report(),
+        )
+
+
+def solve(
+    batch: TridiagonalBatch,
+    device: Union[Device, str] = "gtx470",
+    tuning: Union[SwitchPoints, str, None] = "dynamic",
+    *,
+    verify: bool = False,
+) -> SolveResult:
+    """One-call front door: solve ``batch`` on ``device`` with ``tuning``."""
+    return MultiStageSolver(device, tuning, verify=verify).solve(batch)

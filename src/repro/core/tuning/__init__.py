@@ -1,0 +1,40 @@
+"""The three parameter-selection strategies of the paper, plus plumbing."""
+
+from ...util.errors import ConfigurationError
+from .base import Tuner, TuningTrace
+from .cache import TuningCache
+from .default import DEFAULT_SWITCH_POINTS, DefaultTuner
+from .dynamic import SelfTuner
+from .search import exhaustive_min, pow2_hill_climb, pow2_range
+from .static import MachineQueryTuner
+
+__all__ = [
+    "Tuner",
+    "TuningTrace",
+    "TuningCache",
+    "DefaultTuner",
+    "DEFAULT_SWITCH_POINTS",
+    "MachineQueryTuner",
+    "SelfTuner",
+    "make_tuner",
+    "pow2_hill_climb",
+    "pow2_range",
+    "exhaustive_min",
+    "TUNER_NAMES",
+]
+
+TUNER_NAMES = ("default", "static", "dynamic")
+
+
+def make_tuner(name: str, **kwargs) -> Tuner:
+    """Build a tuner by strategy name (``default``/``static``/``dynamic``)."""
+    key = name.strip().lower()
+    if key in ("default", "untuned", "none"):
+        return DefaultTuner()
+    if key in ("static", "machine", "machine-query"):
+        return MachineQueryTuner()
+    if key in ("dynamic", "self", "self-tuned", "auto"):
+        return SelfTuner(**kwargs)
+    raise ConfigurationError(
+        f"unknown tuning strategy {name!r}; expected one of {TUNER_NAMES}"
+    )

@@ -1,0 +1,64 @@
+"""Tuner interface shared by the three parameter-selection strategies."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ...gpu.executor import Device
+from ..config import SwitchPoints
+
+__all__ = ["Tuner", "TuningTrace"]
+
+
+@dataclass
+class TuningTrace:
+    """Search diagnostics: every evaluated point and its simulated cost.
+
+    Used by the ablation benchmarks to compare search strategies (seeded
+    vs cold, decoupled vs joint) by evaluation count — the quantity the
+    paper's pruning argument is about (16+32 vs 16x32).
+    """
+
+    evaluations: List[Tuple[str, Dict[str, int], float]] = field(
+        default_factory=list
+    )
+
+    def record(self, axis: str, point: Dict[str, int], cost_ms: float) -> None:
+        """Record one evaluated configuration."""
+        self.evaluations.append((axis, dict(point), cost_ms))
+
+    @property
+    def num_evaluations(self) -> int:
+        """Total configurations priced during the search."""
+        return len(self.evaluations)
+
+    def evaluations_for(self, axis: str) -> int:
+        """Configurations priced while tuning one axis."""
+        return sum(1 for a, _, _ in self.evaluations if a == axis)
+
+
+class Tuner(abc.ABC):
+    """A parameter-selection strategy.
+
+    ``switch_points`` receives the workload shape because some strategies
+    could use it; the paper's three strategies are workload-oblivious at
+    selection time (the self-tuner bakes workload dependence into its
+    tuning procedure and caches per device).
+    """
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def switch_points(
+        self,
+        device: Device,
+        num_systems: int,
+        system_size: int,
+        dtype_size: int,
+    ) -> SwitchPoints:
+        """Produce switch points for a workload on a device."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"

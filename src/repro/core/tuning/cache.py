@@ -1,0 +1,104 @@
+"""Persistence for tuned switch points ("save those results for future
+runs", paper §IV-D).
+
+Results are keyed by ``(device name, dtype size)`` — the axes that change
+the answers — and stored as plain JSON so they survive across processes
+and are human-inspectable. A cache without a path is memory-only.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Optional, Union
+
+from ...util.errors import TuningError
+from ..config import SwitchPoints
+
+__all__ = ["TuningCache"]
+
+_FORMAT_VERSION = 1
+
+
+class TuningCache:
+    """In-memory + optional on-disk store of tuned :class:`SwitchPoints`."""
+
+    def __init__(self, path: Union[str, os.PathLike, None] = None):
+        self.path = os.fspath(path) if path is not None else None
+        self._store: Dict[str, dict] = {}
+        if self.path is not None and os.path.exists(self.path):
+            self._load()
+
+    @staticmethod
+    def key(device_name: str, dtype_size: int, workload_class: str = "generic") -> str:
+        """Stable cache key for a device/precision/workload-class triple.
+
+        The self-tuner keys its results by the system-size class it tuned
+        for ("a typical self-tuning run for a particular system and GPU",
+        paper §IV-D); ``generic`` covers shape-oblivious tuning.
+        """
+        return f"{device_name}|dsize={dtype_size}|{workload_class}"
+
+    def get(
+        self,
+        device_name: str,
+        dtype_size: int,
+        workload_class: str = "generic",
+    ) -> Optional[SwitchPoints]:
+        """Cached switch points, or ``None``."""
+        entry = self._store.get(self.key(device_name, dtype_size, workload_class))
+        if entry is None:
+            return None
+        return SwitchPoints(**entry)
+
+    def put(
+        self,
+        device_name: str,
+        dtype_size: int,
+        switch: SwitchPoints,
+        workload_class: str = "generic",
+    ) -> None:
+        """Store switch points and persist when a path is configured."""
+        self._store[self.key(device_name, dtype_size, workload_class)] = {
+            "stage1_target_systems": switch.stage1_target_systems,
+            "stage3_system_size": switch.stage3_system_size,
+            "thomas_switch": switch.thomas_switch,
+            "base_variant": switch.base_variant,
+            "variant_crossover_stride": switch.variant_crossover_stride,
+            "source": switch.source,
+        }
+        if self.path is not None:
+            self._save()
+
+    def clear(self) -> None:
+        """Drop every entry (and the on-disk file's contents)."""
+        self._store.clear()
+        if self.path is not None:
+            self._save()
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    # -- disk ----------------------------------------------------------------
+
+    def _save(self) -> None:
+        payload = {"version": _FORMAT_VERSION, "entries": self._store}
+        tmp = f"{self.path}.tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+        os.replace(tmp, self.path)
+
+    def _load(self) -> None:
+        with open(self.path, encoding="utf-8") as fh:
+            text = fh.read()
+        if not text.strip():
+            # An empty (e.g. freshly-touched) file is an empty cache.
+            self._store = {}
+            return
+        payload = json.loads(text)
+        if payload.get("version") != _FORMAT_VERSION:
+            raise TuningError(
+                f"tuning cache {self.path} has unsupported version "
+                f"{payload.get('version')!r}"
+            )
+        self._store = dict(payload.get("entries", {}))

@@ -1,0 +1,45 @@
+"""The default (non-tuned) parameter strategy — paper §IV-B.
+
+Machine-oblivious constants that must at least run correctly everywhere,
+so every size limit is taken from the weakest supported card:
+
+- on-chip system size 256 (the 8800 GTX ceiling — larger would crash it);
+- Thomas switch 64 (two warps' worth of subsystems, so every warp has
+  work on any part);
+- stage-1 target of sixteen systems ("most devices have between four and
+  twenty-four processors");
+- the coalesced base-kernel variant (safe on all coalescing rules).
+"""
+
+from __future__ import annotations
+
+from ...gpu.executor import Device
+from ..config import SwitchPoints
+from .base import Tuner
+
+__all__ = ["DefaultTuner", "DEFAULT_SWITCH_POINTS"]
+
+DEFAULT_SWITCH_POINTS = SwitchPoints(
+    stage1_target_systems=16,
+    stage3_system_size=256,
+    thomas_switch=64,
+    base_variant="coalesced",
+    variant_crossover_stride=None,
+    source="default",
+)
+
+
+class DefaultTuner(Tuner):
+    """Returns the least-common-denominator constants for any device."""
+
+    name = "default"
+
+    def switch_points(
+        self,
+        device: Device,
+        num_systems: int,
+        system_size: int,
+        dtype_size: int,
+    ) -> SwitchPoints:
+        """The same constants, whatever the device or workload."""
+        return DEFAULT_SWITCH_POINTS

@@ -1,0 +1,101 @@
+"""Search primitives for the self-tuner.
+
+The paper's observation is that each decoupled parameter sits in a
+roughly unimodal ("hyperbolic") one-dimensional space whose natural
+neighbourhood is *geometric* — switch points are powers of two. The
+primitive here is therefore a power-of-two hill climb seeded at the
+machine-query guess: evaluate the seed, walk in the improving direction
+by doubling/halving until the cost rises, return the valley point.
+
+``memo`` caching keeps re-evaluations free, and every probe lands in the
+:class:`~repro.core.tuning.base.TuningTrace` so ablations can count them.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+from ...util.errors import TuningError
+from ...util.validation import is_power_of_two
+
+__all__ = ["pow2_hill_climb", "pow2_range", "exhaustive_min"]
+
+
+def pow2_range(lo: int, hi: int) -> Tuple[int, ...]:
+    """All powers of two in ``[lo, hi]``."""
+    if lo < 1 or hi < lo:
+        raise TuningError(f"invalid power-of-two range [{lo}, {hi}]")
+    start = 1 << (lo - 1).bit_length()
+    out = []
+    v = start
+    while v <= hi:
+        out.append(v)
+        v <<= 1
+    if not out:
+        raise TuningError(f"no powers of two in [{lo}, {hi}]")
+    return tuple(out)
+
+
+def pow2_hill_climb(
+    cost: Callable[[int], float],
+    seed: int,
+    lo: int,
+    hi: int,
+    *,
+    memo: Optional[Dict[int, float]] = None,
+) -> Tuple[int, float]:
+    """Minimise ``cost`` over powers of two in ``[lo, hi]`` from ``seed``.
+
+    Returns ``(argmin, min_cost)``. The climb checks both neighbours of
+    the seed, then walks in the better direction until the cost stops
+    improving — a local minimum, which for the unimodal spaces at hand is
+    the global one. A good seed (the machine-query guess) means very few
+    evaluations; a poor one still converges.
+    """
+    if not is_power_of_two(seed):
+        raise TuningError(f"seed {seed} must be a power of two")
+    candidates = pow2_range(lo, hi)
+    seed = min(max(seed, candidates[0]), candidates[-1])
+    memo = {} if memo is None else memo
+
+    def f(x: int) -> float:
+        if x not in memo:
+            memo[x] = cost(x)
+        return memo[x]
+
+    best, best_cost = seed, f(seed)
+    for direction in (1, -1):  # try doubling first, then halving
+        x = best
+        while True:
+            nxt = x << 1 if direction == 1 else x >> 1
+            if nxt < candidates[0] or nxt > candidates[-1]:
+                break
+            c = f(nxt)
+            if c < best_cost:
+                best, best_cost = nxt, c
+                x = nxt
+            else:
+                break
+    return best, best_cost
+
+
+def exhaustive_min(
+    cost: Callable[[int], float],
+    lo: int,
+    hi: int,
+    *,
+    memo: Optional[Dict[int, float]] = None,
+) -> Tuple[int, float]:
+    """Brute-force minimum over powers of two in ``[lo, hi]``.
+
+    The joint-search baseline for the decoupling ablation; also used by
+    tests to check the hill climb lands on the true optimum.
+    """
+    memo = {} if memo is None else memo
+    best, best_cost = None, float("inf")
+    for x in pow2_range(lo, hi):
+        if x not in memo:
+            memo[x] = cost(x)
+        if memo[x] < best_cost:
+            best, best_cost = x, memo[x]
+    return best, best_cost

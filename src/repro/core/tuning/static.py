@@ -1,0 +1,59 @@
+"""The machine-query (static) tuner — paper §IV-C.
+
+Reads *only* the queryable :class:`~repro.gpu.query.DeviceProperties` and
+derives switch points from them:
+
+- the on-chip system size is the largest that fits the queryable
+  shared-memory and register budgets ("launch PCR-Thomas as soon as each
+  system can fit into shared memory");
+- the Thomas switch cannot be modelled without bank counts and bank
+  bandwidth, so the paper falls back to a warp-size rule: 64 subsystems
+  (two warps), constant across devices;
+- the stage-1 target cannot see memory-controller counts, so it is
+  estimated from the processor count alone (two systems per processor);
+- the coalescing crossover cannot be derived at all, so the coalesced
+  variant is always chosen.
+
+Each of those compromises is exactly one of the blind spots the dynamic
+tuner fixes.
+"""
+
+from __future__ import annotations
+
+from ...gpu.executor import Device
+from ..config import SwitchPoints
+from .base import Tuner
+
+__all__ = ["MachineQueryTuner"]
+
+
+class MachineQueryTuner(Tuner):
+    """Derives switch points from queryable device properties only."""
+
+    name = "static"
+
+    def switch_points(
+        self,
+        device: Device,
+        num_systems: int,
+        system_size: int,
+        dtype_size: int,
+    ) -> SwitchPoints:
+        """Best-effort static guess for ``device``."""
+        props = device.properties()
+        stage3 = props.max_onchip_system_size(dtype_size)
+        # Two warps of subsystems per block: every scheduler slot has a
+        # partner warp, on any architecture (paper §IV-C).
+        thomas = 2 * props.warp_size
+        # Two independent systems per processor keeps every SM fed; the
+        # memory-controller count that actually governs saturation is not
+        # queryable.
+        stage1_target = 2 * props.num_processors
+        return SwitchPoints(
+            stage1_target_systems=stage1_target,
+            stage3_system_size=stage3,
+            thomas_switch=min(thomas, stage3),
+            base_variant="coalesced",
+            variant_crossover_stride=None,
+            source="static",
+        )

@@ -1,0 +1,13 @@
+"""Divide-and-conquer generalisation of the multi-stage strategy (§VI-C)."""
+
+from .fft import FftResult, MultiStageFFT, radix2_fft
+from .mergesort import MultiStageSorter, SortResult, merge_sorted_runs
+
+__all__ = [
+    "MultiStageSorter",
+    "SortResult",
+    "merge_sorted_runs",
+    "MultiStageFFT",
+    "FftResult",
+    "radix2_fft",
+]

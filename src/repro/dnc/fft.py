@@ -1,0 +1,209 @@
+"""Auto-tuned multi-stage radix-2 FFT — the paper's other §VI-C example.
+
+The paper names the FFT alongside merge sort as a divide-and-conquer
+algorithm that "will benefit from this strategy". A Cooley-Tukey radix-2
+FFT over ``N = 2^L`` points runs ``L`` butterfly stages whose pair
+distance doubles each stage:
+
+- stages with distance < *tile* execute inside shared memory, one block
+  per tile (the base kernel);
+- the remaining stages are global passes, each a full sweep whose
+  power-of-two strides hit the same partition-camping behaviour as the
+  tridiagonal splitter.
+
+The *tile size* is the on-chip/off-chip switch point, traded exactly
+like the sorter's: bigger tiles amortise more stages on-chip but cut
+residency. It is tuned with the shared hill-climb machinery.
+
+Numerics are an exact radix-2 DIT implementation validated against
+``numpy.fft.fft``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..core.tuning.search import pow2_hill_climb
+from ..gpu.cost import ComputePhase, KernelCost
+from ..gpu.executor import Device, SimReport, make_device
+from ..gpu.memory import MemoryTraffic, partition_camping_factor
+from ..kernels.base import warps_for
+from ..util.errors import ConfigurationError
+from ..util.validation import ilog2, is_power_of_two
+
+__all__ = ["MultiStageFFT", "FftResult", "radix2_fft"]
+
+# Issue-slot estimate per butterfly (complex mul + add/sub + twiddle).
+_BUTTERFLY_INSTR = 10.0
+_COMPLEX_BYTES = 16  # complex128
+
+
+def _bit_reverse_indices(n: int) -> np.ndarray:
+    """Bit-reversal permutation for length ``n = 2^L``."""
+    bits = ilog2(n)
+    idx = np.arange(n, dtype=np.uint64)
+    out = np.zeros(n, dtype=np.uint64)
+    for _ in range(bits):
+        out = (out << np.uint64(1)) | (idx & np.uint64(1))
+        idx >>= np.uint64(1)
+    return out.astype(np.intp)
+
+
+def radix2_fft(values: np.ndarray) -> np.ndarray:
+    """Exact iterative radix-2 DIT FFT (power-of-two length)."""
+    x = np.asarray(values, dtype=np.complex128)
+    n = x.shape[0]
+    if not is_power_of_two(n):
+        raise ConfigurationError(f"radix-2 FFT needs a power-of-two length, got {n}")
+    if n == 1:
+        return x.copy()
+    x = x[_bit_reverse_indices(n)]
+    size = 2
+    while size <= n:
+        half = size // 2
+        w = np.exp(-2j * np.pi * np.arange(half) / size)
+        x = x.reshape(-1, size)
+        even = x[:, :half]
+        odd = x[:, half:] * w
+        x = np.concatenate([even + odd, even - odd], axis=1).reshape(-1)
+        size *= 2
+    return x
+
+
+@dataclass(frozen=True)
+class FftResult:
+    """Transformed data plus simulated timing and the plan used."""
+
+    values: np.ndarray
+    report: SimReport
+    tile_size: int
+    onchip_stages: int
+    global_passes: int
+
+    @property
+    def simulated_ms(self) -> float:
+        """Simulated end-to-end time."""
+        return self.report.total_ms
+
+
+class MultiStageFFT:
+    """Radix-2 FFT staged across shared and global memory."""
+
+    def __init__(self, device, *, tile_size: Optional[int] = None):
+        self.device: Device = make_device(device)
+        if tile_size is not None and not is_power_of_two(tile_size):
+            raise ConfigurationError("tile_size must be a power of two")
+        self._fixed_tile = tile_size
+        self._tuned: Dict[int, int] = {}
+
+    # -- capacity ---------------------------------------------------------
+
+    def max_tile_points(self) -> int:
+        """Largest power-of-two tile shared memory holds (double-buffered
+        complex data)."""
+        spec = self.device.spec
+        limit = spec.shared_mem_per_processor // (2 * _COMPLEX_BYTES)
+        return 1 << (int(limit).bit_length() - 1)
+
+    # -- cost model ----------------------------------------------------------
+
+    def _tile_fft_cost(self, total: int, tile: int) -> KernelCost:
+        spec = self.device.spec
+        num_tiles = total // tile
+        stages = ilog2(tile)
+        butterflies = (tile / 2.0) * stages
+        threads = min(max(32, tile // 2), spec.max_threads_per_block)
+        instr = num_tiles * warps_for(max(32, tile // 2)) * stages * _BUTTERFLY_INSTR * (tile / 2.0) / max(32, tile // 2)
+        traffic = MemoryTraffic()
+        traffic.add(spec, 2.0 * total * _COMPLEX_BYTES, stride=1)
+        return KernelCost(
+            name=f"fft_tile[{tile}]",
+            grid_blocks=num_tiles,
+            threads_per_block=threads,
+            smem_per_block=2 * tile * _COMPLEX_BYTES,
+            regs_per_thread=24,
+            phases=[ComputePhase(instr)],
+            traffic=traffic,
+        )
+
+    def _global_pass_cost(self, total: int, distance: int) -> KernelCost:
+        spec = self.device.spec
+        threads = min(256, spec.max_threads_per_block)
+        grid = max(1, -(-total // (threads * 2)))
+        instr = warps_for(total // 2) * _BUTTERFLY_INSTR
+        traffic = MemoryTraffic()
+        traffic.add(spec, 2.0 * total * _COMPLEX_BYTES, stride=1)
+        return KernelCost(
+            name=f"fft_global[dist={distance}]",
+            grid_blocks=min(grid, spec.max_grid_blocks),
+            threads_per_block=threads,
+            regs_per_thread=24,
+            phases=[ComputePhase(instr)],
+            traffic=traffic,
+            bandwidth_efficiency=partition_camping_factor(spec, distance),
+        )
+
+    def _price(self, total: int, tile: int) -> float:
+        session = self.device.session()
+        session.submit(self._tile_fft_cost(total, tile), stage="tile_fft")
+        distance = tile
+        while distance < total:
+            session.submit(
+                self._global_pass_cost(total, distance), stage="global_fft"
+            )
+            distance *= 2
+        return session.report().total_ms
+
+    # -- tuning ----------------------------------------------------------------
+
+    def tuned_tile(self) -> int:
+        """Tile size for this device, hill-climbed on first use."""
+        if self._fixed_tile is not None:
+            return self._fixed_tile
+        key = id(self.device.spec)
+        if key not in self._tuned:
+            max_tile = self.max_tile_points()
+            ref_total = max_tile * max(256, 16 * self.device.spec.num_processors)
+            tile, _ = pow2_hill_climb(
+                lambda t: self._price(ref_total, t),
+                seed=max_tile,
+                lo=64,
+                hi=max_tile,
+            )
+            self._tuned[key] = tile
+        return self._tuned[key]
+
+    # -- transform ------------------------------------------------------------------
+
+    def fft(self, values: np.ndarray) -> FftResult:
+        """Transform a power-of-two-length 1-D array (exact numerics)."""
+        values = np.asarray(values)
+        if values.ndim != 1:
+            raise ConfigurationError("fft takes 1-D arrays")
+        n = values.shape[0]
+        if not is_power_of_two(n) or n < 2:
+            raise ConfigurationError(
+                f"length must be a power of two >= 2, got {n}"
+            )
+        tile = min(self.tuned_tile(), n)
+
+        session = self.device.session()
+        session.submit(self._tile_fft_cost(n, tile), stage="tile_fft")
+        passes = 0
+        distance = tile
+        while distance < n:
+            session.submit(self._global_pass_cost(n, distance), stage="global_fft")
+            distance *= 2
+            passes += 1
+
+        out = radix2_fft(values)
+        return FftResult(
+            values=out,
+            report=session.report(),
+            tile_size=tile,
+            onchip_stages=ilog2(tile),
+            global_passes=passes,
+        )

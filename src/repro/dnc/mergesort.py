@@ -1,0 +1,272 @@
+"""Auto-tuned multi-stage merge sort — the paper's §VI-C generalisation.
+
+The paper argues its strategy transfers to divide-and-conquer algorithms
+at large: bottom-up merge sort "faces the same issues as our tridiagonal
+solver: a shift from solving many independent chunks within a single
+processor's shared memory to solving many independent chunks that do not
+fit within shared memory, and a second shift from solving enough chunks
+to fill the machine to solving fewer, larger chunks that do not fill the
+machine."
+
+:class:`MultiStageSorter` realises that mapping on the same machine
+model:
+
+- **base kernel** — sort tiles in shared memory (bitonic network:
+  O(t log² t) compare-exchanges per tile); the *tile size* is the
+  stage-2→3 analogue, limited by shared memory and traded against merge
+  passes;
+- **independent merges** — each block merges one pair of runs in global
+  memory (one launch per pass, a full data sweep each); good while there
+  are enough pairs to fill the machine;
+- **cooperative merges** — once runs outnumber the pairs the machine
+  needs, blocks cooperate on single merges (Hagerup-Rüb style
+  partitioning), paying a per-pass partition/sync overhead but keeping
+  the memory bus busy; the *cooperative threshold* is the stage-1→2
+  analogue.
+
+Both switch points are tuned with the same seeded power-of-two hill
+climbs the tridiagonal self-tuner uses, and the numerics (NumPy tile
+sorts + stable two-way merges) are exact: the result equals
+``np.sort``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..core.tuning.search import pow2_hill_climb
+from ..gpu.cost import ComputePhase, KernelCost
+from ..gpu.executor import Device, SimReport, make_device
+from ..gpu.memory import MemoryTraffic
+from ..kernels.base import dtype_size, warps_for
+from ..util.errors import ConfigurationError
+from ..util.validation import ilog2, is_power_of_two, next_power_of_two
+
+__all__ = ["MultiStageSorter", "SortResult", "merge_sorted_runs"]
+
+# Compare-exchange issue cost (compare + conditional swap + smem traffic).
+_BITONIC_INSTR_PER_CE = 6.0
+# Per-element merge cost in global memory (read, compare, write).
+_MERGE_INSTR_PER_ELEM = 4.0
+# Extra fraction of a cooperative pass spent on partition searches.
+_COOP_PARTITION_OVERHEAD = 0.3
+
+
+def merge_sorted_runs(values: np.ndarray, run_length: int) -> np.ndarray:
+    """Stable pairwise merge: runs of ``run_length`` become ``2x`` runs.
+
+    Vectorised per pair via ``searchsorted`` rank arithmetic (elements of
+    the left run precede equal elements of the right run).
+    """
+    n = values.shape[0]
+    if n % (2 * run_length) != 0:
+        raise ConfigurationError(
+            f"array length {n} is not a multiple of 2*run_length"
+        )
+    pairs = values.reshape(-1, 2, run_length)
+    left, right = pairs[:, 0, :], pairs[:, 1, :]
+    out = np.empty((pairs.shape[0], 2 * run_length), dtype=values.dtype)
+    for p in range(pairs.shape[0]):
+        a, b = left[p], right[p]
+        pos_a = np.arange(run_length) + np.searchsorted(b, a, side="left")
+        pos_b = np.arange(run_length) + np.searchsorted(a, b, side="right")
+        out[p, pos_a] = a
+        out[p, pos_b] = b
+    return out.reshape(n)
+
+
+@dataclass(frozen=True)
+class SortResult:
+    """Sorted output plus simulated timing and the plan used."""
+
+    values: np.ndarray
+    report: SimReport
+    tile_size: int
+    coop_threshold: int
+    independent_passes: int
+    cooperative_passes: int
+
+    @property
+    def simulated_ms(self) -> float:
+        """Simulated end-to-end time."""
+        return self.report.total_ms
+
+
+class MultiStageSorter:
+    """Bottom-up merge sort with auto-tuned switch points."""
+
+    def __init__(
+        self,
+        device,
+        *,
+        tile_size: Optional[int] = None,
+        coop_threshold: Optional[int] = None,
+    ):
+        self.device: Device = make_device(device)
+        for name, val in (("tile_size", tile_size), ("coop_threshold", coop_threshold)):
+            if val is not None and not is_power_of_two(val):
+                raise ConfigurationError(f"{name} must be a power of two")
+        self._fixed_tile = tile_size
+        self._fixed_coop = coop_threshold
+        self._tuned: Dict[int, Tuple[int, int]] = {}
+
+    # -- capacity ---------------------------------------------------------
+
+    def max_tile_elements(self, dsize: int) -> int:
+        """Largest power-of-two tile a shared memory can hold (key +
+        payload buffers, double-buffered)."""
+        spec = self.device.spec
+        limit = spec.shared_mem_per_processor // (2 * dsize)
+        return 1 << (int(limit).bit_length() - 1)
+
+    # -- cost model ----------------------------------------------------------
+
+    def _tile_sort_cost(self, total: int, tile: int, dsize: int) -> KernelCost:
+        spec = self.device.spec
+        num_tiles = total // tile
+        stages = ilog2(tile)
+        ce_per_tile = (tile / 2.0) * stages * (stages + 1) / 2.0
+        threads = min(max(32, tile // 2), spec.max_threads_per_block)
+        instr = num_tiles * (ce_per_tile / 32.0) * _BITONIC_INSTR_PER_CE * 32 / threads * warps_for(threads)
+        traffic = MemoryTraffic()
+        traffic.add(spec, 2.0 * total * dsize, stride=1)  # read + write
+        return KernelCost(
+            name=f"bitonic_tile_sort[{tile}]",
+            grid_blocks=num_tiles,
+            threads_per_block=threads,
+            smem_per_block=2 * tile * dsize,
+            regs_per_thread=16,
+            phases=[ComputePhase(instr)],
+            traffic=traffic,
+        )
+
+    def _merge_pass_cost(
+        self, total: int, num_pairs: int, dsize: int, cooperative: bool
+    ) -> KernelCost:
+        spec = self.device.spec
+        threads = min(256, spec.max_threads_per_block)
+        traffic = MemoryTraffic()
+        traffic.add(spec, 2.0 * total * dsize, stride=1)
+        instr = warps_for(total) * _MERGE_INSTR_PER_ELEM
+        if cooperative:
+            grid = max(1, -(-total // (threads * 4)))
+            instr *= 1.0 + _COOP_PARTITION_OVERHEAD
+            return KernelCost(
+                name="coop_merge_pass",
+                grid_blocks=min(grid, spec.max_grid_blocks),
+                threads_per_block=threads,
+                regs_per_thread=24,
+                phases=[ComputePhase(instr)],
+                traffic=traffic,
+                extra_sync_us=spec.coop_sync_overhead_us,
+                bandwidth_efficiency=spec.coop_bandwidth_efficiency,
+            )
+        return KernelCost(
+            name="independent_merge_pass",
+            grid_blocks=max(1, num_pairs),
+            threads_per_block=threads,
+            regs_per_thread=24,
+            phases=[ComputePhase(instr)],
+            traffic=traffic,
+        )
+
+    def _price(self, total: int, tile: int, coop_threshold: int, dsize: int) -> float:
+        session = self.device.session()
+        session.submit(self._tile_sort_cost(total, tile, dsize), stage="tile_sort")
+        runs = total // tile
+        while runs > 1:
+            pairs = runs // 2
+            cooperative = pairs < coop_threshold
+            session.submit(
+                self._merge_pass_cost(total, pairs, dsize, cooperative),
+                stage="coop_merge" if cooperative else "merge",
+            )
+            runs = pairs
+        return session.report().total_ms
+
+    # -- tuning ----------------------------------------------------------------
+
+    def tuned_parameters(self, dsize: int) -> Tuple[int, int]:
+        """(tile_size, coop_threshold) for this device, tuned on first use."""
+        if self._fixed_tile is not None and self._fixed_coop is not None:
+            return self._fixed_tile, self._fixed_coop
+        if dsize not in self._tuned:
+            spec = self.device.spec
+            max_tile = self.max_tile_elements(dsize)
+            ref_total = max_tile * max(256, 16 * spec.num_processors)
+
+            tile, _ = pow2_hill_climb(
+                lambda t: self._price(ref_total, t, 2 * spec.num_processors, dsize),
+                seed=min(1024, max_tile),
+                lo=64,
+                hi=max_tile,
+            )
+            coop, _ = pow2_hill_climb(
+                lambda c: self._price(ref_total, tile, c, dsize),
+                seed=next_power_of_two(2 * spec.num_processors),
+                lo=1,
+                hi=1024,
+            )
+            self._tuned[dsize] = (tile, coop)
+        tile, coop = self._tuned[dsize]
+        if self._fixed_tile is not None:
+            tile = self._fixed_tile
+        if self._fixed_coop is not None:
+            coop = self._fixed_coop
+        return tile, coop
+
+    # -- sorting ------------------------------------------------------------------
+
+    def sort(self, values: np.ndarray) -> SortResult:
+        """Sort a 1-D array; exact numerics plus simulated timing."""
+        values = np.ascontiguousarray(values)
+        if values.ndim != 1:
+            raise ConfigurationError("sorter takes 1-D arrays")
+        n = values.shape[0]
+        if n == 0:
+            return SortResult(values.copy(), self.device.session().report(), 0, 0, 0, 0)
+        dsize = dtype_size(values.dtype)
+        tile, coop_threshold = self.tuned_parameters(dsize)
+
+        # Pad to a power-of-two multiple of the tile with +inf sentinels.
+        padded_n = max(next_power_of_two(n), tile)
+        work = np.full(padded_n, np.inf, dtype=np.float64)
+        work[:n] = values.astype(np.float64)
+        tile = min(tile, padded_n)
+
+        session = self.device.session()
+        session.submit(
+            self._tile_sort_cost(padded_n, tile, dsize), stage="tile_sort"
+        )
+        work = np.sort(work.reshape(-1, tile), axis=1).reshape(padded_n)
+
+        runs = padded_n // tile
+        run_length = tile
+        independent = cooperative = 0
+        while runs > 1:
+            pairs = runs // 2
+            is_coop = pairs < coop_threshold
+            session.submit(
+                self._merge_pass_cost(padded_n, pairs, dsize, is_coop),
+                stage="coop_merge" if is_coop else "merge",
+            )
+            work = merge_sorted_runs(work, run_length)
+            run_length *= 2
+            runs = pairs
+            if is_coop:
+                cooperative += 1
+            else:
+                independent += 1
+
+        out = work[:n].astype(values.dtype)
+        return SortResult(
+            values=out,
+            report=session.report(),
+            tile_size=tile,
+            coop_threshold=coop_threshold,
+            independent_passes=independent,
+            cooperative_passes=cooperative,
+        )

@@ -1,0 +1,54 @@
+"""Simulated GPU machine model: devices, occupancy, memory, cost, execution."""
+
+from .cost import ComputePhase, CostBreakdown, KernelCost, kernel_time_ms
+from .custom import GENERATION_PRESETS, make_custom_spec
+from .executor import Device, LaunchRecord, SimReport, SimSession, make_device
+from .memory import MemoryTraffic, bus_saturation, strided_access_penalty
+from .occupancy import Occupancy, compute_occupancy, latency_efficiency
+from .query import DeviceProperties, query_device
+from .sharedmem import bank_conflict_factor, check_shared_allocation, shared_access_cycles
+from .spec import (
+    ARRAYS_PER_EQUATION,
+    GEFORCE_8800_GTX,
+    GEFORCE_GTX_280,
+    GEFORCE_GTX_470,
+    PAPER_DEVICES,
+    REGISTERS_PER_EQUATION,
+    DeviceSpec,
+    device_names,
+    get_device_spec,
+)
+
+__all__ = [
+    "make_custom_spec",
+    "GENERATION_PRESETS",
+    "DeviceSpec",
+    "GEFORCE_8800_GTX",
+    "GEFORCE_GTX_280",
+    "GEFORCE_GTX_470",
+    "PAPER_DEVICES",
+    "get_device_spec",
+    "device_names",
+    "ARRAYS_PER_EQUATION",
+    "REGISTERS_PER_EQUATION",
+    "DeviceProperties",
+    "query_device",
+    "Occupancy",
+    "compute_occupancy",
+    "latency_efficiency",
+    "MemoryTraffic",
+    "strided_access_penalty",
+    "bus_saturation",
+    "bank_conflict_factor",
+    "check_shared_allocation",
+    "shared_access_cycles",
+    "ComputePhase",
+    "KernelCost",
+    "CostBreakdown",
+    "kernel_time_ms",
+    "Device",
+    "SimSession",
+    "SimReport",
+    "LaunchRecord",
+    "make_device",
+]

@@ -1,0 +1,137 @@
+"""The kernel cost model: compute phases + memory traffic → milliseconds.
+
+A kernel describes itself as a :class:`KernelCost`:
+
+- a launch configuration (grid, block, shared memory, registers),
+- one or more :class:`ComputePhase` records (warp-instruction totals with
+  the per-block active thread count of that phase — the PCR phase of the
+  hybrid kernel keeps every thread busy, the Thomas phase only ``T``),
+- a :class:`MemoryTraffic` accumulator,
+- launch counts and extra synchronisation overhead (stage 1 pays one
+  launch plus a grid sync per split step).
+
+:func:`kernel_time_ms` resolves this against a :class:`DeviceSpec`:
+
+``time = launches * launch_overhead + sync + max(compute, memory)``
+
+with compute throughput scaled by occupancy-dependent latency hiding and
+memory throughput by coalescing (already folded into the traffic) and bus
+saturation. The overlap of compute and memory inside one kernel is the
+usual roofline assumption.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..util.errors import ConfigurationError
+from ..util.units import cycles_to_ms, us_to_ms
+from .memory import MemoryTraffic
+from .occupancy import Occupancy, compute_occupancy, latency_efficiency
+from .spec import DeviceSpec
+
+__all__ = ["ComputePhase", "KernelCost", "CostBreakdown", "kernel_time_ms"]
+
+
+@dataclass(frozen=True)
+class ComputePhase:
+    """One compute phase of a kernel.
+
+    ``warp_instructions`` is the total over the whole grid (already warp
+    granular: a phase where 16 threads of a warp work still issues whole
+    warp instructions). ``active_threads_per_block`` drives latency
+    hiding; ``None`` means all block threads are active.
+    ``smem_stride_words`` models shared-memory bank behaviour of the
+    phase's dominant access pattern.
+    """
+
+    warp_instructions: float
+    active_threads_per_block: Optional[int] = None
+    smem_stride_words: int = 1
+
+    def __post_init__(self) -> None:
+        if self.warp_instructions < 0:
+            raise ConfigurationError("warp_instructions must be non-negative")
+
+
+@dataclass
+class KernelCost:
+    """Everything needed to time one kernel (or a fused sequence)."""
+
+    name: str
+    grid_blocks: int
+    threads_per_block: int
+    smem_per_block: int = 0
+    regs_per_thread: int = 16
+    phases: List[ComputePhase] = field(default_factory=list)
+    traffic: MemoryTraffic = field(default_factory=MemoryTraffic)
+    launches: int = 1
+    extra_sync_us: float = 0.0
+    # Stage-1 style kernels gather scattered segments; their sustained
+    # bandwidth is a device-specific fraction of peak.
+    bandwidth_efficiency: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.grid_blocks < 1:
+            raise ConfigurationError("grid_blocks must be >= 1")
+        if self.launches < 1:
+            raise ConfigurationError("launches must be >= 1")
+
+
+@dataclass(frozen=True)
+class CostBreakdown:
+    """Timing components of one kernel, for reports and tests."""
+
+    name: str
+    compute_ms: float
+    memory_ms: float
+    overhead_ms: float
+    occupancy: Occupancy
+
+    @property
+    def total_ms(self) -> float:
+        """Roofline total: overhead plus the binding resource."""
+        return self.overhead_ms + max(self.compute_ms, self.memory_ms)
+
+    @property
+    def bound(self) -> str:
+        """Which resource binds this kernel ('compute' or 'memory')."""
+        return "compute" if self.compute_ms >= self.memory_ms else "memory"
+
+
+def kernel_time_ms(spec: DeviceSpec, cost: KernelCost) -> CostBreakdown:
+    """Resolve a :class:`KernelCost` against a device."""
+    from .sharedmem import bank_conflict_factor
+
+    occ = compute_occupancy(
+        spec, cost.threads_per_block, cost.smem_per_block, cost.regs_per_thread
+    )
+    active_sms = min(spec.num_processors, cost.grid_blocks)
+
+    compute_cycles = 0.0
+    for phase in cost.phases:
+        eff = latency_efficiency(spec, occ, phase.active_threads_per_block)
+        conflict = bank_conflict_factor(spec, phase.smem_stride_words)
+        cycles = phase.warp_instructions * spec.cycles_per_warp_instruction
+        compute_cycles += cycles * conflict / eff
+    # Cycles are spent across the active SMs in parallel.
+    compute_ms = cycles_to_ms(compute_cycles / max(1, active_sms), spec.clock_mhz)
+
+    concurrent_blocks = min(
+        cost.grid_blocks, occ.resident_blocks * spec.num_processors
+    )
+    memory_ms = cost.traffic.time_ms(
+        spec, concurrent_blocks, efficiency=cost.bandwidth_efficiency
+    )
+
+    overhead_ms = cost.launches * us_to_ms(
+        spec.kernel_launch_overhead_us
+    ) + us_to_ms(cost.extra_sync_us)
+    return CostBreakdown(
+        name=cost.name,
+        compute_ms=compute_ms,
+        memory_ms=memory_ms,
+        overhead_ms=overhead_ms,
+        occupancy=occ,
+    )

@@ -1,0 +1,120 @@
+"""Custom device construction — the paper's portability motivation.
+
+The paper's closing argument is that the "larger diversity of manycore
+devices (particularly OpenCL-capable devices)" makes hand-tuning
+untenable. :func:`make_custom_spec` builds plausible hypothetical parts
+from a *generation preset* (which fills in the hidden micro-architecture
+parameters a vendor would not document) plus the headline numbers a
+datasheet would give — so tests and users can ask "what would the tuner
+do on a part with twice the shared memory?" and get a defensible answer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..util.errors import ConfigurationError
+from ..util.units import kib
+from .spec import DeviceSpec
+
+__all__ = ["GENERATION_PRESETS", "make_custom_spec"]
+
+# Hidden-parameter bundles per micro-architecture generation, matching
+# the three shipped parts (see spec.py for the rationale of each field).
+GENERATION_PRESETS: Dict[str, dict] = {
+    "g80": dict(
+        registers_per_processor=8_192,
+        max_threads_per_block=512,
+        max_threads_per_processor=768,
+        max_blocks_per_processor=8,
+        cycles_per_warp_instruction=4.0,
+        threads_for_full_utilization=128,
+        min_blocks_for_latency=1,
+        block_latency_exponent=1.0,
+        uncoalesced_penalty_cap=16.0,
+        misaligned_access_penalty=6.0,
+        partition_camping_efficiency=0.45,
+        coop_bandwidth_efficiency=0.70,
+        kernel_launch_overhead_us=12.0,
+        coop_sync_overhead_us=18.0,
+        shared_mem_banks=16,
+    ),
+    "gt200": dict(
+        registers_per_processor=16_384,
+        max_threads_per_block=512,
+        max_threads_per_processor=1_024,
+        max_blocks_per_processor=8,
+        cycles_per_warp_instruction=4.0,
+        threads_for_full_utilization=256,
+        min_blocks_for_latency=2,
+        block_latency_exponent=1.0,
+        uncoalesced_penalty_cap=8.0,
+        misaligned_access_penalty=4.0,
+        partition_camping_efficiency=0.50,
+        coop_bandwidth_efficiency=0.70,
+        kernel_launch_overhead_us=8.0,
+        coop_sync_overhead_us=12.0,
+        shared_mem_banks=16,
+    ),
+    "fermi": dict(
+        registers_per_processor=32_768,
+        max_threads_per_block=1_024,
+        max_threads_per_processor=1_536,
+        max_blocks_per_processor=8,
+        cycles_per_warp_instruction=1.0,
+        threads_for_full_utilization=256,
+        min_blocks_for_latency=2,
+        block_latency_exponent=1.5,
+        uncoalesced_penalty_cap=4.0,
+        misaligned_access_penalty=1.3,
+        partition_camping_efficiency=0.25,
+        coop_bandwidth_efficiency=0.35,
+        kernel_launch_overhead_us=5.0,
+        coop_sync_overhead_us=8.0,
+        shared_mem_banks=32,
+    ),
+}
+
+
+def make_custom_spec(
+    name: str,
+    *,
+    generation: str = "fermi",
+    num_processors: int = 16,
+    thread_processors: int = 32,
+    shared_mem_kb: int = 48,
+    bandwidth_gb_s: float = 150.0,
+    global_mem_mb: int = 1024,
+    clock_mhz: float = 1_200.0,
+    **overrides,
+) -> DeviceSpec:
+    """Build a hypothetical device from datasheet numbers + a preset.
+
+    ``overrides`` may replace any :class:`DeviceSpec` field (including
+    hidden ones) after the preset is applied — the knob ablation tests
+    use this to isolate single effects.
+    """
+    try:
+        preset = dict(GENERATION_PRESETS[generation.lower()])
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown generation {generation!r}; "
+            f"available: {', '.join(GENERATION_PRESETS)}"
+        ) from None
+    fields = dict(
+        name=name,
+        global_mem_bytes=global_mem_mb * 1024 * 1024,
+        num_processors=num_processors,
+        thread_processors=thread_processors,
+        shared_mem_per_processor=kib(shared_mem_kb),
+        constant_mem_bytes=kib(64),
+        max_grid_blocks=65_535,
+        clock_mhz=clock_mhz,
+        global_bandwidth_gb_s=bandwidth_gb_s,
+        # Saturation scales with the part's width, like the shipped specs.
+        blocks_to_saturate_bandwidth=max(8, 4 * num_processors),
+        partition_camping_min_stride=16,
+    )
+    fields.update(preset)
+    fields.update(overrides)
+    return DeviceSpec(**fields)

@@ -1,0 +1,124 @@
+"""Global-memory traffic model: coalescing and bus saturation.
+
+Two effects dominate global-memory performance in the paper's narrative:
+
+- **Coalescing** — a warp reading contiguous words uses the full bus;
+  a warp reading with a stride wastes most of each transaction. The
+  inflation factor grows with the stride and saturates at the device's
+  ``uncoalesced_penalty_cap`` (one full transaction per useful word).
+- **Saturation** — the bus reaches its peak only when enough blocks issue
+  requests concurrently (``blocks_to_saturate_bandwidth``); a single
+  block, as in stage 2 run on one big system, sees a fraction of peak.
+  This is the effect that motivates the cooperative stage 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..util.errors import ConfigurationError
+from .spec import DeviceSpec
+
+__all__ = [
+    "strided_access_penalty",
+    "bus_saturation",
+    "partition_camping_factor",
+    "MemoryTraffic",
+]
+
+
+def partition_camping_factor(spec: DeviceSpec, stream_stride_elements: int) -> float:
+    """Sustained-bandwidth fraction for power-of-two-strided stream sets.
+
+    PCR's neighbour reads at coupling distance ``s`` form three streams
+    offset by exactly ``s`` elements. Once ``s`` reaches the partition
+    granularity, all streams camp on the same memory partition and the
+    sustained bandwidth collapses to
+    ``spec.partition_camping_efficiency``. Below the threshold the factor
+    is 1.0.
+    """
+    if stream_stride_elements < 1:
+        raise ConfigurationError(
+            f"stride must be >= 1, got {stream_stride_elements}"
+        )
+    if stream_stride_elements >= spec.partition_camping_min_stride:
+        return spec.partition_camping_efficiency
+    return 1.0
+
+
+def strided_access_penalty(spec: DeviceSpec, stride_elements: int) -> float:
+    """Transaction-inflation factor for accesses strided by ``stride``.
+
+    Stride 1 (contiguous) costs 1.0; larger strides waste a linearly
+    growing share of each transaction until every access is its own
+    transaction (``uncoalesced_penalty_cap``).
+    """
+    if stride_elements < 1:
+        raise ConfigurationError(f"stride must be >= 1, got {stride_elements}")
+    return float(min(float(stride_elements), spec.uncoalesced_penalty_cap))
+
+
+def bus_saturation(spec: DeviceSpec, concurrent_blocks: int) -> float:
+    """Fraction of peak bandwidth sustained by ``concurrent_blocks``.
+
+    Requests from more blocks than the saturation point do not help
+    (the bus is already full); fewer leave controllers idle. The resident
+    concurrency, not the grid size, determines this, so callers should
+    pass resident blocks × SMs when the grid is larger than one wave.
+    """
+    if concurrent_blocks < 1:
+        return 1.0 / spec.blocks_to_saturate_bandwidth
+    return min(1.0, concurrent_blocks / spec.blocks_to_saturate_bandwidth)
+
+
+@dataclass
+class MemoryTraffic:
+    """Accumulator for a kernel's global-memory traffic.
+
+    Kernels add coalesced and strided byte counts; the cost model converts
+    the total *effective* bytes (after inflation) into milliseconds using
+    the device bandwidth and saturation.
+    """
+
+    effective_bytes: float = 0.0
+    raw_bytes: float = 0.0
+
+    def add(
+        self,
+        spec: DeviceSpec,
+        nbytes: float,
+        *,
+        stride: int = 1,
+        misaligned: bool = False,
+    ) -> None:
+        """Record ``nbytes`` of traffic accessed at ``stride`` elements.
+
+        ``misaligned`` marks sequential-but-offset streams (PCR neighbour
+        reads), which pay the device's misalignment inflation instead of
+        the stride penalty.
+        """
+        if nbytes < 0:
+            raise ConfigurationError("traffic bytes must be non-negative")
+        self.raw_bytes += nbytes
+        factor = (
+            spec.misaligned_access_penalty
+            if misaligned
+            else strided_access_penalty(spec, stride)
+        )
+        self.effective_bytes += nbytes * factor
+
+    def merged(self, other: "MemoryTraffic") -> "MemoryTraffic":
+        """A new accumulator holding the sum of both."""
+        return MemoryTraffic(
+            effective_bytes=self.effective_bytes + other.effective_bytes,
+            raw_bytes=self.raw_bytes + other.raw_bytes,
+        )
+
+    def time_ms(self, spec: DeviceSpec, concurrent_blocks: int, *, efficiency: float = 1.0) -> float:
+        """Transfer time at the sustained bandwidth for this concurrency."""
+        if self.effective_bytes == 0:
+            return 0.0
+        if not 0.0 < efficiency <= 1.0:
+            raise ConfigurationError(f"efficiency must be in (0, 1], got {efficiency}")
+        bw = spec.bytes_per_ms * bus_saturation(spec, concurrent_blocks) * efficiency
+        return self.effective_bytes / bw

@@ -1,0 +1,132 @@
+"""Occupancy calculation for the simulated GPU.
+
+Given a kernel's per-block resource appetite (threads, shared memory,
+registers), compute how many blocks can be resident on one SM, how many
+threads that keeps in flight, and how well they hide latency. This is the
+simulated twin of NVIDIA's occupancy calculator, extended with the two
+hidden latency parameters the cost model needs
+(``threads_for_full_utilization`` and ``min_blocks_for_latency``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..util.errors import ResourceExhaustedError
+from .spec import DeviceSpec
+
+__all__ = ["Occupancy", "compute_occupancy", "latency_efficiency"]
+
+
+@dataclass(frozen=True)
+class Occupancy:
+    """Residency of one kernel configuration on one SM."""
+
+    resident_blocks: int
+    resident_threads: int
+    occupancy: float  # resident_threads / max_threads_per_processor
+    limited_by: str  # which resource capped residency
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.resident_blocks} blocks / {self.resident_threads} threads "
+            f"({self.occupancy:.0%}, limited by {self.limited_by})"
+        )
+
+
+def _warp_padded(threads: int, warp_size: int) -> int:
+    """Threads rounded up to a whole number of warps (HW allocation unit)."""
+    warps = -(-threads // warp_size)
+    return warps * warp_size
+
+
+def compute_occupancy(
+    spec: DeviceSpec,
+    threads_per_block: int,
+    smem_per_block: int,
+    regs_per_thread: int,
+) -> Occupancy:
+    """Residency of a kernel configuration on ``spec``.
+
+    Raises :class:`ResourceExhaustedError` when even a single block does
+    not fit (too many threads, too much shared memory, or too many
+    registers) — the simulated equivalent of a CUDA launch failure.
+    """
+    if threads_per_block < 1:
+        raise ResourceExhaustedError("threads_per_block must be >= 1")
+    if threads_per_block > spec.max_threads_per_block:
+        raise ResourceExhaustedError(
+            f"{threads_per_block} threads/block exceeds device limit "
+            f"{spec.max_threads_per_block} on {spec.name}"
+        )
+    if smem_per_block > spec.shared_mem_per_processor:
+        raise ResourceExhaustedError(
+            f"{smem_per_block} B shared memory/block exceeds "
+            f"{spec.shared_mem_per_processor} B on {spec.name}"
+        )
+    padded = _warp_padded(threads_per_block, spec.warp_size)
+    regs_per_block = max(1, regs_per_thread) * padded
+    if regs_per_thread > 0 and regs_per_block > spec.registers_per_processor:
+        raise ResourceExhaustedError(
+            f"{regs_per_block} registers/block exceeds "
+            f"{spec.registers_per_processor} on {spec.name}"
+        )
+
+    limits = {
+        "max_blocks": spec.max_blocks_per_processor,
+        "threads": spec.max_threads_per_processor // padded,
+        "shared_memory": (
+            spec.shared_mem_per_processor // smem_per_block
+            if smem_per_block > 0
+            else spec.max_blocks_per_processor
+        ),
+        "registers": (
+            spec.registers_per_processor // regs_per_block
+            if regs_per_thread > 0
+            else spec.max_blocks_per_processor
+        ),
+    }
+    limiter = min(limits, key=lambda k: limits[k])
+    blocks = limits[limiter]
+    if blocks < 1:
+        raise ResourceExhaustedError(
+            f"kernel configuration does not fit on {spec.name} "
+            f"(limited by {limiter})"
+        )
+    threads = blocks * padded
+    return Occupancy(
+        resident_blocks=blocks,
+        resident_threads=threads,
+        occupancy=threads / spec.max_threads_per_processor,
+        limited_by=limiter,
+    )
+
+
+def latency_efficiency(
+    spec: DeviceSpec,
+    occ: Occupancy,
+    active_threads_per_block: int | None = None,
+) -> float:
+    """Fraction of peak issue rate sustained at this residency.
+
+    Two hidden effects combine multiplicatively with a cap at 1:
+
+    - thread-level: issue stalls are hidden only when roughly
+      ``threads_for_full_utilization`` threads are resident and *active*
+      (a phase using ``T`` of its block's threads contributes ``T`` per
+      resident block);
+    - block-level: barrier stalls overlap with other blocks' work only
+      when at least ``min_blocks_for_latency`` blocks are resident.
+    """
+    active = (
+        occ.resident_threads
+        if active_threads_per_block is None
+        else active_threads_per_block * occ.resident_blocks
+    )
+    thread_eff = min(1.0, active / spec.threads_for_full_utilization)
+    block_eff = min(
+        1.0,
+        (occ.resident_blocks / spec.min_blocks_for_latency)
+        ** spec.block_latency_exponent,
+    )
+    return max(1e-3, thread_eff * block_eff)

@@ -1,0 +1,68 @@
+"""The queryable device-property view (the paper's Table II).
+
+:class:`DeviceProperties` is the *only* device information the default and
+machine-query tuners may consume. It deliberately omits every hidden cost
+parameter — memory bandwidth, bank organisation, latency-hiding thread
+requirements — mirroring what ``cudaGetDeviceProperties`` exposed circa
+CUDA 3.1. The paper's central observation is that tuning from this subset
+alone leaves performance on the table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .spec import DeviceSpec
+
+__all__ = ["DeviceProperties", "query_device"]
+
+
+@dataclass(frozen=True)
+class DeviceProperties:
+    """Queryable properties of a device — and nothing more."""
+
+    name: str
+    global_mem_bytes: int
+    num_processors: int
+    thread_processors: int
+    shared_mem_per_processor: int
+    registers_per_processor: int
+    constant_mem_bytes: int
+    max_threads_per_block: int
+    max_threads_per_processor: int
+    max_blocks_per_processor: int
+    max_grid_blocks: int
+    warp_size: int
+    clock_mhz: float
+
+    def max_onchip_system_size(self, dtype_size: int) -> int:
+        """Largest on-chip system size derivable from *queryable* resources.
+
+        This mirrors :meth:`DeviceSpec.max_onchip_system_size`; the formula
+        uses only queryable fields, so the machine-query tuner may call it.
+        """
+        from .spec import ARRAYS_PER_EQUATION, REGISTERS_PER_EQUATION
+
+        by_smem = self.shared_mem_per_processor // (ARRAYS_PER_EQUATION * dtype_size)
+        by_regs = self.registers_per_processor // REGISTERS_PER_EQUATION
+        limit = max(1, min(by_smem, by_regs, self.max_threads_per_block * 2))
+        return 1 << (int(limit).bit_length() - 1)
+
+
+def query_device(spec: DeviceSpec) -> DeviceProperties:
+    """Project a full :class:`DeviceSpec` onto its queryable subset."""
+    return DeviceProperties(
+        name=spec.name,
+        global_mem_bytes=spec.global_mem_bytes,
+        num_processors=spec.num_processors,
+        thread_processors=spec.thread_processors,
+        shared_mem_per_processor=spec.shared_mem_per_processor,
+        registers_per_processor=spec.registers_per_processor,
+        constant_mem_bytes=spec.constant_mem_bytes,
+        max_threads_per_block=spec.max_threads_per_block,
+        max_threads_per_processor=spec.max_threads_per_processor,
+        max_blocks_per_processor=spec.max_blocks_per_processor,
+        max_grid_blocks=spec.max_grid_blocks,
+        warp_size=spec.warp_size,
+        clock_mhz=spec.clock_mhz,
+    )

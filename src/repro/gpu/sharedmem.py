@@ -1,0 +1,68 @@
+"""Shared-memory model: capacity accounting and bank conflicts.
+
+Shared memory is the resource whose size limit motivates the whole paper:
+systems larger than one SM's shared memory cannot use the fast on-chip
+path and must first be split. This module models
+
+- capacity checks for a kernel's shared allocation,
+- bank-conflict multipliers for strided shared access patterns. The
+  paper's base kernel is bank-conflict-free (like Göddeke & Strzodka's
+  CR), so the production kernels always report factor 1.0 — but the model
+  is exercised by tests and by the ablation bench that measures what a
+  conflicted layout would cost.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..util.errors import ConfigurationError, ResourceExhaustedError
+from .spec import DeviceSpec
+
+__all__ = ["bank_conflict_factor", "check_shared_allocation", "shared_access_cycles"]
+
+
+def bank_conflict_factor(spec: DeviceSpec, stride_words: int) -> float:
+    """Serialisation factor for a warp accessing shared memory at a stride.
+
+    A stride of ``s`` words hits ``banks / gcd(banks, s)`` distinct banks,
+    so ``gcd(banks, s)`` accesses serialise per bank. Stride 1 → 1.0
+    (conflict-free); stride equal to the bank count → worst case.
+    """
+    if stride_words < 1:
+        raise ConfigurationError(f"stride must be >= 1, got {stride_words}")
+    banks = spec.shared_mem_banks
+    return float(banks // (banks // math.gcd(banks, stride_words)))
+
+
+def check_shared_allocation(spec: DeviceSpec, nbytes: int, *, context: str = "kernel") -> int:
+    """Validate a per-block shared-memory allocation; returns ``nbytes``.
+
+    Raises :class:`ResourceExhaustedError` when the allocation exceeds the
+    SM's shared memory, mirroring a CUDA launch failure.
+    """
+    if nbytes < 0:
+        raise ConfigurationError("shared allocation must be non-negative")
+    if nbytes > spec.shared_mem_per_processor:
+        raise ResourceExhaustedError(
+            f"{context}: {nbytes} B shared memory exceeds "
+            f"{spec.shared_mem_per_processor} B on {spec.name}"
+        )
+    return nbytes
+
+
+def shared_access_cycles(
+    spec: DeviceSpec,
+    warp_accesses: float,
+    *,
+    stride_words: int = 1,
+) -> float:
+    """SM cycles consumed by ``warp_accesses`` warp-wide shared accesses.
+
+    Each conflict-free warp access retires in one issue slot
+    (``cycles_per_warp_instruction``); conflicts multiply it.
+    """
+    if warp_accesses < 0:
+        raise ConfigurationError("warp_accesses must be non-negative")
+    factor = bank_conflict_factor(spec, stride_words)
+    return warp_accesses * spec.cycles_per_warp_instruction * factor

@@ -1,0 +1,280 @@
+"""Simulated GPU device specifications.
+
+A :class:`DeviceSpec` carries two kinds of parameters:
+
+- **Queryable** fields — the subset a real program can read through
+  ``cudaGetDeviceProperties`` (the paper's Table II). The machine-query
+  tuner sees *only* these, via :class:`repro.gpu.query.DeviceProperties`.
+- **Hidden** fields — quantities the paper explicitly notes cannot be
+  queried (memory-controller/bus bandwidth behaviour, shared-memory bank
+  organisation, the resident-thread count needed to hide latency). The
+  cost model uses them; tuners must not. This asymmetry is what makes the
+  dynamic self-tuner outperform the static one, exactly as in the paper.
+
+The three shipped devices are the paper's Table I parts. Hidden values
+are set from the public micro-architecture of each generation (G80 /
+GT200 / GF100) and calibrated so that the *published shapes* of Figures
+5–8 emerge from the model; they are data, not logic, and live only here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Tuple
+
+from ..util.errors import ConfigurationError, DeviceError
+from ..util.units import gb_per_s_to_bytes_per_ms, kib
+
+__all__ = [
+    "DeviceSpec",
+    "GEFORCE_8800_GTX",
+    "GEFORCE_GTX_280",
+    "GEFORCE_GTX_470",
+    "PAPER_DEVICES",
+    "get_device_spec",
+    "device_names",
+    "REGISTERS_PER_EQUATION",
+    "ARRAYS_PER_EQUATION",
+]
+
+# The on-chip hybrid kernel keeps four coefficient arrays resident
+# (a, b, c, d; the solution overwrites d) ...
+ARRAYS_PER_EQUATION = 4
+# ... and burns ~32 registers per equation across its working set. This
+# constant, with each part's register file, reproduces the paper's maximum
+# on-chip sizes (256 / 512 / 1024 for 8800 GTX / GTX 280 / GTX 470).
+REGISTERS_PER_EQUATION = 32
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Complete description of a simulated GPU.
+
+    See the module docstring for the queryable/hidden split.
+    """
+
+    # ---- queryable (Table II subset) ------------------------------------
+    name: str
+    global_mem_bytes: int
+    num_processors: int  # streaming multiprocessors
+    thread_processors: int  # scalar cores per SM
+    shared_mem_per_processor: int  # bytes
+    registers_per_processor: int  # 32-bit registers per SM
+    constant_mem_bytes: int
+    max_threads_per_block: int
+    max_threads_per_processor: int
+    max_blocks_per_processor: int
+    max_grid_blocks: int
+    warp_size: int = 32
+    clock_mhz: float = 1_300.0
+
+    # ---- hidden (cost model only) ----------------------------------------
+    # Peak global-memory bandwidth (Table I lists it, but CUDA 3.1 could
+    # not query it — the paper calls this out as a static-tuning blind spot).
+    global_bandwidth_gb_s: float = 100.0
+    # Shared-memory banks and their per-cycle word throughput.
+    shared_mem_banks: int = 16
+    # Fixed cost of a kernel launch, and the extra cost of the grid-wide
+    # synchronisation each cooperative (stage-1) split step requires.
+    kernel_launch_overhead_us: float = 8.0
+    coop_sync_overhead_us: float = 12.0
+    # Effective-bandwidth fraction of the cooperative splitter (scattered
+    # three-segment gathers across blocks).
+    coop_bandwidth_efficiency: float = 0.45
+    # Resident threads per SM needed to fully hide pipeline+memory latency.
+    threads_for_full_utilization: int = 128
+    # Resident *blocks* per SM needed so barrier stalls overlap with work
+    # (Fermi's deeper pipelines want two; earlier parts manage with one),
+    # and how sharply performance falls below that count.
+    min_blocks_for_latency: int = 1
+    block_latency_exponent: float = 1.0
+    # Concurrent blocks needed machine-wide to saturate the memory bus.
+    blocks_to_saturate_bandwidth: int = 28
+    # Partition camping: power-of-two-strided streams (PCR's neighbour
+    # reads at large coupling distances) pile onto a single memory
+    # partition, cutting sustained bandwidth to this fraction once the
+    # stride reaches the threshold below. Fermi's address hashing softens
+    # but does not remove it.
+    partition_camping_efficiency: float = 1.0
+    partition_camping_min_stride: int = 16
+    # Worst-case transaction inflation for fully uncoalesced (strided)
+    # access; newer parts cache better.
+    uncoalesced_penalty_cap: float = 8.0
+    # Inflation for *misaligned* sequential streams (PCR's neighbour reads
+    # at offset ±s break half-warp alignment). G80's rigid coalescer pays
+    # dearly; GT200's segment coalescer less; Fermi's L1 almost nothing.
+    misaligned_access_penalty: float = 1.0
+    # Issue cost of one warp instruction, in SM cycles (32 / thread_processors
+    # on real parts; kept explicit so tests can vary it independently).
+    cycles_per_warp_instruction: float = 4.0
+
+    # ---- derived ----------------------------------------------------------
+
+    def __post_init__(self) -> None:
+        for fname in (
+            "global_mem_bytes",
+            "num_processors",
+            "thread_processors",
+            "shared_mem_per_processor",
+            "registers_per_processor",
+            "max_threads_per_block",
+            "max_threads_per_processor",
+            "max_blocks_per_processor",
+            "warp_size",
+        ):
+            if getattr(self, fname) <= 0:
+                raise ConfigurationError(f"{fname} must be positive")
+        if self.global_bandwidth_gb_s <= 0:
+            raise ConfigurationError("global_bandwidth_gb_s must be positive")
+
+    @property
+    def bytes_per_ms(self) -> float:
+        """Peak global bandwidth in bytes per millisecond."""
+        return gb_per_s_to_bytes_per_ms(self.global_bandwidth_gb_s)
+
+    @property
+    def total_thread_processors(self) -> int:
+        """Scalar cores across the device."""
+        return self.num_processors * self.thread_processors
+
+    def max_onchip_system_size(self, dtype_size: int) -> int:
+        """Largest power-of-two system solvable inside one processor.
+
+        Bounded by shared-memory storage (four coefficient arrays) and by
+        the register file (:data:`REGISTERS_PER_EQUATION` per equation).
+        Reproduces the paper's 256 / 512 / 1024 for its three parts in
+        both single and double precision.
+        """
+        if dtype_size not in (4, 8):
+            raise DeviceError(f"unsupported dtype size {dtype_size}")
+        by_smem = self.shared_mem_per_processor // (ARRAYS_PER_EQUATION * dtype_size)
+        by_regs = self.registers_per_processor // REGISTERS_PER_EQUATION
+        limit = min(by_smem, by_regs, self.max_threads_per_block * 2)
+        if limit < 1:
+            raise DeviceError(f"device {self.name} cannot solve any system on-chip")
+        # Round down to a power of two.
+        return 1 << (int(limit).bit_length() - 1)
+
+    def with_overrides(self, **kwargs) -> "DeviceSpec":
+        """A copy with selected fields replaced (for ablations/tests)."""
+        return replace(self, **kwargs)
+
+
+GEFORCE_8800_GTX = DeviceSpec(
+    name="GeForce 8800 GTX",
+    global_mem_bytes=768 * 1024 * 1024,
+    num_processors=14,
+    thread_processors=8,
+    shared_mem_per_processor=kib(16),
+    registers_per_processor=8_192,
+    constant_mem_bytes=kib(64),
+    max_threads_per_block=512,
+    max_threads_per_processor=768,
+    max_blocks_per_processor=8,
+    max_grid_blocks=65_535,
+    clock_mhz=1_350.0,
+    global_bandwidth_gb_s=57.6,
+    shared_mem_banks=16,
+    kernel_launch_overhead_us=12.0,
+    coop_sync_overhead_us=18.0,
+    coop_bandwidth_efficiency=0.70,
+    threads_for_full_utilization=128,
+    min_blocks_for_latency=1,
+    block_latency_exponent=1.0,
+    blocks_to_saturate_bandwidth=14,
+    partition_camping_efficiency=0.45,
+    partition_camping_min_stride=16,
+    uncoalesced_penalty_cap=16.0,  # G80: one transaction per thread
+    misaligned_access_penalty=6.0,  # G80: misaligned = uncoalesced
+    cycles_per_warp_instruction=4.0,
+)
+
+GEFORCE_GTX_280 = DeviceSpec(
+    name="GeForce GTX 280",
+    global_mem_bytes=1024 * 1024 * 1024,
+    num_processors=30,
+    thread_processors=8,
+    shared_mem_per_processor=kib(16),
+    registers_per_processor=16_384,
+    constant_mem_bytes=kib(64),
+    max_threads_per_block=512,
+    max_threads_per_processor=1_024,
+    max_blocks_per_processor=8,
+    max_grid_blocks=65_535,
+    clock_mhz=1_296.0,
+    global_bandwidth_gb_s=141.7,
+    shared_mem_banks=16,
+    kernel_launch_overhead_us=8.0,
+    coop_sync_overhead_us=12.0,
+    coop_bandwidth_efficiency=0.70,
+    threads_for_full_utilization=256,
+    min_blocks_for_latency=2,
+    block_latency_exponent=1.0,
+    blocks_to_saturate_bandwidth=60,
+    partition_camping_efficiency=0.50,
+    partition_camping_min_stride=16,
+    uncoalesced_penalty_cap=8.0,  # GT200: 32-byte segment coalescer
+    misaligned_access_penalty=4.0,  # GT200: 32-byte segment re-fetches
+    cycles_per_warp_instruction=4.0,
+)
+
+GEFORCE_GTX_470 = DeviceSpec(
+    name="GeForce GTX 470",
+    global_mem_bytes=1280 * 1024 * 1024,
+    num_processors=14,
+    thread_processors=32,
+    shared_mem_per_processor=kib(48),
+    registers_per_processor=32_768,
+    constant_mem_bytes=kib(64),
+    max_threads_per_block=1_024,
+    max_threads_per_processor=1_536,
+    max_blocks_per_processor=8,
+    max_grid_blocks=65_535,
+    clock_mhz=1_215.0,
+    global_bandwidth_gb_s=133.9,
+    shared_mem_banks=32,
+    kernel_launch_overhead_us=5.0,
+    coop_sync_overhead_us=8.0,
+    coop_bandwidth_efficiency=0.35,
+    threads_for_full_utilization=256,
+    min_blocks_for_latency=2,  # Fermi wants 2+ resident blocks per SM
+    block_latency_exponent=1.5,
+    blocks_to_saturate_bandwidth=56,
+    partition_camping_efficiency=0.25,
+    partition_camping_min_stride=16,
+    uncoalesced_penalty_cap=4.0,  # Fermi: L1-cached 128-byte lines
+    misaligned_access_penalty=1.3,  # Fermi: L1 absorbs most misalignment
+    cycles_per_warp_instruction=1.0,
+)
+
+PAPER_DEVICES: Dict[str, DeviceSpec] = {
+    "8800gtx": GEFORCE_8800_GTX,
+    "gtx280": GEFORCE_GTX_280,
+    "gtx470": GEFORCE_GTX_470,
+}
+
+_ALIASES = {
+    "geforce 8800 gtx": "8800gtx",
+    "8800": "8800gtx",
+    "geforce gtx 280": "gtx280",
+    "280": "gtx280",
+    "geforce gtx 470": "gtx470",
+    "470": "gtx470",
+}
+
+
+def device_names() -> Tuple[str, ...]:
+    """Canonical names of the shipped paper devices."""
+    return tuple(PAPER_DEVICES)
+
+
+def get_device_spec(name: str) -> DeviceSpec:
+    """Look up a shipped device by canonical name or alias."""
+    key = name.strip().lower()
+    key = _ALIASES.get(key, key)
+    try:
+        return PAPER_DEVICES[key]
+    except KeyError:
+        raise DeviceError(
+            f"unknown device {name!r}; available: {', '.join(PAPER_DEVICES)}"
+        ) from None

@@ -1,0 +1,87 @@
+"""Trivial element-wise kernels (final divides, transposes).
+
+The pure-global-PCR baseline finishes with ``x = d / b`` once every
+equation stands alone; layout conversions (row-major ↔ interleaved) are a
+single streaming pass. Both are bandwidth-bound one-liners, but they are
+real launches on real hardware, so they get real cost records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..gpu.cost import ComputePhase, KernelCost
+from ..gpu.memory import MemoryTraffic
+from ..systems.tridiagonal import TridiagonalBatch
+from .base import KernelContext, dtype_size, warps_for
+
+__all__ = ["DivideKernel", "TransposeKernel"]
+
+
+@dataclass(frozen=True)
+class DivideKernel:
+    """``x = d / b`` over a fully reduced batch."""
+
+    threads_per_block: int = 256
+
+    def run(
+        self,
+        ctx: KernelContext,
+        batch: TridiagonalBatch,
+        *,
+        stage: str = "final_divide",
+    ) -> np.ndarray:
+        """Record one streaming pass and return the quotient."""
+        spec = ctx.spec
+        total = batch.total_equations
+        dsize = dtype_size(batch.dtype)
+        traffic = MemoryTraffic()
+        traffic.add(spec, 3.0 * total * dsize, stride=1)  # read b, d; write x
+        grid = max(1, -(-total // self.threads_per_block))
+        cost = KernelCost(
+            name="divide",
+            grid_blocks=min(grid, spec.max_grid_blocks),
+            threads_per_block=min(self.threads_per_block, spec.max_threads_per_block),
+            regs_per_thread=8,
+            phases=[ComputePhase(warps_for(total) * 2.0)],
+            traffic=traffic,
+        )
+        ctx.session.submit(cost, stage=stage)
+        return batch.d / batch.b
+
+
+@dataclass(frozen=True)
+class TransposeKernel:
+    """Layout conversion pass over an ``(m, n)`` array."""
+
+    threads_per_block: int = 256
+
+    def run(
+        self,
+        ctx: KernelContext,
+        array: np.ndarray,
+        *,
+        stage: str = "transpose",
+    ) -> np.ndarray:
+        """Record a read+write pass and return the transposed array."""
+        spec = ctx.spec
+        dsize = dtype_size(array.dtype)
+        total = array.size
+        traffic = MemoryTraffic()
+        traffic.add(spec, float(total) * dsize, stride=1)  # coalesced read
+        # The write side of a transpose is strided by the row length.
+        stride = array.shape[-1] if array.ndim > 1 else 1
+        traffic.add(spec, float(total) * dsize, stride=max(1, stride))
+        grid = max(1, -(-total // self.threads_per_block))
+        cost = KernelCost(
+            name="transpose",
+            grid_blocks=min(grid, spec.max_grid_blocks),
+            threads_per_block=min(self.threads_per_block, spec.max_threads_per_block),
+            regs_per_thread=8,
+            phases=[ComputePhase(warps_for(total) * 2.0)],
+            traffic=traffic,
+        )
+        ctx.session.submit(cost, stage=stage)
+        return np.ascontiguousarray(array.T)

@@ -1,0 +1,136 @@
+"""Stage 2: independent per-block PCR splitting in global memory.
+
+Each block owns one system and runs PCR steps against global memory until
+the subsystems reach the stage-3 target size. Because every block works
+independently, the whole stage is **one kernel launch** (paper §III-D:
+"requiring only one kernel call and much less communication overhead") —
+but it only performs well when there are enough systems to keep all
+processors and memory controllers busy, which is what stage 1 guarantees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..algorithms.pcr import pcr_split
+from ..gpu.cost import ComputePhase, KernelCost
+from ..gpu.memory import MemoryTraffic
+from ..systems.tridiagonal import TridiagonalBatch
+from ..util.errors import ConfigurationError
+from ..util.validation import check_power_of_two, ilog2
+from .base import (
+    GLOBAL_PCR_ALIGNED_VALUES_PER_EQ,
+    GLOBAL_PCR_INSTR_PER_EQ,
+    GLOBAL_PCR_NEIGHBOR_VALUES_PER_EQ,
+    KernelContext,
+    dtype_size,
+    warps_for,
+)
+
+__all__ = ["GlobalPcrKernel"]
+
+
+@dataclass(frozen=True)
+class GlobalPcrKernel:
+    """Launchable stage-2 splitter.
+
+    ``threads_per_block`` controls the block shape (each thread strides
+    over the system); ``regs_per_thread`` is the kernel's measured
+    register appetite.
+    """
+
+    threads_per_block: int = 256
+    regs_per_thread: int = 24
+
+    def cost(
+        self,
+        ctx: KernelContext,
+        num_systems: int,
+        system_size: int,
+        dsize: int,
+        steps: int,
+        *,
+        start_stride: int = 1,
+    ) -> KernelCost:
+        """Price ``steps`` splitting steps over the whole batch.
+
+        ``start_stride`` is the coupling distance of the first step (>1
+        when stage 1 already split these systems); each step doubles it,
+        and steps whose stride crosses the partition-camping threshold
+        sustain only a fraction of peak bandwidth.
+        """
+        if steps < 1:
+            raise ConfigurationError("steps must be >= 1")
+        from ..gpu.memory import partition_camping_factor
+
+        spec = ctx.spec
+        threads = min(self.threads_per_block, spec.max_threads_per_block)
+        total_eqs = num_systems * system_size
+
+        warp_instr = (
+            num_systems
+            * steps
+            * warps_for(system_size)
+            * GLOBAL_PCR_INSTR_PER_EQ
+        )
+        traffic = MemoryTraffic()
+        aligned_bytes = (
+            float(total_eqs) * GLOBAL_PCR_ALIGNED_VALUES_PER_EQ * dsize
+        )
+        neighbor_bytes = (
+            float(total_eqs) * GLOBAL_PCR_NEIGHBOR_VALUES_PER_EQ * dsize
+        )
+        # Average per-step camping penalty, folded into the efficiency so
+        # the whole multi-step launch keeps one cost record.
+        inv_bw = 0.0
+        stride = start_stride
+        for _ in range(steps):
+            inv_bw += 1.0 / partition_camping_factor(spec, stride)
+            stride *= 2
+        efficiency = steps / inv_bw
+        traffic.add(spec, aligned_bytes * steps, stride=1)
+        traffic.add(spec, neighbor_bytes * steps, misaligned=True)
+        return KernelCost(
+            name=f"global_pcr[steps={steps}]",
+            grid_blocks=num_systems,
+            threads_per_block=threads,
+            smem_per_block=0,
+            regs_per_thread=self.regs_per_thread,
+            phases=[ComputePhase(warp_instr)],
+            traffic=traffic,
+            bandwidth_efficiency=efficiency,
+        )
+
+    def run(
+        self,
+        ctx: KernelContext,
+        batch: TridiagonalBatch,
+        target_size: int,
+        *,
+        start_stride: int = 1,
+        stage: str = "stage2_global_pcr",
+    ) -> TridiagonalBatch:
+        """Split every system of ``batch`` down to ``target_size``.
+
+        Returns the split batch (``m * n/target`` systems of
+        ``target_size``). A no-op (no launch recorded) when systems are
+        already small enough. ``start_stride`` is the physical coupling
+        distance of these systems' equations in global memory (>1 when
+        stage 1 already split them).
+        """
+        check_power_of_two(target_size, "target_size")
+        n = batch.system_size
+        check_power_of_two(n, "system_size")
+        if target_size >= n:
+            return batch
+        steps = ilog2(n) - ilog2(target_size)
+        cost = self.cost(
+            ctx,
+            batch.num_systems,
+            n,
+            dtype_size(batch.dtype),
+            steps,
+            start_stride=start_stride,
+        )
+        ctx.session.submit(cost, stage=stage)
+        return pcr_split(batch, steps)

@@ -1,0 +1,101 @@
+"""Thread-per-system Thomas kernel in global memory (Sakharnykh style).
+
+This is the comparison point of paper §III-A: assign each system to one
+CUDA *thread* and run Thomas entirely against global memory. Its two
+drawbacks, which the multi-stage method removes, are modelled directly:
+
+1. no shared-memory reuse — every sweep touches global memory;
+2. thread-level parallelism only — it needs a *large number* of systems
+   before the machine fills (few systems → a nearly idle grid).
+
+The ``layout`` parameter selects how systems sit in memory: ``"row"``
+(each system contiguous; threads stride by the system size → fully
+uncoalesced) or ``"interleaved"`` (equation ``i`` of all systems adjacent
+→ coalesced, the layout Sakharnykh's ADI solver uses).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..algorithms.thomas import thomas_solve
+from ..gpu.cost import ComputePhase, KernelCost
+from ..gpu.memory import MemoryTraffic
+from ..systems.tridiagonal import TridiagonalBatch
+from ..util.errors import ConfigurationError
+from .base import THOMAS_INSTR_PER_ROW, KernelContext, dtype_size, warps_for
+
+__all__ = ["ThomasGlobalKernel", "LAYOUTS"]
+
+LAYOUTS = ("row", "interleaved")
+
+# Values moved per row: forward sweep reads a, b, c, d and writes the two
+# sweep coefficients; the backward sweep reads them back and writes x.
+_VALUES_PER_ROW = 9
+
+
+@dataclass(frozen=True)
+class ThomasGlobalKernel:
+    """Launchable thread-per-system Thomas solver."""
+
+    threads_per_block: int = 128
+    regs_per_thread: int = 20
+    layout: str = "interleaved"
+
+    def __post_init__(self) -> None:
+        if self.layout not in LAYOUTS:
+            raise ConfigurationError(
+                f"unknown layout {self.layout!r}; expected one of {LAYOUTS}"
+            )
+
+    def cost(
+        self,
+        ctx: KernelContext,
+        num_systems: int,
+        system_size: int,
+        dsize: int,
+    ) -> KernelCost:
+        """Price a launch solving ``num_systems`` systems of ``system_size``."""
+        spec = ctx.spec
+        threads = min(self.threads_per_block, spec.max_threads_per_block)
+        grid = max(1, -(-num_systems // threads))
+        # 2 sweeps of n rows, one thread per system: warps cover systems.
+        warp_instr = (
+            2 * system_size * warps_for(num_systems) * THOMAS_INSTR_PER_ROW
+        )
+        # With one thread per system, a warp's 32 threads access addresses
+        # one system apart: stride n in "row" layout, contiguous when
+        # interleaved.
+        stride = system_size if self.layout == "row" else 1
+        traffic = MemoryTraffic()
+        traffic.add(
+            spec,
+            float(num_systems) * system_size * _VALUES_PER_ROW * dsize,
+            stride=stride,
+        )
+        active = min(num_systems, threads)
+        return KernelCost(
+            name=f"thomas_global[{self.layout}]",
+            grid_blocks=grid,
+            threads_per_block=threads,
+            smem_per_block=0,
+            regs_per_thread=self.regs_per_thread,
+            phases=[ComputePhase(warp_instr, active_threads_per_block=active)],
+            traffic=traffic,
+        )
+
+    def run(
+        self,
+        ctx: KernelContext,
+        batch: TridiagonalBatch,
+        *,
+        stage: str = "thomas_global",
+    ) -> np.ndarray:
+        """Solve ``batch`` with one thread per system, all in global memory."""
+        cost = self.cost(
+            ctx, batch.num_systems, batch.system_size, dtype_size(batch.dtype)
+        )
+        ctx.session.submit(cost, stage=stage)
+        return thomas_solve(batch)

@@ -1,0 +1,49 @@
+"""Save/load tridiagonal batches as ``.npz`` archives.
+
+The on-disk format is a plain ``numpy.savez_compressed`` archive with keys
+``a, b, c, d`` plus a format tag, so batches interchange with any NumPy
+tooling without this library.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Union
+
+import numpy as np
+
+from ..util.errors import ShapeError
+from .tridiagonal import TridiagonalBatch
+
+__all__ = ["save_batch", "load_batch", "FORMAT_TAG"]
+
+FORMAT_TAG = "repro-tridiagonal-v1"
+
+
+def save_batch(path: Union[str, os.PathLike], batch: TridiagonalBatch) -> None:
+    """Write ``batch`` to ``path`` as a compressed ``.npz`` archive."""
+    np.savez_compressed(
+        path,
+        a=batch.a,
+        b=batch.b,
+        c=batch.c,
+        d=batch.d,
+        format=np.array(FORMAT_TAG),
+    )
+
+
+def load_batch(path: Union[str, os.PathLike]) -> TridiagonalBatch:
+    """Read a batch written by :func:`save_batch`."""
+    with np.load(path, allow_pickle=False) as data:
+        missing = {"a", "b", "c", "d"} - set(data.files)
+        if missing:
+            raise ShapeError(
+                f"{os.fspath(path)} is not a tridiagonal batch archive; "
+                f"missing keys {sorted(missing)}"
+            )
+        if "format" in data.files and str(data["format"]) != FORMAT_TAG:
+            raise ShapeError(
+                f"unsupported batch format {data['format']!r}; "
+                f"expected {FORMAT_TAG!r}"
+            )
+        return TridiagonalBatch(data["a"], data["b"], data["c"], data["d"])

@@ -1,0 +1,130 @@
+"""Structural and numerical properties of tridiagonal batches.
+
+These predicates back the stability contracts in the algorithm modules
+(Thomas and cyclic reduction are unconditionally stable only for
+diagonally dominant or symmetric positive-definite systems) and are used
+by property-based tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .tridiagonal import TridiagonalBatch
+
+__all__ = [
+    "dominance_margin",
+    "is_diagonally_dominant",
+    "is_symmetric",
+    "is_toeplitz",
+    "has_zero_diagonal",
+    "condition_estimate",
+    "BatchSummary",
+    "summarize",
+]
+
+
+def dominance_margin(batch: TridiagonalBatch) -> np.ndarray:
+    """Per-system worst-case dominance margin ``min_i(|b| - |a| - |c|)``.
+
+    Positive values mean strict diagonal dominance; zero means weak
+    dominance; negative means no dominance guarantee.
+    """
+    margin = np.abs(batch.b) - np.abs(batch.a) - np.abs(batch.c)
+    return margin.min(axis=1)
+
+
+def is_diagonally_dominant(batch: TridiagonalBatch, *, strict: bool = False) -> bool:
+    """True when every system in the batch is (strictly) row dominant."""
+    margins = dominance_margin(batch)
+    return bool((margins > 0).all() if strict else (margins >= 0).all())
+
+
+def is_symmetric(batch: TridiagonalBatch, *, rtol: float = 1e-12) -> bool:
+    """True when ``c[i] == a[i+1]`` for every row of every system."""
+    if batch.system_size < 2:
+        return True
+    return bool(
+        np.allclose(batch.c[:, :-1], batch.a[:, 1:], rtol=rtol, atol=rtol)
+    )
+
+
+def is_toeplitz(batch: TridiagonalBatch, *, rtol: float = 1e-12) -> bool:
+    """True when each diagonal is constant within every system."""
+    n = batch.system_size
+    if n < 2:
+        return True
+    const = True
+    const &= bool(np.allclose(batch.b, batch.b[:, :1], rtol=rtol, atol=rtol))
+    if n >= 2:
+        const &= bool(
+            np.allclose(batch.a[:, 1:], batch.a[:, 1:2], rtol=rtol, atol=rtol)
+        )
+        const &= bool(
+            np.allclose(batch.c[:, :-1], batch.c[:, :1], rtol=rtol, atol=rtol)
+        )
+    return const
+
+
+def has_zero_diagonal(batch: TridiagonalBatch, *, tol: float = 0.0) -> bool:
+    """True when any main-diagonal entry has magnitude <= ``tol``."""
+    return bool((np.abs(batch.b) <= tol).any())
+
+
+def condition_estimate(batch: TridiagonalBatch, *, max_size: int = 2048) -> np.ndarray:
+    """Per-system 1-norm condition estimate via dense matrices.
+
+    Quadratic memory in ``n``; guarded by ``max_size`` because it exists
+    for tests and diagnostics, not production paths.
+    """
+    if batch.system_size > max_size:
+        raise ValueError(
+            f"condition_estimate is test-only; system_size "
+            f"{batch.system_size} > max_size {max_size}"
+        )
+    dense = batch.to_dense()
+    return np.array([np.linalg.cond(mat, 1) for mat in dense])
+
+
+@dataclass(frozen=True)
+class BatchSummary:
+    """Descriptive snapshot of a batch, used in logs and reports."""
+
+    num_systems: int
+    system_size: int
+    dtype: str
+    nbytes: int
+    diagonally_dominant: bool
+    symmetric: bool
+    toeplitz: bool
+    min_dominance_margin: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        flags = []
+        if self.diagonally_dominant:
+            flags.append("dominant")
+        if self.symmetric:
+            flags.append("symmetric")
+        if self.toeplitz:
+            flags.append("toeplitz")
+        tag = ",".join(flags) or "general"
+        return (
+            f"{self.num_systems}x{self.system_size} {self.dtype} [{tag}] "
+            f"({self.nbytes} bytes)"
+        )
+
+
+def summarize(batch: TridiagonalBatch) -> BatchSummary:
+    """Compute a :class:`BatchSummary` for ``batch``."""
+    return BatchSummary(
+        num_systems=batch.num_systems,
+        system_size=batch.system_size,
+        dtype=str(batch.dtype),
+        nbytes=batch.nbytes,
+        diagonally_dominant=is_diagonally_dominant(batch),
+        symmetric=is_symmetric(batch),
+        toeplitz=is_toeplitz(batch),
+        min_dominance_margin=float(dominance_margin(batch).min()),
+    )

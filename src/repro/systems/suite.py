@@ -1,0 +1,105 @@
+"""The paper's evaluation workloads.
+
+Figure 7 and Figure 8 evaluate four workload shapes, named as the paper
+names them:
+
+- ``1Kx1K`` — 1024 systems of 1024 equations,
+- ``2Kx2K`` — 2048 systems of 2048 equations,
+- ``4Kx4K`` — 4096 systems of 4096 equations,
+- ``1x2M``  — 1 system of 2^21 (~2 million) equations.
+
+:func:`paper_workloads` returns the shapes; :func:`build_workload`
+materialises a batch for a shape. Benchmarks may scale the shapes down
+uniformly (``scale``) to keep host memory and wall-clock in check — the
+simulator's *timing* is computed from the nominal shape regardless, so
+figure shapes are unaffected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..util.errors import ConfigurationError
+from ..util.validation import check_positive_int
+from . import generators
+from .tridiagonal import TridiagonalBatch
+
+__all__ = ["Workload", "paper_workloads", "build_workload", "PAPER_WORKLOAD_NAMES"]
+
+PAPER_WORKLOAD_NAMES = ("1Kx1K", "2Kx2K", "4Kx4K", "1x2M")
+
+_SHAPES: Dict[str, Tuple[int, int]] = {
+    "1Kx1K": (1024, 1024),
+    "2Kx2K": (2048, 2048),
+    "4Kx4K": (4096, 4096),
+    "1x2M": (1, 1 << 21),
+}
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A named workload shape: ``num_systems`` systems of ``system_size``."""
+
+    name: str
+    num_systems: int
+    system_size: int
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        """``(m, n)`` tuple."""
+        return (self.num_systems, self.system_size)
+
+    @property
+    def total_equations(self) -> int:
+        """``m * n``."""
+        return self.num_systems * self.system_size
+
+    def scaled(self, scale: int) -> "Workload":
+        """Uniformly shrink both axes by ``scale`` (for host-side runs).
+
+        Both axes are floored at 1; the system size stays a power of two
+        when it started as one because scales are powers of two in all
+        shipped benchmarks.
+        """
+        check_positive_int(scale, "scale")
+        return Workload(
+            name=self.name,
+            num_systems=max(1, self.num_systems // scale),
+            system_size=max(2, self.system_size // scale),
+        )
+
+
+def paper_workloads() -> Tuple[Workload, ...]:
+    """The four workloads of Figures 7 and 8, in paper order."""
+    return tuple(Workload(name, *_SHAPES[name]) for name in PAPER_WORKLOAD_NAMES)
+
+
+def build_workload(
+    workload: "Workload | str",
+    *,
+    generator: str = "random_dominant",
+    seed: int = 0,
+    dtype="float64",
+    scale: int = 1,
+) -> TridiagonalBatch:
+    """Materialise a batch for ``workload``.
+
+    ``workload`` may be a :class:`Workload` or one of the paper names.
+    ``generator`` selects a factory from :mod:`repro.systems.generators`
+    taking ``(num_systems, system_size)``.
+    """
+    if isinstance(workload, str):
+        if workload not in _SHAPES:
+            raise ConfigurationError(
+                f"unknown workload {workload!r}; expected one of {PAPER_WORKLOAD_NAMES}"
+            )
+        workload = Workload(workload, *_SHAPES[workload])
+    if scale != 1:
+        workload = workload.scaled(scale)
+    factory = getattr(generators, generator, None)
+    if factory is None or generator.startswith("_"):
+        raise ConfigurationError(f"unknown generator {generator!r}")
+    return factory(
+        workload.num_systems, workload.system_size, rng=seed, dtype=dtype
+    )

@@ -1,0 +1,43 @@
+"""Shared utilities: errors, validation, unit conversions."""
+
+from .errors import (
+    ConfigurationError,
+    DeviceError,
+    NumericsError,
+    PlanError,
+    ReproError,
+    ResourceExhaustedError,
+    ShapeError,
+    SingularSystemError,
+    TuningError,
+)
+from .validation import (
+    check_dtype,
+    check_positive_int,
+    check_power_of_two,
+    check_same_shape,
+    ilog2,
+    is_power_of_two,
+    next_power_of_two,
+    require,
+)
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "ShapeError",
+    "SingularSystemError",
+    "NumericsError",
+    "DeviceError",
+    "ResourceExhaustedError",
+    "TuningError",
+    "PlanError",
+    "require",
+    "check_positive_int",
+    "check_power_of_two",
+    "is_power_of_two",
+    "next_power_of_two",
+    "check_dtype",
+    "check_same_shape",
+    "ilog2",
+]

@@ -1,0 +1,65 @@
+"""Exception hierarchy for :mod:`repro`.
+
+All errors raised by the library derive from :class:`ReproError` so callers
+can catch library failures with a single ``except`` clause while still
+distinguishing configuration mistakes from numerical breakdowns.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "ShapeError",
+    "SingularSystemError",
+    "NumericsError",
+    "DeviceError",
+    "ResourceExhaustedError",
+    "TuningError",
+    "PlanError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` library."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """An invalid parameter, switch point, or solver configuration."""
+
+
+class ShapeError(ReproError, ValueError):
+    """Input arrays have inconsistent or unsupported shapes."""
+
+
+class NumericsError(ReproError, ArithmeticError):
+    """A numerical failure (overflow, NaN propagation, divergence)."""
+
+
+class SingularSystemError(NumericsError):
+    """A (near-)singular tridiagonal system was encountered.
+
+    Raised when a pivot underflows during elimination, e.g. a zero diagonal
+    in a non-dominant system. The offending system index (within a batch)
+    is carried in :attr:`system_index` when known.
+    """
+
+    def __init__(self, message: str, system_index: int | None = None):
+        super().__init__(message)
+        self.system_index = system_index
+
+
+class DeviceError(ReproError):
+    """A problem with a simulated device specification or launch."""
+
+
+class ResourceExhaustedError(DeviceError):
+    """A kernel launch exceeds device resources (shared memory, threads)."""
+
+
+class TuningError(ReproError):
+    """The tuning procedure failed (empty search space, bad seed, ...)."""
+
+
+class PlanError(ReproError):
+    """The planner could not construct a valid multi-stage plan."""

@@ -1,0 +1,91 @@
+"""Unit helpers: bytes, bandwidth, and time conversions.
+
+The machine model works internally in bytes, cycles and milliseconds;
+these helpers keep the conversions explicit and self-documenting.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "KIB",
+    "MIB",
+    "GIB",
+    "GB",
+    "kib",
+    "mib",
+    "gb_per_s_to_bytes_per_ms",
+    "seconds_to_ms",
+    "ms_to_seconds",
+    "us_to_ms",
+    "ns_to_ms",
+    "cycles_to_ms",
+    "fmt_bytes",
+    "fmt_ms",
+]
+
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+# Memory-bandwidth vendors quote decimal gigabytes.
+GB = 1_000_000_000
+
+
+def kib(n: float) -> int:
+    """``n`` KiB in bytes."""
+    return int(n * KIB)
+
+
+def mib(n: float) -> int:
+    """``n`` MiB in bytes."""
+    return int(n * MIB)
+
+
+def gb_per_s_to_bytes_per_ms(gb_per_s: float) -> float:
+    """Convert a decimal-GB/s bandwidth to bytes per millisecond."""
+    return gb_per_s * GB / 1_000.0
+
+
+def seconds_to_ms(seconds: float) -> float:
+    """Seconds to milliseconds."""
+    return seconds * 1_000.0
+
+
+def ms_to_seconds(ms: float) -> float:
+    """Milliseconds to seconds."""
+    return ms / 1_000.0
+
+
+def us_to_ms(us: float) -> float:
+    """Microseconds to milliseconds."""
+    return us / 1_000.0
+
+
+def ns_to_ms(ns: float) -> float:
+    """Nanoseconds to milliseconds."""
+    return ns / 1_000_000.0
+
+
+def cycles_to_ms(cycles: float, clock_mhz: float) -> float:
+    """Convert a cycle count at ``clock_mhz`` to milliseconds."""
+    return cycles / (clock_mhz * 1_000.0)
+
+
+def fmt_bytes(n: float) -> str:
+    """Human-readable byte count (binary units)."""
+    value = float(n)
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if abs(value) < 1024.0 or unit == "TiB":
+            return f"{value:.2f} {unit}" if unit != "B" else f"{int(value)} B"
+        value /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def fmt_ms(ms: float) -> str:
+    """Human-readable duration from milliseconds."""
+    if ms < 1e-3:
+        return f"{ms * 1e6:.1f} ns"
+    if ms < 1.0:
+        return f"{ms * 1e3:.1f} us"
+    if ms < 1_000.0:
+        return f"{ms:.2f} ms"
+    return f"{ms / 1_000.0:.3f} s"

@@ -1,0 +1,112 @@
+"""Tests for the 3-D Douglas-Gunn ADI integrator and the export module."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    figure5_to_csv,
+    figure7_to_csv,
+    figure8_to_csv,
+    figures_to_json,
+)
+from repro.analysis.figures import Figure7Cell
+from repro.apps import AdiDiffusion3D
+from repro.core import MultiStageSolver
+from repro.util.errors import ConfigurationError, ShapeError
+
+
+@pytest.fixture(scope="module")
+def solver():
+    return MultiStageSolver("gtx470", "static")
+
+
+class TestAdi3D:
+    def test_mode_decay_matches_analytic(self, solver):
+        n = 24
+        adi = AdiDiffusion3D(
+            (n, n, n), alpha=1.0, dx=1.0 / (n + 1), dt=2e-4, solver=solver
+        )
+        x = np.linspace(adi.dx, 1.0 - adi.dx, n)
+        sx = np.sin(np.pi * x)
+        u = sx[:, None, None] * sx[None, :, None] * sx[None, None, :]
+        steps = 15
+        u = adi.run(u, steps)
+        expected = adi.analytic_mode_decay(1, adi.dt * steps)
+        # Douglas-Gunn is first-order in time: allow a few percent.
+        assert u.max() == pytest.approx(expected, rel=5e-2)
+
+    def test_unconditional_stability(self, solver):
+        adi = AdiDiffusion3D((12, 12, 12), dt=50.0, dx=0.1, solver=solver)
+        assert adi.r > 1000
+        rng = np.random.default_rng(0)
+        u = rng.random((12, 12, 12))
+        out = adi.run(u, 5)
+        assert np.isfinite(out).all()
+        assert np.abs(out).max() <= 1.0 + 1e-9
+
+    def test_anisotropic_grid(self, solver):
+        adi = AdiDiffusion3D((6, 10, 14), dt=1e-3, solver=solver)
+        u = np.ones((6, 10, 14))
+        out = adi.step(u)
+        assert out.shape == (6, 10, 14)
+
+    def test_three_sweeps_per_step(self, solver):
+        adi = AdiDiffusion3D((8, 8, 8), dt=1e-3, solver=solver)
+        adi.step(np.ones((8, 8, 8)))
+        assert adi.report.sweeps == 3
+        assert adi.report.systems_solved == 3 * 64
+
+    def test_decays_toward_zero(self, solver):
+        """With zero boundaries, everything diffuses away. (Moderate r:
+        Douglas-Gunn is unconditionally stable but its splitting factor
+        tends to 1 for very stiff steps, so decay needs resolved steps.)"""
+        adi = AdiDiffusion3D((10, 10, 10), dt=0.005, dx=0.09, solver=solver)
+        u = np.random.default_rng(1).random((10, 10, 10))
+        norm0 = np.abs(u).max()
+        out = adi.run(u, 80)
+        assert np.abs(out).max() < 0.05 * norm0
+
+    def test_validation(self, solver):
+        with pytest.raises(ConfigurationError):
+            AdiDiffusion3D((1, 8, 8), solver=solver)
+        with pytest.raises(ConfigurationError):
+            AdiDiffusion3D((8, 8, 8), alpha=-1, solver=solver)
+        adi = AdiDiffusion3D((8, 8, 8), solver=solver)
+        with pytest.raises(ShapeError):
+            adi.step(np.ones((4, 8, 8)))
+
+
+class TestExport:
+    def test_series_csv(self):
+        data = {"devA": {128: 0.5, 256: 1.0}, "devB": {128: 1.0, 256: None}}
+        text = figure5_to_csv(data)
+        lines = text.strip().splitlines()
+        assert lines[0] == "device,stage3_size=128,stage3_size=256"
+        assert lines[1].startswith("devA,0.5")
+        assert lines[2].endswith(",")  # None -> empty cell
+
+    def test_figure7_csv(self):
+        cell = Figure7Cell(untuned_ms=10.0, static_ms=8.0, dynamic_ms=6.0)
+        text = figure7_to_csv({"devA": {"1Kx1K": cell}})
+        lines = text.strip().splitlines()
+        assert "static_normalized" in lines[0]
+        assert "0.8" in lines[1] and "0.6" in lines[1]
+
+    def test_figure8_csv(self):
+        text = figure8_to_csv({"1Kx1K": {"gpu_ms": 1.0, "cpu_ms": 10.0, "speedup": 10.0}})
+        assert "1Kx1K,1.000000,10.000000,10.000000" in text
+
+    def test_json_bundle(self):
+        import json
+
+        cell = Figure7Cell(untuned_ms=10.0, static_ms=8.0, dynamic_ms=6.0)
+        doc = json.loads(
+            figures_to_json(
+                fig5={"d": {128: 1.0}},
+                fig7={"d": {"1Kx1K": cell}},
+                fig8={"1Kx1K": {"gpu_ms": 1.0, "cpu_ms": 2.0, "speedup": 2.0}},
+            )
+        )
+        assert doc["figure5"]["d"]["128"] == 1.0
+        assert doc["figure7"]["d"]["1Kx1K"]["dynamic_ms"] == 6.0
+        assert "figure6" not in doc

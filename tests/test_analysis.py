@@ -1,0 +1,194 @@
+"""Shape-regression tests: the paper's published results, as assertions.
+
+These pin the reproduction quality documented in EXPERIMENTS.md: optimal
+switch points per device (Figures 5 and 6), tuning-strategy ordering and
+headline savings (Figure 7 / §V), and the GPU↔CPU crossover (Figure 8).
+"""
+
+import pytest
+
+from repro.analysis import (
+    PAPER_FIG6_OPTIMA,
+    ascii_table,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    format_value,
+    headline_savings,
+    section,
+    table1,
+    table2,
+)
+
+
+@pytest.fixture(scope="module")
+def fig7():
+    return figure7()
+
+
+class TestFigure5:
+    def test_structure(self):
+        data = figure5(devices=("gtx470",))
+        assert set(data) == {"gtx470"}
+        assert set(data["gtx470"]) == {128, 256, 512, 1024}
+
+    def test_infeasible_sizes_none(self):
+        data = figure5()
+        assert data["8800gtx"][512] is None
+        assert data["8800gtx"][1024] is None
+        assert data["gtx280"][1024] is None
+        assert data["gtx470"][1024] is not None
+
+    def test_8800_prefers_256(self):
+        """§V: 'The GeForce 8800 ... prefers a larger system size of 256
+        instead of 128.'"""
+        data = figure5()["8800gtx"]
+        assert data[256] == 1.0
+        assert data[128] < 1.0
+
+    def test_470_prefers_512_over_1024(self):
+        """§V: 'it is beneficial to split the system one step further from
+        size 1024 to 512 even though 1024 can already fit'."""
+        data = figure5()["gtx470"]
+        assert data[512] == 1.0
+        assert data[1024] < 1.0
+
+    def test_280_256_and_512_comparable(self):
+        """§V: 'switching at system sizes 256 and 512 have comparable
+        performance' on the GTX 280."""
+        data = figure5()["gtx280"]
+        assert min(data[256], data[512]) > 0.85
+
+
+class TestFigure6:
+    def test_normalised_to_best(self):
+        for row in figure6().values():
+            vals = [v for v in row.values() if v is not None]
+            assert max(vals) == 1.0
+            assert all(0 < v <= 1.0 for v in vals)
+
+    def test_paper_optima(self):
+        """§V: best switch is 64 on the 8800, 128 on the 280 and 470."""
+        data = figure6()
+        for device, expected in PAPER_FIG6_OPTIMA.items():
+            row = data[device]
+            best = max(
+                (k for k, v in row.items() if v is not None),
+                key=lambda k: row[k],
+            )
+            assert best in expected, (device, best)
+
+    def test_too_early_switch_clearly_poor(self):
+        """Switching at 16 subsystems starves the vector units."""
+        for row in figure6().values():
+            assert row[16] < 0.6
+
+
+class TestFigure7:
+    def test_structure(self, fig7):
+        assert set(fig7) == {"8800gtx", "gtx280", "gtx470"}
+        for row in fig7.values():
+            assert set(row) == {"1Kx1K", "2Kx2K", "4Kx4K", "1x2M"}
+
+    def test_dynamic_never_loses(self, fig7):
+        """§V: 'dynamic self-tuning is always better than either static or
+        no tuning' (2% slack for hill-climb locality)."""
+        for device, row in fig7.items():
+            for wl, cell in row.items():
+                assert cell.dynamic_ms <= cell.untuned_ms * 1.02, (device, wl)
+                assert cell.dynamic_ms <= cell.static_ms * 1.02, (device, wl)
+
+    def test_static_beats_untuned_on_newer_parts(self, fig7):
+        """Static tuning's wins come from the parts whose capabilities
+        exceed the least-common-denominator defaults."""
+        for device in ("gtx280", "gtx470"):
+            for cell in fig7[device].values():
+                assert cell.static_normalized <= 1.0
+
+    def test_headline_savings_bands(self, fig7):
+        """§V: static ≈ 17% average savings, dynamic ≈ 32%."""
+        agg = headline_savings(fig7)
+        assert 0.10 <= agg["static_avg_savings"] <= 0.25
+        assert 0.25 <= agg["dynamic_avg_savings"] <= 0.45
+        assert agg["dynamic_max_speedup"] >= 2.0
+
+    def test_largest_speedups_on_largest_systems(self, fig7):
+        """§V: 'with the largest speedups on the largest systems' — holds
+        on the parts where splitting strategy has room to differ (the
+        8800's residency ceiling caps what tuning can recover there)."""
+        for device in ("gtx280", "gtx470"):
+            row = fig7[device]
+            assert (
+                row["1x2M"].dynamic_normalized
+                <= row["1Kx1K"].dynamic_normalized
+            )
+
+
+class TestFigure8:
+    @pytest.fixture(scope="class")
+    def fig8(self):
+        return figure8()
+
+    def test_gpu_wins_parallel_workloads(self, fig8):
+        """Paper: 6–11x on the parallel workloads; we accept 4–16x."""
+        for wl in ("1Kx1K", "2Kx2K", "4Kx4K"):
+            assert 4.0 <= fig8[wl]["speedup"] <= 16.0, (wl, fig8[wl])
+
+    def test_cpu_wins_single_enormous_system(self, fig8):
+        """Paper: 0.7x on 1×2M — the CPU's one win."""
+        assert fig8["1x2M"]["speedup"] < 1.0
+
+    def test_speedup_decreases_with_size(self, fig8):
+        """Fig. 8: 'increasing the size and count of systems results in a
+        slightly decreasing advantage for the GPU'."""
+        assert (
+            fig8["1Kx1K"]["speedup"]
+            > fig8["2Kx2K"]["speedup"]
+            > fig8["4Kx4K"]["speedup"]
+            > fig8["1x2M"]["speedup"]
+        )
+
+
+class TestTables:
+    def test_table1_rows(self):
+        rows = table1()
+        assert len(rows) == 3
+        names = [r["name"] for r in rows]
+        assert "GeForce GTX 470" in names
+        gtx280 = next(r for r in rows if "280" in r["name"])
+        assert gtx280["global_memory_bandwidth_gb_s"] == 141.7
+        assert gtx280["shared_memory_kb"] == 16
+
+    def test_table2_rows(self):
+        rows = table2("gtx470")
+        params = [r[0] for r in rows]
+        for expected in (
+            "Global Mem",
+            "Processors",
+            "Constant Memory",
+            "Shared Memory",
+            "Register Memory",
+            "Grid Dimensions",
+        ):
+            assert expected in params
+
+
+class TestReportRendering:
+    def test_ascii_table(self):
+        text = ascii_table(
+            ["a", "bb"], [[1, 2.5], ["x", None]], title="T"
+        )
+        assert "T" in text
+        assert "| a" in text
+        assert "2.5" in text
+        assert "-" in text
+
+    def test_format_value(self):
+        assert format_value(None) == "-"
+        assert format_value(True) == "yes"
+        assert format_value(1234.0) == "1,234"
+        assert format_value(0.123456) == "0.123"
+
+    def test_section(self):
+        assert "Results" in section("Results")

@@ -1,0 +1,238 @@
+"""Tests for the application-level wrappers (ADI, splines, Poisson, ocean)."""
+
+import numpy as np
+import pytest
+from scipy.interpolate import CubicSpline
+
+from repro.apps import (
+    AdiDiffusion2D,
+    NaturalSplineBatch,
+    PoissonSolver2D,
+    VerticalMixingStepper,
+    dst1,
+    fit_natural_splines,
+    idst1,
+)
+from repro.core import MultiStageSolver
+from repro.util.errors import ConfigurationError, ShapeError
+
+
+@pytest.fixture(scope="module")
+def solver():
+    return MultiStageSolver("gtx470", "static")
+
+
+class TestAdi:
+    def test_mode_decay_matches_analytic(self, solver):
+        n = 64
+        adi = AdiDiffusion2D((n, n), alpha=1.0, dx=1.0 / (n + 1), dt=5e-4, solver=solver)
+        x = np.linspace(adi.dx, 1.0 - adi.dx, n)
+        u = np.outer(np.sin(np.pi * x), np.sin(np.pi * x))
+        steps = 20
+        u = adi.run(u, steps)
+        expected = adi.analytic_mode_decay(1, 1, adi.dt * steps)
+        assert u.max() == pytest.approx(expected, rel=2e-3)
+
+    def test_stability_at_large_r(self, solver):
+        """ADI is unconditionally stable: even r >> 1 must not blow up."""
+        adi = AdiDiffusion2D((32, 32), dt=10.0, dx=0.1, solver=solver)
+        assert adi.r > 100
+        rng = np.random.default_rng(0)
+        u = rng.random((32, 32))
+        u = adi.run(u, 5)
+        assert np.isfinite(u).all()
+        assert np.abs(u).max() <= 1.0 + 1e-9
+
+    def test_rectangular_grid(self, solver):
+        adi = AdiDiffusion2D((16, 48), dt=1e-3, solver=solver)
+        u = np.ones((16, 48))
+        out = adi.step(u)
+        assert out.shape == (16, 48)
+
+    def test_second_order_in_time(self, solver):
+        """Peaceman-Rachford is O(dt^2): halving dt quarters the error.
+
+        Measured against the *semi-discrete* decay (the discrete
+        Laplacian's eigenvalue), which isolates the temporal error from
+        the O(dx^2) spatial truncation."""
+        n = 48
+        dx = 1.0 / (n + 1)
+        x = np.linspace(dx, 1.0 - dx, n)
+        u0 = np.outer(np.sin(np.pi * x), np.sin(np.pi * x))
+        t_final = 8e-3
+        lam_h = (2.0 - 2.0 * np.cos(np.pi / (n + 1))) / dx**2
+        # The sine mode is an exact eigenvector of the discrete Laplacian,
+        # so the semi-discrete solution is u0 * exp(-2 lam_h t) exactly
+        # (note u0.max() < 1: no grid node sits at x = 1/2).
+        expected = float(u0.max() * np.exp(-2.0 * lam_h * t_final))
+        errors = []
+        for steps in (4, 8, 16):
+            adi = AdiDiffusion2D(
+                (n, n), dx=dx, dt=t_final / steps, solver=solver
+            )
+            u = adi.run(u0.copy(), steps)
+            errors.append(abs(u.max() - expected))
+        # Each halving of dt should cut the error ~4x (allow 2.5x slack).
+        assert errors[1] < errors[0] / 2.5
+        assert errors[2] < errors[1] / 2.5
+
+    def test_report_accumulates(self, solver):
+        adi = AdiDiffusion2D((16, 16), dt=1e-3, solver=solver)
+        adi.run(np.ones((16, 16)), 3)
+        assert adi.report.steps == 3
+        assert adi.report.sweeps == 6
+        assert adi.report.simulated_ms > 0
+        assert adi.report.systems_solved == 6 * 16
+
+    def test_validation(self, solver):
+        with pytest.raises(ConfigurationError):
+            AdiDiffusion2D((1, 5), solver=solver)
+        with pytest.raises(ConfigurationError):
+            AdiDiffusion2D((8, 8), dt=-1.0, solver=solver)
+        adi = AdiDiffusion2D((8, 8), solver=solver)
+        with pytest.raises(ShapeError):
+            adi.step(np.ones((4, 4)))
+
+    def test_default_device_string(self):
+        adi = AdiDiffusion2D((8, 8), solver="gtx280")
+        assert "280" in adi.solver.device.name
+
+
+class TestSpline:
+    def test_matches_scipy(self, solver):
+        rng = np.random.default_rng(1)
+        t = np.sort(rng.uniform(0, 10, 40))
+        t[0], t[-1] = 0.0, 10.0
+        y = rng.standard_normal((5, 40))
+        fit = fit_natural_splines(t, y, solver)
+        tq = np.linspace(0, 10, 333)
+        for i in range(5):
+            ref = CubicSpline(t, y[i], bc_type="natural")(tq)
+            np.testing.assert_allclose(fit(tq)[i], ref, atol=1e-10)
+
+    def test_derivative_matches_scipy(self, solver):
+        t = np.linspace(0, 1, 20)
+        y = np.sin(2 * np.pi * t)[None, :]
+        fit = fit_natural_splines(t, y, solver)
+        tq = np.linspace(0.05, 0.95, 50)
+        ref = CubicSpline(t, y[0], bc_type="natural")(tq, 1)
+        np.testing.assert_allclose(fit.derivative(tq)[0], ref, atol=1e-9)
+
+    def test_interpolates_knots(self, solver):
+        t = np.linspace(0, 1, 15)
+        y = np.cos(t)[None, :]
+        fit = fit_natural_splines(t, y, solver)
+        np.testing.assert_allclose(fit(t)[0], y[0], atol=1e-12)
+
+    def test_natural_boundary_conditions(self, solver):
+        t = np.linspace(0, 1, 12)
+        y = np.exp(t)[None, :]
+        fit = fit_natural_splines(t, y, solver)
+        assert fit.second_derivatives[0, 0] == 0.0
+        assert fit.second_derivatives[0, -1] == 0.0
+
+    def test_single_curve_promoted(self, solver):
+        t = np.linspace(0, 1, 10)
+        fit = fit_natural_splines(t, np.sin(t), solver)
+        assert isinstance(fit, NaturalSplineBatch)
+        assert fit.num_curves == 1
+
+    def test_validation(self, solver):
+        t = np.linspace(0, 1, 10)
+        with pytest.raises(ConfigurationError):
+            fit_natural_splines(t[::-1], np.ones((1, 10)), solver)
+        with pytest.raises(ShapeError):
+            fit_natural_splines(t, np.ones((1, 9)), solver)
+        with pytest.raises(ConfigurationError):
+            fit_natural_splines(np.array([0.0, 1.0]), np.ones((1, 2)), solver)
+
+
+class TestPoisson:
+    def test_dst_roundtrip(self):
+        rng = np.random.default_rng(2)
+        arr = rng.standard_normal((7, 33))
+        np.testing.assert_allclose(idst1(dst1(arr, 1), 1), arr, atol=1e-12)
+
+    def test_manufactured_solution(self, solver):
+        n = 127
+        ps = PoissonSolver2D(n, solver=solver)
+        x = np.linspace(ps.dx, 1 - ps.dx, n)
+        X, Y = np.meshgrid(x, x)
+        u_exact = np.sin(2 * np.pi * X) * np.sin(3 * np.pi * Y)
+        f = -(4 + 9) * np.pi**2 * u_exact
+        u = ps.solve(f)
+        assert np.abs(u - u_exact).max() < 100 * ps.dx**2
+
+    def test_discrete_residual_is_roundoff(self, solver):
+        """The solver inverts the 5-point operator exactly."""
+        n = 31
+        ps = PoissonSolver2D(n, solver=solver)
+        rng = np.random.default_rng(3)
+        f = rng.standard_normal((n, n))
+        u = ps.solve(f)
+        assert ps.residual(u, f) < 1e-9
+
+    def test_simulated_time_recorded(self, solver):
+        ps = PoissonSolver2D(16, solver=solver)
+        ps.solve(np.ones((16, 16)))
+        assert ps.last_simulated_ms > 0
+
+    def test_validation(self, solver):
+        with pytest.raises(ConfigurationError):
+            PoissonSolver2D(1, solver=solver)
+        ps = PoissonSolver2D(8, solver=solver)
+        with pytest.raises(ShapeError):
+            ps.solve(np.ones((4, 4)))
+
+
+class TestOcean:
+    def _stepper(self, solver, columns=64, levels=40, dt=600.0):
+        rng = np.random.default_rng(4)
+        thickness = rng.uniform(2.0, 10.0, (columns, levels))
+        depth = np.cumsum(thickness, axis=1)
+        kappa = 1e-5 + 1e-2 * np.exp(-depth / 50.0)
+        return VerticalMixingStepper(kappa, thickness, dt, solver=solver), depth
+
+    def test_heat_conserved(self, solver):
+        stepper, depth = self._stepper(solver)
+        temp = 4.0 + 16.0 * np.exp(-depth / 100.0)
+        heat0 = stepper.column_heat(temp)
+        temp = stepper.run(temp, 10)
+        heat = stepper.column_heat(temp)
+        np.testing.assert_allclose(heat, heat0, rtol=1e-12)
+
+    def test_maximum_principle(self, solver):
+        stepper, depth = self._stepper(solver)
+        rng = np.random.default_rng(5)
+        temp = rng.uniform(0.0, 25.0, stepper.shape)
+        lo, hi = temp.min(), temp.max()
+        out = stepper.run(temp, 5)
+        assert out.min() >= lo - 1e-9
+        assert out.max() <= hi + 1e-9
+
+    def test_relaxes_to_column_mean(self, solver):
+        """With huge kappa everywhere, a column tends to its mean."""
+        columns, levels = 4, 16
+        thickness = np.ones((columns, levels))
+        kappa = np.full((columns, levels), 1e3)
+        stepper = VerticalMixingStepper(kappa, thickness, 100.0, solver=solver)
+        rng = np.random.default_rng(6)
+        temp = rng.random((columns, levels))
+        mean = temp.mean(axis=1, keepdims=True)
+        out = stepper.run(temp, 50)
+        np.testing.assert_allclose(out, np.broadcast_to(mean, out.shape), atol=1e-6)
+
+    def test_validation(self, solver):
+        with pytest.raises(ShapeError):
+            VerticalMixingStepper(np.ones(4), np.ones(4), 1.0, solver=solver)
+        with pytest.raises(ConfigurationError):
+            VerticalMixingStepper(
+                -np.ones((2, 4)), np.ones((2, 4)), 1.0, solver=solver
+            )
+        with pytest.raises(ConfigurationError):
+            VerticalMixingStepper(
+                np.ones((2, 4)), np.ones((2, 4)), 0.0, solver=solver
+            )
+        stepper, _ = self._stepper(solver, columns=3, levels=5)
+        with pytest.raises(ShapeError):
+            stepper.step(np.ones((2, 5)))

@@ -1,0 +1,137 @@
+"""Tests for the banded-solver extension."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.algorithms import thomas_solve
+from repro.banded import (
+    BandedBatch,
+    banded_lu_solve,
+    finite_difference_biharmonic,
+    random_banded_dominant,
+    scipy_banded_oracle,
+)
+from repro.systems import generators
+from repro.util.errors import ConfigurationError, ShapeError, SingularSystemError
+
+
+class TestContainers:
+    def test_shape_and_bandwidth(self):
+        batch = random_banded_dominant(3, 20, 2, 1, rng=0)
+        assert batch.num_systems == 3
+        assert batch.system_size == 20
+        assert batch.bandwidth == (2, 1)
+
+    def test_corners_zeroed(self):
+        batch = random_banded_dominant(2, 10, 1, 2, rng=1)
+        assert (batch.bands[:, 0, :2] == 0).all()  # top super-diagonal
+        assert (batch.bands[:, -1, -1] == 0).all()  # bottom sub-diagonal
+
+    def test_matvec_matches_dense(self):
+        batch = random_banded_dominant(2, 12, 2, 3, rng=2)
+        x = np.random.default_rng(0).standard_normal((2, 12))
+        expected = np.einsum("mij,mj->mi", batch.to_dense(), x)
+        np.testing.assert_allclose(batch.matvec(x), expected, atol=1e-12)
+
+    def test_diagonal_accessor(self):
+        batch = finite_difference_biharmonic(1, 8)
+        assert (batch.diagonal(0)[:, :] == 7.0).all()
+        with pytest.raises(ShapeError):
+            batch.diagonal(3)
+
+    def test_tridiagonal_roundtrip(self):
+        tri = generators.random_dominant(4, 16, rng=3)
+        banded = BandedBatch.from_tridiagonal(tri)
+        assert banded.bandwidth == (1, 1)
+        back = banded.to_tridiagonal()
+        np.testing.assert_allclose(back.a, tri.a)
+        np.testing.assert_allclose(back.b, tri.b)
+        np.testing.assert_allclose(back.c, tri.c)
+
+    def test_to_tridiagonal_rejects_wide_bands(self):
+        batch = random_banded_dominant(1, 8, 2, 2, rng=4)
+        with pytest.raises(ShapeError):
+            batch.to_tridiagonal()
+
+    def test_validation(self):
+        with pytest.raises(ShapeError):
+            BandedBatch(np.ones((2, 3, 8)), np.ones((2, 8)), kl=2, ku=2)
+        with pytest.raises(ShapeError):
+            BandedBatch(np.ones((2, 3, 8)), np.ones((2, 7)), kl=1, ku=1)
+        with pytest.raises(ShapeError):
+            BandedBatch(np.ones((2, 17, 8)), np.ones((2, 8)), kl=8, ku=8)
+
+
+class TestBandedLU:
+    @pytest.mark.parametrize("kl,ku", [(0, 0), (1, 1), (2, 1), (1, 3), (4, 4)])
+    def test_matches_oracle(self, kl, ku):
+        batch = random_banded_dominant(4, 30, kl, ku, rng=kl * 10 + ku)
+        x = banded_lu_solve(batch)
+        np.testing.assert_allclose(x, scipy_banded_oracle(batch), atol=1e-10)
+        assert batch.residual(x).max() < 1e-12
+
+    def test_biharmonic(self):
+        batch = finite_difference_biharmonic(3, 40, rng=5)
+        x = banded_lu_solve(batch)
+        assert batch.residual(x).max() < 1e-11
+
+    def test_tridiagonal_case_matches_thomas(self):
+        tri = generators.random_dominant(3, 25, rng=6)
+        banded = BandedBatch.from_tridiagonal(tri)
+        np.testing.assert_allclose(
+            banded_lu_solve(banded), thomas_solve(tri), atol=1e-11
+        )
+
+    def test_diagonal_case(self):
+        bands = np.full((2, 1, 6), 2.0)
+        d = np.arange(12, dtype=float).reshape(2, 6)
+        batch = BandedBatch(bands, d, kl=0, ku=0)
+        np.testing.assert_allclose(banded_lu_solve(batch), d / 2.0)
+
+    def test_singular_detected(self):
+        bands = np.zeros((1, 3, 6))
+        batch = BandedBatch(bands, np.ones((1, 6)), kl=1, ku=1)
+        with pytest.raises(SingularSystemError):
+            banded_lu_solve(batch)
+
+    def test_input_not_mutated(self):
+        batch = random_banded_dominant(2, 15, 2, 2, rng=7)
+        before = batch.bands.copy()
+        banded_lu_solve(batch)
+        np.testing.assert_array_equal(batch.bands, before)
+
+
+class TestGenerators:
+    def test_dominance(self):
+        batch = random_banded_dominant(3, 20, 3, 2, rng=8)
+        dense = batch.to_dense()
+        diag = np.abs(np.diagonal(dense, axis1=1, axis2=2))
+        off = np.abs(dense).sum(axis=2) - diag
+        assert (diag > off).all()
+
+    def test_bad_bandwidths_rejected(self):
+        with pytest.raises(ConfigurationError):
+            random_banded_dominant(1, 8, 8, 0)
+        with pytest.raises(ConfigurationError):
+            random_banded_dominant(1, 8, -1, 0)
+
+    def test_biharmonic_needs_five(self):
+        with pytest.raises(ConfigurationError):
+            finite_difference_biharmonic(1, 4)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n=st.integers(min_value=5, max_value=40),
+    kl=st.integers(min_value=0, max_value=4),
+    ku=st.integers(min_value=0, max_value=4),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_banded_lu_property(n, kl, ku, seed):
+    """Banded LU matches the pivoted LAPACK oracle on dominant systems."""
+    batch = random_banded_dominant(3, n, min(kl, n - 1), min(ku, n - 1), rng=seed)
+    x = banded_lu_solve(batch)
+    ref = scipy_banded_oracle(batch)
+    scale = np.abs(ref).max() + 1.0
+    assert np.abs(x - ref).max() / scale < 1e-9

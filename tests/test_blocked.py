@@ -1,0 +1,236 @@
+"""Tests for the block-tridiagonal extension."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.blocked import (
+    BlockMultiStageSolver,
+    BlockTridiagonalBatch,
+    block_dense_solve,
+    block_pcr_reduce,
+    block_pcr_solve,
+    block_pcr_split,
+    block_pcr_thomas_solve,
+    block_pcr_unsplit_solution,
+    block_thomas_solve,
+    coupled_channels,
+    poisson_2d_lines,
+    random_block_dominant,
+)
+from repro.util.errors import (
+    ConfigurationError,
+    PlanError,
+    ShapeError,
+    SingularSystemError,
+)
+
+
+def _oracle_check(batch, X, tol=1e-9):
+    ref = block_dense_solve(batch)
+    scale = np.abs(ref).max() + 1.0
+    assert np.abs(X - ref).max() / scale < tol
+
+
+class TestContainers:
+    def test_shape_properties(self):
+        batch = random_block_dominant(3, 8, 4, rng=0)
+        assert batch.shape == (3, 8, 4)
+        assert batch.total_unknowns == 3 * 8 * 4
+        assert batch.nbytes == (3 * 3 * 8 * 16 + 3 * 8 * 4) * 8
+
+    def test_corner_blocks_zeroed(self):
+        rng = np.random.default_rng(0)
+        blocks = rng.random((2, 4, 3, 3))
+        batch = BlockTridiagonalBatch(
+            blocks, blocks + 10 * np.eye(3), blocks.copy(), rng.random((2, 4, 3))
+        )
+        assert (batch.A[:, 0] == 0).all()
+        assert (batch.C[:, -1] == 0).all()
+
+    def test_matvec_matches_dense(self):
+        batch = random_block_dominant(2, 6, 3, rng=1)
+        X = np.random.default_rng(2).standard_normal((2, 6, 3))
+        dense = batch.to_dense()
+        expected = np.einsum(
+            "mij,mj->mi", dense, X.reshape(2, -1)
+        ).reshape(2, 6, 3)
+        np.testing.assert_allclose(batch.matvec(X), expected, atol=1e-12)
+
+    def test_validation(self):
+        with pytest.raises(ShapeError):
+            BlockTridiagonalBatch(
+                np.ones((2, 4, 3, 2)),  # non-square blocks
+                np.ones((2, 4, 3, 2)),
+                np.ones((2, 4, 3, 2)),
+                np.ones((2, 4, 3)),
+            )
+        with pytest.raises(ShapeError):
+            BlockTridiagonalBatch(
+                np.ones((2, 4, 3, 3)),
+                np.ones((2, 4, 3, 3)),
+                np.ones((2, 4, 3, 3)),
+                np.ones((2, 4, 2)),  # wrong rhs width
+            )
+
+    def test_residual_zero_for_exact(self):
+        batch = random_block_dominant(2, 4, 2, rng=3)
+        X = block_dense_solve(batch)
+        assert batch.residual(X).max() < 1e-12
+
+
+class TestGenerators:
+    def test_poisson_2d_lines_structure(self):
+        batch = poisson_2d_lines(2, 8, 5, rng=0)
+        assert batch.shape == (2, 8, 5)
+        np.testing.assert_array_equal(
+            batch.A[:, 1], np.broadcast_to(-np.eye(5), (2, 5, 5))
+        )
+        assert batch.B[0, 0, 0, 0] == 4.0
+
+    def test_coupled_channels_symmetric_coupling(self):
+        batch = coupled_channels(2, 8, 4, coupling=0.3, rng=1)
+        np.testing.assert_allclose(
+            batch.B[0, 0], batch.B[0, 0].T, atol=1e-12
+        )
+
+    def test_coupled_channels_rejects_bad_coupling(self):
+        with pytest.raises(ConfigurationError):
+            coupled_channels(1, 4, 2, coupling=1.5)
+
+    def test_random_dominant_rejects_bad_dominance(self):
+        with pytest.raises(ConfigurationError):
+            random_block_dominant(1, 4, 2, dominance=0.5)
+
+
+class TestBlockAlgorithms:
+    @pytest.mark.parametrize("k", [1, 2, 5])
+    def test_block_thomas_matches_dense(self, k):
+        batch = random_block_dominant(3, 12, k, rng=k)
+        _oracle_check(batch, block_thomas_solve(batch))
+
+    def test_block_thomas_scalar_case_matches_scalar_thomas(self):
+        """k=1 blocks must reduce to the scalar algorithm."""
+        from repro.algorithms import thomas_solve
+        from repro.systems import TridiagonalBatch
+
+        batch = random_block_dominant(2, 16, 1, rng=9)
+        X = block_thomas_solve(batch)
+        scalar = TridiagonalBatch(
+            batch.A[..., 0, 0], batch.B[..., 0, 0], batch.C[..., 0, 0],
+            batch.D[..., 0],
+        )
+        np.testing.assert_allclose(
+            X[..., 0], thomas_solve(scalar), atol=1e-12
+        )
+
+    @pytest.mark.parametrize("n", [1, 2, 8, 32])
+    def test_block_pcr_matches_dense(self, n):
+        batch = random_block_dominant(2, n, 3, rng=n)
+        _oracle_check(batch, block_pcr_solve(batch))
+
+    @pytest.mark.parametrize("switch", [1, 4, 16, 64])
+    def test_block_hybrid_matches_dense(self, switch):
+        batch = random_block_dominant(2, 32, 3, rng=switch)
+        _oracle_check(batch, block_pcr_thomas_solve(batch, switch))
+
+    def test_block_pcr_split_roundtrip(self):
+        batch = random_block_dominant(2, 16, 2, rng=5)
+        split = block_pcr_split(batch, 2)
+        assert split.shape == (8, 4, 2)
+        X = block_pcr_unsplit_solution(block_thomas_solve(split), 2)
+        _oracle_check(batch, X)
+
+    def test_block_pcr_preserves_solution(self):
+        batch = random_block_dominant(1, 8, 2, rng=6)
+        X = block_dense_solve(batch)
+        reduced = block_pcr_reduce(batch, 1)
+        # After one step, row i couples rows i-2 and i+2.
+        lhs = np.einsum("mnij,mnj->mni", reduced.B, X)
+        lhs[:, 2:] += np.einsum("mnij,mnj->mni", reduced.A[:, 2:], X[:, :-2])
+        lhs[:, :-2] += np.einsum("mnij,mnj->mni", reduced.C[:, :-2], X[:, 2:])
+        np.testing.assert_allclose(lhs, reduced.D, atol=1e-9)
+
+    def test_poisson_lines_solved(self):
+        batch = poisson_2d_lines(2, 16, 12, rng=7)
+        _oracle_check(batch, block_pcr_thomas_solve(batch, 4), tol=1e-8)
+
+    def test_singular_block_detected(self):
+        k = 2
+        A = np.zeros((1, 4, k, k))
+        B = np.zeros((1, 4, k, k))  # singular diagonal blocks
+        batch = BlockTridiagonalBatch(A, B, A.copy(), np.ones((1, 4, k)))
+        with pytest.raises(SingularSystemError):
+            block_thomas_solve(batch)
+
+    def test_split_indivisible_rejected(self):
+        batch = random_block_dominant(1, 6, 2, rng=8)
+        with pytest.raises(ConfigurationError):
+            block_pcr_split(batch, 2)
+
+
+class TestBlockSolver:
+    def test_solve_small(self):
+        batch = random_block_dominant(4, 16, 3, rng=10)
+        solver = BlockMultiStageSolver("gtx470")
+        result = solver.solve(batch)
+        _oracle_check(batch, result.X)
+        assert result.simulated_ms > 0
+
+    def test_split_path_used_for_large_systems(self):
+        solver = BlockMultiStageSolver("gtx470")
+        k, dsize = 8, 8
+        max_rows = solver.max_onchip_block_rows(k, dsize)
+        batch = random_block_dominant(4, max_rows * 4, k, rng=11)
+        result = solver.solve(batch)
+        assert "split" in result.report.stage_ms()
+        assert batch.residual(result.X).max() < 1e-9
+
+    def test_onchip_capacity_shrinks_with_block_size(self):
+        solver = BlockMultiStageSolver("gtx470")
+        assert solver.max_onchip_block_rows(2, 8) > solver.max_onchip_block_rows(8, 8)
+
+    def test_oversized_block_rejected(self):
+        solver = BlockMultiStageSolver("8800gtx")
+        from repro.util.errors import ResourceExhaustedError
+
+        with pytest.raises(ResourceExhaustedError):
+            solver.max_onchip_block_rows(128, 8)
+
+    def test_non_pow2_rejected(self):
+        batch = random_block_dominant(1, 6, 2, rng=12)
+        with pytest.raises(PlanError):
+            BlockMultiStageSolver("gtx470").solve(batch)
+
+    def test_pinned_parameters_respected(self):
+        batch = random_block_dominant(2, 32, 2, rng=13)
+        solver = BlockMultiStageSolver(
+            "gtx470", stage3_block_rows=8, thomas_switch=4
+        )
+        result = solver.solve(batch)
+        assert result.stage3_block_rows == 8
+        assert result.thomas_switch == 4
+        _oracle_check(batch, result.X)
+
+    def test_tuning_cached_per_block_size(self):
+        solver = BlockMultiStageSolver("gtx280")
+        p1 = solver.tuned_parameters(64, 4, 8)
+        p2 = solver.tuned_parameters(128, 4, 8)
+        assert p1 == p2  # same (k, dtype) class
+        assert len(solver._tuned) == 1
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    m=st.integers(min_value=1, max_value=4),
+    n_exp=st.integers(min_value=0, max_value=5),
+    k=st.integers(min_value=1, max_value=4),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_block_hybrid_property(m, n_exp, k, seed):
+    """The blocked hybrid matches the dense oracle for any shape/seed."""
+    batch = random_block_dominant(m, 1 << n_exp, k, rng=seed)
+    X = block_pcr_thomas_solve(batch, 8)
+    ref = block_dense_solve(batch)
+    scale = np.abs(ref).max() + 1.0
+    assert np.abs(X - ref).max() / scale < 1e-9

@@ -1,0 +1,80 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+
+
+def _run(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+class TestDevices:
+    def test_lists_all_three(self):
+        code, text = _run(["devices"])
+        assert code == 0
+        for name in ("GeForce 8800 GTX", "GeForce GTX 280", "GeForce GTX 470"):
+            assert name in text
+
+    def test_shows_onchip_capacity(self):
+        _, text = _run(["devices"])
+        assert "1024" in text  # GTX 470's on-chip max
+
+
+class TestSolve:
+    def test_paper_workload(self):
+        code, text = _run(
+            ["solve", "--workload", "1Kx1K", "--scale", "64", "--tuning", "static"]
+        )
+        assert code == 0
+        assert "residual" in text
+        assert "stage 3+4" in text
+
+    def test_custom_workload(self):
+        code, text = _run(
+            ["solve", "--workload", "16x2048", "--scale", "1", "--tuning", "default"]
+        )
+        assert code == 0
+        assert "16 x 2048" in text
+
+    def test_bad_workload_is_reported(self):
+        code, text = _run(["solve", "--workload", "banana"])
+        assert code == 2
+        assert "error:" in text
+
+    def test_device_selection(self):
+        code, text = _run(
+            ["solve", "--device", "8800gtx", "--workload", "8x512", "--scale", "1"]
+        )
+        assert code == 0
+        assert "8800" in text
+
+
+class TestTune:
+    def test_prints_switch_points(self):
+        code, text = _run(["tune", "--device", "gtx280"])
+        assert code == 0
+        assert "stage2->3" in text
+        assert "model probes" in text
+
+    def test_cache_roundtrip(self, tmp_path):
+        cache = str(tmp_path / "t.json")
+        code1, text1 = _run(["tune", "--device", "gtx470", "--cache", cache])
+        code2, text2 = _run(["tune", "--device", "gtx470", "--cache", cache])
+        assert code1 == code2 == 0
+        assert "cache (0 probes)" in text2
+
+
+class TestFigures:
+    def test_writes_all_outputs(self, tmp_path):
+        out_dir = tmp_path / "figs"
+        code, text = _run(["figures", "--out", str(out_dir)])
+        assert code == 0
+        for name in ("table1", "table2", "figure5", "figure6", "figure7", "figure8"):
+            assert (out_dir / f"{name}.txt").exists(), name
+        fig8 = (out_dir / "figure8.txt").read_text()
+        assert "1x2M" in fig8

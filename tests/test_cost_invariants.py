@@ -1,0 +1,106 @@
+"""Property tests on cost-model invariants.
+
+These pin the *qualitative physics* of the machine model — the
+monotonicities every mechanism must satisfy regardless of calibration
+values. A calibration tweak that violates one of these would produce
+nonsense tuning landscapes even if the headline figures still matched.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.pricing import price_base_kernel
+from repro.gpu import PAPER_DEVICES, make_device
+from repro.kernels import CoopPcrKernel, GlobalPcrKernel, KernelContext
+
+COMMON = dict(max_examples=20, deadline=None)
+device_name = st.sampled_from(sorted(PAPER_DEVICES))
+
+
+def _ctx(name):
+    return KernelContext(make_device(name).session())
+
+
+@settings(**COMMON)
+@given(
+    name=device_name,
+    m=st.integers(min_value=32, max_value=2048),
+    t_exp=st.integers(min_value=2, max_value=8),
+)
+def test_base_kernel_monotone_in_systems(name, m, t_exp):
+    """Twice the systems never solve faster."""
+    dev = make_device(name)
+    size = min(256, dev.max_onchip_system_size(4))
+    t = min(1 << t_exp, size)
+    one = price_base_kernel(dev, m, size, 4, thomas_switch=t, variant="coalesced")
+    two = price_base_kernel(dev, 2 * m, size, 4, thomas_switch=t, variant="coalesced")
+    assert two >= one * 0.999
+
+
+@settings(**COMMON)
+@given(
+    name=device_name,
+    steps=st.integers(min_value=1, max_value=8),
+)
+def test_split_traffic_linear_in_steps(name, steps):
+    """Each extra split step adds exactly one sweep's raw traffic."""
+    ctx = _ctx(name)
+    base = GlobalPcrKernel().cost(ctx, 64, 4096, 4, steps)
+    more = GlobalPcrKernel().cost(ctx, 64, 4096, 4, steps + 1)
+    per_step = base.traffic.raw_bytes / steps
+    assert more.traffic.raw_bytes == pytest.approx(
+        base.traffic.raw_bytes + per_step
+    )
+
+
+@settings(**COMMON)
+@given(
+    name=device_name,
+    stride_exp=st.integers(min_value=0, max_value=16),
+)
+def test_coop_efficiency_never_exceeds_stage2(name, stride_exp):
+    """At any stride, the cooperative splitter's effective bandwidth is
+    no better than the independent splitter's at the same stride."""
+    ctx = _ctx(name)
+    stride = 1 << stride_exp
+    coop = CoopPcrKernel().cost_per_step(ctx, 1 << 20, 4, stride=stride)
+    stage2 = GlobalPcrKernel().cost(
+        ctx, 64, (1 << 20) // 64, 4, 1, start_stride=stride
+    )
+    assert coop.bandwidth_efficiency <= stage2.bandwidth_efficiency + 1e-12
+
+
+@settings(**COMMON)
+@given(
+    name=device_name,
+    t_small=st.integers(min_value=2, max_value=4),
+)
+def test_extreme_thomas_switches_never_optimal(name, t_small):
+    """The cost curve over T must rise at both extremes relative to the
+    middle (the Figure-6 'U'); degenerate switches cannot win."""
+    dev = make_device(name)
+    size = dev.max_onchip_system_size(4)
+
+    def cost(t):
+        return price_base_kernel(
+            dev, 2048, size, 4, thomas_switch=t, variant="coalesced", stride=1
+        )
+
+    mid = min(cost(64), cost(128))
+    assert cost(1 << t_small) > mid
+    assert cost(size) >= mid
+
+
+@settings(**COMMON)
+@given(name=device_name, m=st.integers(min_value=1, max_value=64))
+def test_saturation_helps_until_full(name, m):
+    """Per-system split cost falls (or holds) as concurrency grows."""
+    ctx = _ctx(name)
+    from repro.gpu.cost import kernel_time_ms
+
+    spec = ctx.spec
+    small = kernel_time_ms(spec, GlobalPcrKernel().cost(ctx, m, 8192, 4, 1))
+    large = kernel_time_ms(spec, GlobalPcrKernel().cost(ctx, 4 * m, 8192, 4, 1))
+    per_small = small.total_ms / m
+    per_large = large.total_ms / (4 * m)
+    assert per_large <= per_small * 1.001

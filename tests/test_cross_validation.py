@@ -1,0 +1,71 @@
+"""Cross-validation grid: every solve path against every other.
+
+The library now has many routes to the same answer — registry
+algorithms, the multi-stage solver on three devices, the factorised
+path, SPIKE, mixed precision, the CPU baseline, the dispatcher. On one
+shared batch they must all agree to tolerance; this is the strongest
+single consistency check in the suite.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    algorithm_names,
+    factorize,
+    mixed_precision_solve,
+    scipy_banded_solve,
+    solve_with,
+)
+from repro.baselines import MklLikeCpuSolver
+from repro.core import HybridDispatcher, MultiStageSolver
+from repro.systems import generators
+
+M, N = 12, 512
+
+
+@pytest.fixture(scope="module")
+def batch():
+    return generators.random_dominant(M, N, rng=2026)
+
+
+@pytest.fixture(scope="module")
+def oracle(batch):
+    return scipy_banded_solve(batch)
+
+
+def _agrees(x, oracle, tol=1e-8):
+    scale = np.abs(oracle).max() + 1.0
+    return np.abs(np.asarray(x) - oracle).max() / scale < tol
+
+
+class TestEveryPathAgrees:
+    def test_registry_algorithms(self, batch, oracle):
+        for name in algorithm_names():
+            assert _agrees(solve_with(name, batch), oracle), name
+
+    @pytest.mark.parametrize("device", ["8800gtx", "gtx280", "gtx470"])
+    @pytest.mark.parametrize("strategy", ["default", "static", "dynamic"])
+    def test_multistage_grid(self, batch, oracle, device, strategy):
+        result = MultiStageSolver(device, strategy).solve(batch)
+        assert _agrees(result.x, oracle)
+
+    def test_factorized_path(self, batch, oracle):
+        assert _agrees(factorize(batch).solve(batch.d), oracle)
+
+    def test_mixed_precision_path(self, batch, oracle):
+        result = mixed_precision_solve(batch, tol=1e-13)
+        assert _agrees(result.x, oracle)
+
+    def test_cpu_baseline(self, batch, oracle):
+        assert _agrees(MklLikeCpuSolver().solve(batch).x, oracle)
+
+    def test_dispatcher(self, batch, oracle):
+        x, _ = HybridDispatcher("gtx470").solve(batch)
+        assert _agrees(x, oracle)
+
+    def test_float32_paths_agree_to_single_precision(self, batch, oracle):
+        b32 = batch.astype(np.float32)
+        for device in ("8800gtx", "gtx470"):
+            result = MultiStageSolver(device, "static").solve(b32)
+            assert _agrees(result.x, oracle, tol=1e-3), device

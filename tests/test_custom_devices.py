@@ -1,0 +1,97 @@
+"""Tests for custom device construction and tuner portability.
+
+The paper's motivation: new parts arrive faster than hand-tuning can
+follow, so the self-tuner must adapt to capability changes unseen. These
+tests build hypothetical devices and check that the tuned switch points
+move the way the architecture says they should.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import max_residual
+from repro.core import MultiStageSolver, SelfTuner, simulate_plan
+from repro.gpu import GENERATION_PRESETS, make_custom_spec, make_device
+from repro.systems import generators
+from repro.util.errors import ConfigurationError
+
+
+class TestConstruction:
+    def test_presets_exist(self):
+        assert set(GENERATION_PRESETS) == {"g80", "gt200", "fermi"}
+
+    def test_basic_build(self):
+        spec = make_custom_spec("TestPart", num_processors=20)
+        assert spec.name == "TestPart"
+        assert spec.num_processors == 20
+        assert spec.registers_per_processor == 32_768  # fermi preset
+
+    def test_generation_selects_hidden_params(self):
+        g80 = make_custom_spec("Old", generation="g80")
+        fermi = make_custom_spec("New", generation="fermi")
+        assert g80.misaligned_access_penalty > fermi.misaligned_access_penalty
+        assert g80.cycles_per_warp_instruction > fermi.cycles_per_warp_instruction
+
+    def test_overrides_win(self):
+        spec = make_custom_spec("Odd", generation="g80", warp_size=64)
+        assert spec.warp_size == 64
+
+    def test_unknown_generation(self):
+        with pytest.raises(ConfigurationError):
+            make_custom_spec("X", generation="volta")
+
+    def test_invalid_fields_still_validated(self):
+        with pytest.raises(ConfigurationError):
+            make_custom_spec("X", num_processors=0)
+
+
+class TestTunerPortability:
+    def test_more_shared_memory_allows_bigger_onchip(self):
+        small = make_custom_spec("Small", shared_mem_kb=16, generation="fermi")
+        big = make_custom_spec("Big", shared_mem_kb=96, generation="fermi",
+                               registers_per_processor=131_072)
+        dsmall = make_device(small)
+        dbig = make_device(big)
+        assert dbig.max_onchip_system_size(4) > dsmall.max_onchip_system_size(4)
+        sp_small = SelfTuner().switch_points(dsmall, 0, 0, 4)
+        sp_big = SelfTuner().switch_points(dbig, 0, 0, 4)
+        assert sp_big.stage3_system_size >= sp_small.stage3_system_size
+
+    def test_wider_machine_raises_stage1_target(self):
+        """More processors need more independent systems before stage 2
+        can fill the machine."""
+        narrow = make_custom_spec("Narrow", num_processors=4)
+        wide = make_custom_spec("Wide", num_processors=64)
+        sp_n = SelfTuner().switch_points(make_device(narrow), 1, 1 << 21, 4)
+        sp_w = SelfTuner().switch_points(make_device(wide), 1, 1 << 21, 4)
+        assert sp_w.stage1_target_systems >= sp_n.stage1_target_systems
+
+    def test_solver_correct_on_custom_part(self):
+        spec = make_custom_spec(
+            "Hypothetical", generation="gt200", num_processors=24,
+            shared_mem_kb=32, bandwidth_gb_s=90.0,
+        )
+        batch = generators.random_dominant(16, 4096, rng=0)
+        result = MultiStageSolver(make_device(spec), "dynamic").solve(batch)
+        assert max_residual(batch, result.x) < 1e-12
+
+    def test_dynamic_not_worse_on_custom_part(self):
+        from repro.core import DefaultTuner, MachineQueryTuner
+
+        spec = make_custom_spec(
+            "Weird", generation="fermi", num_processors=8,
+            shared_mem_kb=64, bandwidth_gb_s=60.0,
+            registers_per_processor=65_536,
+        )
+        dev = make_device(spec)
+        for m, n in ((512, 2048), (1, 1 << 20)):
+            dyn = SelfTuner().switch_points(dev, m, n, 4)
+            _, dyn_rep = simulate_plan(dev, m, n, 4, dyn)
+            for tuner in (DefaultTuner(), MachineQueryTuner()):
+                sp = tuner.switch_points(dev, m, n, 4)
+                _, rep = simulate_plan(dev, m, n, 4, sp)
+                assert dyn_rep.total_ms <= rep.total_ms * 1.02, (m, n, tuner.name)
+
+    def test_saturation_scales_with_width(self):
+        spec = make_custom_spec("W", num_processors=10)
+        assert spec.blocks_to_saturate_bandwidth == 40

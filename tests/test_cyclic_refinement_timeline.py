@@ -1,0 +1,165 @@
+"""Tests for cyclic systems, mixed-precision refinement, and timelines."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.algorithms import (
+    CyclicTridiagonalBatch,
+    cyclic_solve,
+    mixed_precision_solve,
+    thomas_solve,
+)
+from repro.analysis import render_timeline
+from repro.core import MultiStageSolver
+from repro.systems import generators
+from repro.util.errors import NumericsError, ShapeError
+
+
+def _random_cyclic(m, n, rng=0):
+    gen = np.random.default_rng(rng)
+    a = gen.uniform(-1, 1, (m, n))
+    c = gen.uniform(-1, 1, (m, n))
+    mag = 2.0 * (np.abs(a) + np.abs(c)) + gen.uniform(0.5, 1.5, (m, n))
+    sign = np.where(gen.random((m, n)) < 0.5, -1.0, 1.0)
+    b = sign * mag
+    d = gen.standard_normal((m, n))
+    return CyclicTridiagonalBatch(a, b, c, d)
+
+
+class TestCyclic:
+    def test_matches_dense_solve(self):
+        batch = _random_cyclic(4, 32, rng=1)
+        x = cyclic_solve(batch)
+        # Dense oracle with explicit corner entries.
+        m, n = batch.shape
+        for i in range(m):
+            A = np.diag(batch.b[i])
+            A += np.diag(batch.a[i, 1:], -1) + np.diag(batch.c[i, :-1], 1)
+            A[0, -1] = batch.a[i, 0]
+            A[-1, 0] = batch.c[i, -1]
+            ref = np.linalg.solve(A, batch.d[i])
+            np.testing.assert_allclose(x[i], ref, atol=1e-10)
+
+    def test_residual_small(self):
+        batch = _random_cyclic(8, 257, rng=2)  # odd size is fine
+        x = cyclic_solve(batch)
+        assert batch.residual(x).max() < 1e-11
+
+    def test_periodic_poisson_constant_nullspace_avoided(self):
+        """Periodic [−1, 2+eps, −1] with small shift is solvable."""
+        m, n = 3, 64
+        a = np.full((m, n), -1.0)
+        c = np.full((m, n), -1.0)
+        b = np.full((m, n), 2.0 + 0.01)
+        d = np.random.default_rng(3).standard_normal((m, n))
+        batch = CyclicTridiagonalBatch(a, b, c, d)
+        x = cyclic_solve(batch)
+        assert batch.residual(x).max() < 1e-9
+
+    def test_reduces_to_plain_when_corners_zero(self):
+        plain = generators.random_dominant(3, 32, rng=4)
+        batch = CyclicTridiagonalBatch(plain.a, plain.b, plain.c, plain.d)
+        np.testing.assert_allclose(
+            cyclic_solve(batch), thomas_solve(plain), atol=1e-10
+        )
+
+    def test_custom_inner_solver(self):
+        """Route the two auxiliary solves through the machine model."""
+        solver = MultiStageSolver("gtx470", "static")
+        batch = _random_cyclic(4, 256, rng=5)
+        x = cyclic_solve(batch, inner_solve=lambda t: solver.solve(t).x)
+        assert batch.residual(x).max() < 1e-11
+
+    def test_matvec_uses_corners(self):
+        batch = _random_cyclic(1, 8, rng=6)
+        x = np.zeros((1, 8))
+        x[0, -1] = 1.0
+        out = batch.matvec(x)
+        assert out[0, 0] == pytest.approx(batch.a[0, 0])
+
+    def test_validation(self):
+        with pytest.raises(ShapeError):
+            CyclicTridiagonalBatch(
+                np.ones((1, 2)), np.ones((1, 2)), np.ones((1, 2)), np.ones((1, 2))
+            )
+        batch = _random_cyclic(1, 8)
+        with pytest.raises(ShapeError):
+            batch.matvec(np.zeros((1, 9)))
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    m=st.integers(min_value=1, max_value=5),
+    n=st.integers(min_value=3, max_value=100),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_cyclic_property(m, n, seed):
+    batch = _random_cyclic(m, n, rng=seed)
+    x = cyclic_solve(batch)
+    assert batch.residual(x).max() < 1e-9
+
+
+class TestMixedPrecision:
+    def test_reaches_double_accuracy(self):
+        batch = generators.random_dominant(8, 512, rng=0)
+        result = mixed_precision_solve(batch, tol=1e-13)
+        assert result.converged
+        assert batch.residual(result.x).max() < 1e-12
+
+    def test_initial_f32_residual_visible(self):
+        """The first residual sits at f32 level; refinement pushes it down
+        by orders of magnitude."""
+        batch = generators.random_dominant(4, 1024, rng=1)
+        result = mixed_precision_solve(batch, tol=1e-14)
+        history = result.residual_history
+        assert history[0] > 1e-9  # f32-quality start
+        assert history[-1] < 1e-13
+        assert result.iterations >= 1
+
+    def test_monotone_contraction(self):
+        batch = generators.random_dominant(4, 256, rng=2)
+        history = mixed_precision_solve(batch, tol=0.0, max_iterations=3).residual_history
+        # Until f64 round-off, each sweep contracts strongly.
+        assert history[1] < 0.01 * history[0]
+
+    def test_rejects_float32_input(self):
+        batch = generators.random_dominant(2, 64, rng=3, dtype=np.float32)
+        with pytest.raises(NumericsError):
+            mixed_precision_solve(batch)
+
+    def test_multistage_inner_solver(self):
+        solver = MultiStageSolver("gtx280", "static")
+        batch = generators.random_dominant(4, 512, rng=4)
+        result = mixed_precision_solve(
+            batch, inner_solve=lambda t: solver.solve(t).x
+        )
+        assert batch.residual(result.x).max() < 1e-12
+
+
+class TestTimeline:
+    def test_renders_all_launches(self):
+        batch = generators.random_dominant(1, 1 << 15, rng=0)
+        result = MultiStageSolver("gtx470", "default").solve(batch)
+        text = render_timeline(result.report)
+        assert "stage1_coop_pcr" in text
+        assert "stage2_global_pcr" in text
+        assert "stage3_pcr_thomas" in text
+        assert "#" in text
+        assert str(result.report.num_launches) in text
+
+    def test_bar_lengths_proportional(self):
+        batch = generators.random_dominant(64, 4096, rng=1)
+        result = MultiStageSolver("gtx470", "static").solve(batch)
+        text = render_timeline(result.report, width=50)
+        bars = [line.split("|")[1] for line in text.splitlines()[1:]]
+        # All bars share the global time axis.
+        assert all(len(b) == 50 for b in bars)
+        total_hashes = sum(b.count("#") for b in bars)
+        assert 40 <= total_hashes <= 55  # proportional coverage, ~full axis
+
+    def test_empty_report(self):
+        from repro.gpu import make_device
+
+        report = make_device("gtx470").session().report()
+        assert "(no launches)" in render_timeline(report)

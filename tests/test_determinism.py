@@ -1,0 +1,72 @@
+"""Determinism and reproducibility guarantees.
+
+Everything in the library is deterministic given seeds: generators,
+solvers, the machine model, and the tuner. These tests pin that — a
+regression here would invalidate every cached tuning result and every
+recorded experiment.
+"""
+
+import numpy as np
+
+from repro.core import MultiStageSolver, SelfTuner, simulate_plan
+from repro.dnc import MultiStageSorter
+from repro.gpu import make_device
+from repro.systems import build_workload, generators
+
+
+class TestDeterminism:
+    def test_generators_reproducible(self):
+        for name in (
+            "random_dominant",
+            "random_uniform",
+            "poisson_1d",
+            "cubic_spline",
+            "ocean_mixing",
+            "ill_conditioned",
+        ):
+            g = getattr(generators, name)
+            b1 = g(3, 32, rng=123)
+            b2 = g(3, 32, rng=123)
+            np.testing.assert_array_equal(b1.b, b2.b)
+            np.testing.assert_array_equal(b1.d, b2.d)
+
+    def test_workload_builder_reproducible(self):
+        b1 = build_workload("1Kx1K", seed=7, scale=64)
+        b2 = build_workload("1Kx1K", seed=7, scale=64)
+        np.testing.assert_array_equal(b1.d, b2.d)
+
+    def test_solver_bitwise_repeatable(self):
+        batch = generators.random_dominant(8, 1024, rng=0)
+        s1 = MultiStageSolver("gtx470", "default").solve(batch)
+        s2 = MultiStageSolver("gtx470", "default").solve(batch)
+        np.testing.assert_array_equal(s1.x, s2.x)
+        assert s1.simulated_ms == s2.simulated_ms
+
+    def test_pricing_repeatable(self):
+        dev = make_device("gtx280")
+        from repro.core import SwitchPoints
+
+        sp = SwitchPoints()
+        _, r1 = simulate_plan(dev, 64, 8192, 4, sp)
+        _, r2 = simulate_plan(dev, 64, 8192, 4, sp)
+        assert r1.total_ms == r2.total_ms
+
+    def test_tuner_repeatable_across_instances(self):
+        dev = make_device("gtx470")
+        sp1 = SelfTuner().switch_points(dev, 0, 0, 4)
+        sp2 = SelfTuner().switch_points(dev, 0, 0, 4)
+        assert sp1 == sp2
+
+    def test_sorter_repeatable(self):
+        values = np.random.default_rng(5).standard_normal(10_000)
+        r1 = MultiStageSorter("gtx470").sort(values)
+        r2 = MultiStageSorter("gtx470").sort(values)
+        np.testing.assert_array_equal(r1.values, r2.values)
+        assert r1.simulated_ms == r2.simulated_ms
+
+    def test_sorter_integer_dtype(self):
+        values = np.random.default_rng(6).integers(-1000, 1000, 5000)
+        result = MultiStageSorter(
+            "gtx280", tile_size=128, coop_threshold=8
+        ).sort(values.astype(np.float64))
+        np.testing.assert_array_equal(result.values, np.sort(values))

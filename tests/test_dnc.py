@@ -1,0 +1,107 @@
+"""Tests for the divide-and-conquer merge-sort generalisation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dnc import MultiStageSorter, merge_sorted_runs
+from repro.util.errors import ConfigurationError
+
+
+class TestMergePrimitive:
+    def test_merges_sorted_pairs(self):
+        a = np.array([1.0, 3.0, 5.0, 7.0, 0.0, 2.0, 4.0, 6.0])
+        out = merge_sorted_runs(a, 4)
+        np.testing.assert_array_equal(out, np.arange(8.0))
+
+    def test_stability_on_ties(self):
+        # Left-run elements must precede equal right-run elements.
+        a = np.array([1.0, 2.0, 1.0, 2.0])
+        out = merge_sorted_runs(a, 2)
+        np.testing.assert_array_equal(out, [1.0, 1.0, 2.0, 2.0])
+
+    def test_rejects_misaligned_length(self):
+        with pytest.raises(ConfigurationError):
+            merge_sorted_runs(np.zeros(6), 4)
+
+
+class TestSorter:
+    @pytest.fixture(scope="class")
+    def sorter(self):
+        return MultiStageSorter("gtx470")
+
+    def test_sorts_exactly(self, sorter):
+        rng = np.random.default_rng(0)
+        values = rng.standard_normal(100_000)
+        result = sorter.sort(values)
+        np.testing.assert_array_equal(result.values, np.sort(values))
+        assert result.simulated_ms > 0
+
+    def test_non_pow2_length(self, sorter):
+        rng = np.random.default_rng(1)
+        values = rng.random(12_345)
+        result = sorter.sort(values)
+        np.testing.assert_array_equal(result.values, np.sort(values))
+
+    def test_empty_and_single(self, sorter):
+        assert sorter.sort(np.array([])).values.size == 0
+        np.testing.assert_array_equal(
+            sorter.sort(np.array([3.0])).values, [3.0]
+        )
+
+    def test_rejects_2d(self, sorter):
+        with pytest.raises(ConfigurationError):
+            sorter.sort(np.zeros((2, 2)))
+
+    def test_tile_fits_shared_memory(self, sorter):
+        tile, _ = sorter.tuned_parameters(8)
+        assert 2 * tile * 8 <= sorter.device.spec.shared_mem_per_processor
+
+    def test_pass_structure(self, sorter):
+        values = np.random.default_rng(2).random(1 << 16)
+        result = sorter.sort(values)
+        total_passes = result.independent_passes + result.cooperative_passes
+        padded = 1 << 16
+        assert total_passes == int(np.log2(padded // result.tile_size))
+        # Early passes (many pairs) are independent; the endgame (few
+        # pairs) flips cooperative — the stage-1↔2 analogy.
+        if result.cooperative_passes:
+            assert result.independent_passes > 0
+
+    def test_pinned_parameters(self):
+        sorter = MultiStageSorter("gtx280", tile_size=256, coop_threshold=8)
+        result = sorter.sort(np.random.default_rng(3).random(4096))
+        assert result.tile_size == 256
+        assert result.coop_threshold == 8
+
+    def test_pinned_must_be_pow2(self):
+        with pytest.raises(ConfigurationError):
+            MultiStageSorter("gtx470", tile_size=100)
+
+    def test_tuned_beats_untuned_extremes(self):
+        """The tuned tile must beat both pathological extremes on the
+        model (tiny tiles = too many passes; the analogue of Figure 5)."""
+        device = "gtx470"
+        tuned = MultiStageSorter(device)
+        n = 1 << 20
+        values = np.random.default_rng(4).random(n)
+        tuned_ms = tuned.sort(values).simulated_ms
+        tiny = MultiStageSorter(device, tile_size=64, coop_threshold=1)
+        assert tuned_ms < tiny.sort(values).simulated_ms
+
+    def test_tuning_per_device_differs_or_matches_capacity(self):
+        t470, _ = MultiStageSorter("gtx470").tuned_parameters(8)
+        t8800, _ = MultiStageSorter("8800gtx").tuned_parameters(8)
+        # The 470 has 3x the shared memory; its tile must be >= the 8800's.
+        assert t470 >= t8800
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=5000),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_sorter_matches_numpy(n, seed):
+    values = np.random.default_rng(seed).standard_normal(n)
+    result = MultiStageSorter("gtx280", tile_size=128, coop_threshold=16).sort(values)
+    np.testing.assert_array_equal(result.values, np.sort(values))

@@ -1,0 +1,59 @@
+"""Double-precision (f64) reproduction checks.
+
+The paper notes its hybrid has "better performance for double-precision
+systems" than prior work; our model treats f64 as doubled traffic with
+the same capacities (the register file, not storage, binds the on-chip
+sizes). These tests pin that the structural results hold in f64 too.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import max_residual
+from repro.core import (
+    DefaultTuner,
+    MachineQueryTuner,
+    MultiStageSolver,
+    SelfTuner,
+    simulate_plan,
+)
+from repro.gpu import PAPER_DEVICES, make_device
+
+DEVICES = ("8800gtx", "gtx280", "gtx470")
+
+
+class TestDoublePrecision:
+    def test_onchip_capacities_unchanged(self):
+        """Register-bound capacities: 256/512/1024 in f64 as well (§V)."""
+        expected = {"8800gtx": 256, "gtx280": 512, "gtx470": 1024}
+        for name, spec in PAPER_DEVICES.items():
+            assert spec.max_onchip_system_size(8) == expected[name]
+
+    @pytest.mark.parametrize("device", DEVICES)
+    def test_dynamic_not_worse_f64(self, device):
+        dev = make_device(device)
+        for m, n in ((1024, 1024), (1, 1 << 21)):
+            dyn = SelfTuner().switch_points(dev, m, n, 8)
+            _, dyn_rep = simulate_plan(dev, m, n, 8, dyn)
+            for tuner in (DefaultTuner(), MachineQueryTuner()):
+                sp = tuner.switch_points(dev, m, n, 8)
+                _, rep = simulate_plan(dev, m, n, 8, sp)
+                assert dyn_rep.total_ms <= rep.total_ms * 1.02, (m, n)
+
+    @pytest.mark.parametrize("device", DEVICES)
+    def test_f64_costs_more_than_f32(self, device):
+        """Same workload, doubled element size: never cheaper."""
+        dev = make_device(device)
+        from repro.core import SwitchPoints
+
+        sp = SwitchPoints()
+        _, r32 = simulate_plan(dev, 512, 2048, 4, sp)
+        _, r64 = simulate_plan(dev, 512, 2048, 8, sp)
+        assert r64.total_ms > r32.total_ms
+
+    def test_solver_numerics_f64(self):
+        from repro.systems import generators
+
+        batch = generators.random_dominant(32, 4096, rng=0)  # f64 default
+        result = MultiStageSolver("gtx470", "dynamic").solve(batch)
+        assert max_residual(batch, result.x) < 1e-13

@@ -1,0 +1,89 @@
+"""Tests for Device / SimSession / SimReport plumbing."""
+
+import pytest
+
+from repro.gpu import (
+    GEFORCE_GTX_470,
+    ComputePhase,
+    Device,
+    KernelCost,
+    make_device,
+)
+from repro.util.errors import DeviceError
+
+
+def _toy_cost(name="k"):
+    return KernelCost(
+        name=name,
+        grid_blocks=16,
+        threads_per_block=128,
+        regs_per_thread=8,
+        phases=[ComputePhase(1000.0)],
+    )
+
+
+class TestDevice:
+    def test_make_device_from_name(self):
+        dev = make_device("gtx470")
+        assert dev.name == "GeForce GTX 470"
+
+    def test_make_device_from_spec(self):
+        dev = make_device(GEFORCE_GTX_470)
+        assert isinstance(dev, Device)
+
+    def test_make_device_idempotent(self):
+        dev = make_device("gtx280")
+        assert make_device(dev) is dev
+
+    def test_make_device_rejects_garbage(self):
+        with pytest.raises(DeviceError):
+            make_device(42)
+
+    def test_properties_projection(self):
+        dev = make_device("8800gtx")
+        assert dev.properties().num_processors == 14
+
+    def test_global_memory_check(self):
+        dev = make_device("8800gtx")
+        dev.check_fits_global(1024)
+        with pytest.raises(DeviceError):
+            dev.check_fits_global(10 * 1024**3)
+
+
+class TestSession:
+    def test_records_accumulate(self):
+        sess = make_device("gtx470").session()
+        sess.submit(_toy_cost("a"), stage="s1")
+        sess.submit(_toy_cost("b"), stage="s2")
+        assert sess.elapsed_ms > 0
+        report = sess.report()
+        assert report.num_launches == 2
+        assert set(report.stage_ms()) == {"s1", "s2"}
+
+    def test_total_is_sum_of_records(self):
+        sess = make_device("gtx470").session()
+        sess.submit(_toy_cost(), stage="x")
+        sess.submit(_toy_cost(), stage="x")
+        report = sess.report()
+        assert report.total_ms == pytest.approx(
+            sum(r.total_ms for r in report.records)
+        )
+
+    def test_closed_session_rejects_submits(self):
+        sess = make_device("gtx470").session()
+        sess.report()
+        with pytest.raises(DeviceError):
+            sess.submit(_toy_cost(), stage="late")
+
+    def test_describe_mentions_stages(self):
+        sess = make_device("gtx470").session()
+        sess.submit(_toy_cost(), stage="my_stage")
+        text = sess.report().describe()
+        assert "my_stage" in text
+        assert "GeForce GTX 470" in text
+
+    def test_sessions_are_independent(self):
+        dev = make_device("gtx470")
+        s1, s2 = dev.session(), dev.session()
+        s1.submit(_toy_cost(), stage="a")
+        assert s2.elapsed_ms == 0

@@ -1,0 +1,128 @@
+"""Tests for factorization reuse and the Black-Scholes pricer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.algorithms import (
+    factorize,
+    pcr_thomas_solve,
+    scipy_banded_solve,
+    thomas_solve,
+)
+from repro.apps import BlackScholesPricer, black_scholes_closed_form
+from repro.systems import generators
+from repro.util.errors import ConfigurationError, ShapeError
+
+
+class TestFactorization:
+    def test_matches_direct_solve(self):
+        batch = generators.random_dominant(8, 256, rng=0)
+        factors = factorize(batch)
+        x = factors.solve(batch.d)
+        np.testing.assert_allclose(x, scipy_banded_solve(batch), atol=1e-10)
+
+    @pytest.mark.parametrize("depth", [0, 1, 3, 6])
+    def test_any_split_depth(self, depth):
+        batch = generators.random_dominant(4, 128, rng=depth)
+        factors = factorize(batch, split_depth=depth)
+        np.testing.assert_allclose(
+            factors.solve(batch.d), thomas_solve(batch), atol=1e-10
+        )
+
+    def test_reuse_across_many_rhs(self):
+        batch = generators.random_dominant(4, 512, rng=1)
+        factors = factorize(batch)
+        rng = np.random.default_rng(2)
+        for _ in range(5):
+            d = rng.standard_normal(batch.shape)
+            x = factors.solve(d)
+            assert batch.with_rhs(d).residual(x).max() < 1e-12
+
+    def test_matches_hybrid_exactly_for_same_depth(self):
+        """Same split depth -> numerically the same algorithm."""
+        batch = generators.random_dominant(2, 256, rng=3)
+        factors = factorize(batch, split_depth=4)
+        np.testing.assert_allclose(
+            factors.solve(batch.d),
+            pcr_thomas_solve(batch, 16),
+            atol=1e-12,
+            rtol=1e-12,
+        )
+
+    def test_shape_validation(self):
+        batch = generators.random_dominant(2, 64, rng=4)
+        factors = factorize(batch)
+        with pytest.raises(ShapeError):
+            factors.solve(np.zeros((2, 32)))
+        with pytest.raises(ShapeError):
+            factorize(batch, split_depth=8)  # 2^8 > 64
+
+    def test_non_pow2_rejected(self):
+        batch = generators.random_dominant(1, 100, rng=5)
+        with pytest.raises(ConfigurationError):
+            factorize(batch)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n_exp=st.integers(min_value=2, max_value=9),
+    depth=st.integers(min_value=0, max_value=5),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_factorization_property(n_exp, depth, seed):
+    n = 1 << n_exp
+    depth = min(depth, n_exp)
+    batch = generators.random_dominant(3, n, rng=seed)
+    factors = factorize(batch, split_depth=depth)
+    x = factors.solve(batch.d)
+    assert batch.residual(x).max() < 1e-10
+
+
+class TestBlackScholes:
+    def test_matches_closed_form_calls(self):
+        pricer = BlackScholesPricer(
+            rate=0.03, sigma=0.25, grid_points=512, time_steps=400
+        )
+        strikes = np.array([80.0, 100.0, 120.0])
+        spot, maturity = 100.0, 1.0
+        pde = pricer.price(strikes, maturity, spot, call=True)
+        exact = black_scholes_closed_form(spot, strikes, 0.03, 0.25, maturity)
+        # With cell-averaged payoffs and interpolated readout the
+        # pricer is accurate to well under a cent here.
+        np.testing.assert_allclose(pde, exact, atol=0.02)
+
+    def test_matches_closed_form_puts(self):
+        pricer = BlackScholesPricer(
+            rate=0.05, sigma=0.2, grid_points=512, time_steps=400
+        )
+        pde = pricer.price(np.array([100.0]), 0.5, 100.0, call=False)
+        exact = black_scholes_closed_form(
+            100.0, 100.0, 0.05, 0.2, 0.5, call=False
+        )
+        assert pde[0] == pytest.approx(float(exact), abs=0.02)
+
+    def test_put_call_parity(self):
+        pricer = BlackScholesPricer(grid_points=512, time_steps=300)
+        strike, spot, maturity = 105.0, 100.0, 1.0
+        call = pricer.price(np.array([strike]), maturity, spot, call=True)[0]
+        put = pricer.price(np.array([strike]), maturity, spot, call=False)[0]
+        parity = spot - strike * np.exp(-pricer.rate * maturity)
+        assert call - put == pytest.approx(parity, abs=0.05)
+
+    def test_monotone_in_strike(self):
+        pricer = BlackScholesPricer(grid_points=256, time_steps=100)
+        strikes = np.array([80.0, 90.0, 100.0, 110.0, 120.0])
+        calls = pricer.price(strikes, 1.0, 100.0, call=True)
+        assert (np.diff(calls) < 0).all()  # call value falls with strike
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            BlackScholesPricer(sigma=-0.1)
+        pricer = BlackScholesPricer(grid_points=128, time_steps=10)
+        with pytest.raises(ConfigurationError):
+            pricer.price(np.array([100.0]), -1.0, 100.0)
+
+    def test_grid_rounded_to_pow2(self):
+        pricer = BlackScholesPricer(grid_points=300, time_steps=10)
+        assert pricer.grid_points == 512

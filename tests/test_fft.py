@@ -1,0 +1,97 @@
+"""Tests for the multi-stage FFT generalisation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dnc import MultiStageFFT, radix2_fft
+from repro.util.errors import ConfigurationError
+
+
+class TestRadix2:
+    @pytest.mark.parametrize("n", [1, 2, 4, 64, 1024])
+    def test_matches_numpy(self, n):
+        rng = np.random.default_rng(n)
+        x = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+        np.testing.assert_allclose(radix2_fft(x), np.fft.fft(x), atol=1e-9)
+
+    def test_real_input(self):
+        x = np.random.default_rng(0).standard_normal(256)
+        np.testing.assert_allclose(radix2_fft(x), np.fft.fft(x), atol=1e-10)
+
+    def test_rejects_non_pow2(self):
+        with pytest.raises(ConfigurationError):
+            radix2_fft(np.zeros(12))
+
+    def test_parseval(self):
+        x = np.random.default_rng(1).standard_normal(512)
+        X = radix2_fft(x)
+        assert np.sum(np.abs(x) ** 2) == pytest.approx(
+            np.sum(np.abs(X) ** 2) / 512
+        )
+
+
+class TestMultiStageFFT:
+    @pytest.fixture(scope="class")
+    def fft470(self):
+        return MultiStageFFT("gtx470")
+
+    def test_exact_transform(self, fft470):
+        x = np.random.default_rng(2).standard_normal(1 << 16)
+        result = fft470.fft(x)
+        np.testing.assert_allclose(result.values, np.fft.fft(x), atol=1e-8)
+        assert result.simulated_ms > 0
+
+    def test_stage_structure(self, fft470):
+        n = 1 << 18
+        result = fft470.fft(np.ones(n))
+        assert result.onchip_stages + result.global_passes == 18
+        assert result.tile_size == 1 << result.onchip_stages
+        assert "tile_fft" in result.report.stage_ms()
+        assert "global_fft" in result.report.stage_ms()
+
+    def test_small_input_all_onchip(self, fft470):
+        result = fft470.fft(np.ones(64))
+        assert result.global_passes == 0
+        assert result.report.num_launches == 1
+
+    def test_tile_fits_shared_memory(self, fft470):
+        tile = fft470.tuned_tile()
+        assert 2 * tile * 16 <= fft470.device.spec.shared_mem_per_processor
+
+    def test_camping_hits_large_distance_passes(self):
+        """Late global passes (huge strides) must cost more per byte
+        than the first (uncamped) ones."""
+        fft = MultiStageFFT("gtx470", tile_size=1024)
+        n = 1 << 20
+        early = fft._global_pass_cost(n, 1024).bandwidth_efficiency
+        late = fft._global_pass_cost(n, 1 << 19).bandwidth_efficiency
+        assert late <= early  # both camped here; check the boundary too
+        tiny = fft._global_pass_cost(n, 8).bandwidth_efficiency
+        assert tiny == 1.0
+
+    def test_tuned_beats_tiny_tiles(self):
+        x = np.random.default_rng(3).standard_normal(1 << 18)
+        tuned = MultiStageFFT("gtx470").fft(x).simulated_ms
+        tiny = MultiStageFFT("gtx470", tile_size=64).fft(x).simulated_ms
+        assert tuned < tiny
+
+    def test_validation(self, fft470):
+        with pytest.raises(ConfigurationError):
+            fft470.fft(np.zeros((2, 2)))
+        with pytest.raises(ConfigurationError):
+            fft470.fft(np.zeros(100))
+        with pytest.raises(ConfigurationError):
+            MultiStageFFT("gtx470", tile_size=100)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    n_exp=st.integers(min_value=1, max_value=12),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_fft_property(n_exp, seed):
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal(1 << n_exp)
+    result = MultiStageFFT("gtx280", tile_size=256).fft(x)
+    np.testing.assert_allclose(result.values, np.fft.fft(x), atol=1e-7)

@@ -1,0 +1,117 @@
+"""Unit tests for workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.systems import generators, properties
+from repro.util.errors import ConfigurationError
+
+
+class TestRandomDominant:
+    def test_shape_and_dtype(self):
+        batch = generators.random_dominant(4, 33, rng=0, dtype=np.float32)
+        assert batch.shape == (4, 33)
+        assert batch.dtype == np.float32
+
+    def test_strict_dominance(self):
+        batch = generators.random_dominant(8, 64, dominance=2.0, rng=1)
+        assert properties.is_diagonally_dominant(batch, strict=True)
+        assert properties.dominance_margin(batch).min() >= 0.5
+
+    def test_reproducible(self):
+        b1 = generators.random_dominant(3, 16, rng=5)
+        b2 = generators.random_dominant(3, 16, rng=5)
+        np.testing.assert_array_equal(b1.b, b2.b)
+
+    def test_distinct_seeds_differ(self):
+        b1 = generators.random_dominant(3, 16, rng=5)
+        b2 = generators.random_dominant(3, 16, rng=6)
+        assert not np.array_equal(b1.b, b2.b)
+
+    def test_generator_object_accepted(self):
+        gen = np.random.default_rng(9)
+        batch = generators.random_dominant(2, 8, rng=gen)
+        assert batch.shape == (2, 8)
+
+    def test_rejects_bad_dominance(self):
+        with pytest.raises(ConfigurationError):
+            generators.random_dominant(2, 8, dominance=0.5)
+
+    def test_rejects_bad_counts(self):
+        with pytest.raises(ConfigurationError):
+            generators.random_dominant(0, 8)
+        with pytest.raises(ConfigurationError):
+            generators.random_dominant(2, -1)
+
+
+class TestStructuredGenerators:
+    def test_poisson_structure(self):
+        batch = generators.poisson_1d(3, 32, rng=0)
+        assert (batch.b == 2.0).all()
+        assert (batch.a[:, 1:] == -1.0).all()
+        assert (batch.c[:, :-1] == -1.0).all()
+        assert properties.is_symmetric(batch)
+        assert properties.is_toeplitz(batch)
+
+    def test_cubic_spline_dominant_and_symmetric(self):
+        batch = generators.cubic_spline(4, 50, rng=2)
+        assert properties.is_diagonally_dominant(batch, strict=True)
+        assert properties.is_symmetric(batch)
+
+    def test_adi_lines_shape_matches_grid(self):
+        batch = generators.adi_lines(16, 24, rng=0)
+        assert batch.shape == (16, 24)
+        assert properties.is_diagonally_dominant(batch, strict=True)
+
+    def test_adi_rejects_nonpositive_params(self):
+        with pytest.raises(ConfigurationError):
+            generators.adi_lines(4, 4, dt=-1.0)
+
+    def test_toeplitz_constant_diagonals(self):
+        batch = generators.toeplitz(3, 16, sub=-1, diag=5, sup=-2, rng=0)
+        assert properties.is_toeplitz(batch)
+        assert not properties.is_symmetric(batch)
+
+    def test_toeplitz_rejects_non_dominant(self):
+        with pytest.raises(ConfigurationError):
+            generators.toeplitz(1, 8, sub=-3, diag=4, sup=-3)
+
+    def test_ocean_mixing_solvable(self):
+        batch = generators.ocean_mixing(8, 40, rng=1)
+        assert properties.is_diagonally_dominant(batch)
+        # b = 1 - a - c with a, c <= 0 keeps the diagonal >= 1.
+        assert (batch.b >= 1.0).all()
+
+
+class TestHostileGenerators:
+    def test_ill_conditioned_margin(self):
+        batch = generators.ill_conditioned(2, 32, epsilon=1e-6)
+        margin = properties.dominance_margin(batch)
+        assert np.allclose(margin, 1e-6, rtol=1e-3)
+
+    def test_singular_has_zero_row(self):
+        batch = generators.singular(2, 16)
+        row = 8
+        assert (batch.b[:, row] == 0).all()
+        assert (batch.a[:, row] == 0).all()
+        assert (batch.c[:, row] == 0).all()
+
+    def test_singular_rejects_tiny(self):
+        with pytest.raises(ConfigurationError):
+            generators.singular(1, 1)
+
+    def test_identity_solution_is_rhs(self):
+        batch = generators.identity(3, 9)
+        np.testing.assert_array_equal(batch.matvec(batch.d), batch.d)
+
+    def test_random_uniform_nonzero_diagonal(self):
+        batch = generators.random_uniform(5, 64, rng=3)
+        assert (np.abs(batch.b) >= 0.1 - 1e-12).all()
+
+
+class TestFromSolution:
+    def test_oracle_roundtrip(self):
+        batch = generators.random_dominant(3, 20, rng=4)
+        x = np.random.default_rng(0).standard_normal((3, 20))
+        fixed = generators.from_solution(batch, x)
+        assert fixed.residual(x).max() < 1e-14

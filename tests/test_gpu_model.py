@@ -1,0 +1,262 @@
+"""Tests for occupancy, memory, shared-memory, and cost models."""
+
+import pytest
+
+from repro.gpu import (
+    GEFORCE_8800_GTX,
+    GEFORCE_GTX_280,
+    GEFORCE_GTX_470,
+    ComputePhase,
+    KernelCost,
+    MemoryTraffic,
+    bank_conflict_factor,
+    bus_saturation,
+    check_shared_allocation,
+    compute_occupancy,
+    kernel_time_ms,
+    latency_efficiency,
+    shared_access_cycles,
+    strided_access_penalty,
+)
+from repro.gpu.memory import partition_camping_factor
+from repro.util.errors import ConfigurationError, ResourceExhaustedError
+
+SPEC = GEFORCE_GTX_470
+
+
+class TestOccupancy:
+    def test_single_block_fits(self):
+        occ = compute_occupancy(SPEC, 256, 0, 16)
+        assert occ.resident_blocks >= 1
+        assert occ.resident_threads >= 256
+
+    def test_threads_limit(self):
+        occ = compute_occupancy(SPEC, 512, 0, 0)
+        # 1536 max threads / 512 = 3 blocks; max_blocks 8 not binding.
+        assert occ.resident_blocks == 3
+        assert occ.limited_by == "threads"
+
+    def test_smem_limit(self):
+        occ = compute_occupancy(SPEC, 64, 16 * 1024, 0)
+        assert occ.resident_blocks == 3
+        assert occ.limited_by == "shared_memory"
+
+    def test_register_limit(self):
+        # 32 regs x 512 threads = half the 32K file -> two blocks, while
+        # threads (3) and max_blocks (8) would allow more.
+        occ = compute_occupancy(SPEC, 512, 0, 32)
+        assert occ.resident_blocks == 2
+        assert occ.limited_by == "registers"
+
+    def test_register_file_exactly_consumed(self):
+        # 32 regs x 1024 threads = the whole 32K file -> one block.
+        occ = compute_occupancy(SPEC, 1024, 0, 32)
+        assert occ.resident_blocks == 1
+
+    def test_warp_padding(self):
+        # 33 threads allocate 2 warps = 64 thread slots.
+        occ = compute_occupancy(SPEC, 33, 0, 0)
+        assert occ.resident_threads % 64 == 0
+
+    def test_occupancy_fraction(self):
+        occ = compute_occupancy(SPEC, 512, 0, 0)
+        assert occ.occupancy == pytest.approx(1536 / 1536)
+
+    def test_too_many_threads_raises(self):
+        with pytest.raises(ResourceExhaustedError):
+            compute_occupancy(SPEC, 2048, 0, 0)
+
+    def test_too_much_smem_raises(self):
+        with pytest.raises(ResourceExhaustedError):
+            compute_occupancy(SPEC, 64, 64 * 1024, 0)
+
+    def test_too_many_regs_raises(self):
+        with pytest.raises(ResourceExhaustedError):
+            compute_occupancy(SPEC, 1024, 0, 64)
+
+    def test_zero_threads_raises(self):
+        with pytest.raises(ResourceExhaustedError):
+            compute_occupancy(SPEC, 0, 0, 0)
+
+    def test_str_is_informative(self):
+        occ = compute_occupancy(SPEC, 512, 0, 0)
+        assert "blocks" in str(occ)
+
+
+class TestLatencyEfficiency:
+    def test_full_residency_is_full_efficiency(self):
+        occ = compute_occupancy(SPEC, 512, 0, 0)  # 1536 threads, 3 blocks
+        assert latency_efficiency(SPEC, occ) == 1.0
+
+    def test_scales_with_active_threads(self):
+        occ = compute_occupancy(SPEC, 512, 0, 0)
+        full = latency_efficiency(SPEC, occ, active_threads_per_block=512)
+        half = latency_efficiency(SPEC, occ, active_threads_per_block=16)
+        assert half < full
+
+    def test_single_block_penalty_fermi(self):
+        """GTX 470 (min_blocks 2) penalises single-resident-block configs;
+        the 8800 (min_blocks 1) does not — the Figure-5 mechanism."""
+        occ470 = compute_occupancy(GEFORCE_GTX_470, 1024, 0, 32)
+        assert occ470.resident_blocks == 1
+        assert latency_efficiency(GEFORCE_GTX_470, occ470) < 1.0
+        occ8800 = compute_occupancy(GEFORCE_8800_GTX, 256, 0, 32)
+        assert occ8800.resident_blocks == 1
+        assert latency_efficiency(GEFORCE_8800_GTX, occ8800) == 1.0
+
+    def test_never_zero(self):
+        occ = compute_occupancy(SPEC, 32, 0, 0)
+        assert latency_efficiency(SPEC, occ, active_threads_per_block=1) > 0
+
+
+class TestMemoryModel:
+    def test_stride_one_no_penalty(self):
+        assert strided_access_penalty(SPEC, 1) == 1.0
+
+    def test_penalty_grows_then_caps(self):
+        assert strided_access_penalty(SPEC, 2) == 2.0
+        assert strided_access_penalty(SPEC, 1024) == SPEC.uncoalesced_penalty_cap
+
+    def test_older_parts_pay_more(self):
+        assert (
+            strided_access_penalty(GEFORCE_8800_GTX, 1 << 20)
+            > strided_access_penalty(GEFORCE_GTX_470, 1 << 20)
+        )
+
+    def test_bad_stride_rejected(self):
+        with pytest.raises(ConfigurationError):
+            strided_access_penalty(SPEC, 0)
+
+    def test_saturation_monotone(self):
+        sats = [bus_saturation(SPEC, b) for b in (1, 8, 56, 500)]
+        assert sats == sorted(sats)
+        assert sats[-1] == 1.0
+
+    def test_partition_camping_threshold(self):
+        assert partition_camping_factor(SPEC, 1) == 1.0
+        assert partition_camping_factor(SPEC, 8) == 1.0
+        assert (
+            partition_camping_factor(SPEC, 16)
+            == SPEC.partition_camping_efficiency
+        )
+        assert (
+            partition_camping_factor(SPEC, 1 << 20)
+            == SPEC.partition_camping_efficiency
+        )
+
+    def test_traffic_accumulates(self):
+        t = MemoryTraffic()
+        t.add(SPEC, 1000, stride=1)
+        t.add(SPEC, 1000, stride=2)
+        assert t.raw_bytes == 2000
+        assert t.effective_bytes == 3000
+
+    def test_misaligned_traffic(self):
+        t = MemoryTraffic()
+        t.add(SPEC, 1000, misaligned=True)
+        assert t.effective_bytes == pytest.approx(
+            1000 * SPEC.misaligned_access_penalty
+        )
+
+    def test_traffic_time_uses_saturation(self):
+        t = MemoryTraffic()
+        t.add(SPEC, 1_000_000, stride=1)
+        slow = t.time_ms(SPEC, concurrent_blocks=1)
+        fast = t.time_ms(SPEC, concurrent_blocks=1000)
+        assert slow > fast
+        assert fast == pytest.approx(1_000_000 / SPEC.bytes_per_ms)
+
+    def test_traffic_merge(self):
+        a = MemoryTraffic()
+        a.add(SPEC, 100)
+        b = MemoryTraffic()
+        b.add(SPEC, 200)
+        merged = a.merged(b)
+        assert merged.raw_bytes == 300
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MemoryTraffic().add(SPEC, -1)
+
+    def test_bad_efficiency_rejected(self):
+        t = MemoryTraffic()
+        t.add(SPEC, 100)
+        with pytest.raises(ConfigurationError):
+            t.time_ms(SPEC, 10, efficiency=0.0)
+
+
+class TestSharedMemory:
+    def test_conflict_free_stride(self):
+        assert bank_conflict_factor(SPEC, 1) == 1.0
+
+    def test_power_of_two_stride_conflicts(self):
+        assert bank_conflict_factor(SPEC, SPEC.shared_mem_banks) == float(
+            SPEC.shared_mem_banks
+        )
+
+    def test_odd_stride_conflict_free(self):
+        assert bank_conflict_factor(SPEC, 3) == 1.0
+
+    def test_allocation_check(self):
+        assert check_shared_allocation(SPEC, 1024) == 1024
+        with pytest.raises(ResourceExhaustedError):
+            check_shared_allocation(SPEC, SPEC.shared_mem_per_processor + 1)
+
+    def test_access_cycles_scale_with_conflicts(self):
+        clean = shared_access_cycles(SPEC, 100, stride_words=1)
+        dirty = shared_access_cycles(SPEC, 100, stride_words=32)
+        assert dirty > clean
+
+
+class TestKernelCost:
+    def _cost(self, **kwargs):
+        defaults = dict(
+            name="k",
+            grid_blocks=64,
+            threads_per_block=256,
+            smem_per_block=0,
+            regs_per_thread=16,
+            phases=[ComputePhase(10_000.0)],
+        )
+        defaults.update(kwargs)
+        return KernelCost(**defaults)
+
+    def test_roofline_total(self):
+        t = MemoryTraffic()
+        t.add(SPEC, 100e6)
+        breakdown = kernel_time_ms(SPEC, self._cost(traffic=t))
+        assert breakdown.total_ms == pytest.approx(
+            breakdown.overhead_ms + max(breakdown.compute_ms, breakdown.memory_ms)
+        )
+        assert breakdown.bound == "memory"
+
+    def test_compute_bound_detection(self):
+        breakdown = kernel_time_ms(SPEC, self._cost(phases=[ComputePhase(1e8)]))
+        assert breakdown.bound == "compute"
+
+    def test_launch_overhead_scales(self):
+        one = kernel_time_ms(SPEC, self._cost(launches=1))
+        ten = kernel_time_ms(SPEC, self._cost(launches=10))
+        assert ten.overhead_ms == pytest.approx(10 * one.overhead_ms)
+
+    def test_more_work_more_time(self):
+        small = kernel_time_ms(SPEC, self._cost(phases=[ComputePhase(1e4)]))
+        large = kernel_time_ms(SPEC, self._cost(phases=[ComputePhase(1e6)]))
+        assert large.compute_ms > small.compute_ms
+
+    def test_partial_grid_uses_fewer_sms(self):
+        small_grid = kernel_time_ms(SPEC, self._cost(grid_blocks=1))
+        full_grid = kernel_time_ms(SPEC, self._cost(grid_blocks=64))
+        assert small_grid.compute_ms > full_grid.compute_ms
+
+    def test_invalid_cost_rejected(self):
+        with pytest.raises(ConfigurationError):
+            self._cost(grid_blocks=0)
+        with pytest.raises(ConfigurationError):
+            self._cost(launches=0)
+        with pytest.raises(ConfigurationError):
+            ComputePhase(-1.0)
+
+    def test_oversized_kernel_raises_on_pricing(self):
+        with pytest.raises(ResourceExhaustedError):
+            kernel_time_ms(SPEC, self._cost(threads_per_block=4096))

@@ -1,0 +1,110 @@
+"""Tests for device specifications and the queryable projection."""
+
+import dataclasses
+
+import pytest
+
+from repro.gpu import (
+    GEFORCE_8800_GTX,
+    GEFORCE_GTX_280,
+    GEFORCE_GTX_470,
+    PAPER_DEVICES,
+    DeviceSpec,
+    device_names,
+    get_device_spec,
+    query_device,
+)
+from repro.util.errors import ConfigurationError, DeviceError
+
+
+class TestPaperDevices:
+    def test_three_devices_shipped(self):
+        assert set(device_names()) == {"8800gtx", "gtx280", "gtx470"}
+
+    def test_table1_bandwidths(self):
+        assert GEFORCE_8800_GTX.global_bandwidth_gb_s == 57.6
+        assert GEFORCE_GTX_280.global_bandwidth_gb_s == 141.7
+        assert GEFORCE_GTX_470.global_bandwidth_gb_s == 133.9
+
+    def test_table1_shared_memory(self):
+        assert GEFORCE_8800_GTX.shared_mem_per_processor == 16 * 1024
+        assert GEFORCE_GTX_280.shared_mem_per_processor == 16 * 1024
+        assert GEFORCE_GTX_470.shared_mem_per_processor == 48 * 1024
+
+    def test_table1_processors(self):
+        assert (GEFORCE_8800_GTX.num_processors, GEFORCE_8800_GTX.thread_processors) == (14, 8)
+        assert (GEFORCE_GTX_280.num_processors, GEFORCE_GTX_280.thread_processors) == (30, 8)
+        assert (GEFORCE_GTX_470.num_processors, GEFORCE_GTX_470.thread_processors) == (14, 32)
+
+    @pytest.mark.parametrize("dsize", [4, 8])
+    def test_paper_max_onchip_sizes(self, dsize):
+        """§V: largest on-chip systems are 256 / 512 / 1024."""
+        assert GEFORCE_8800_GTX.max_onchip_system_size(dsize) == 256
+        assert GEFORCE_GTX_280.max_onchip_system_size(dsize) == 512
+        assert GEFORCE_GTX_470.max_onchip_system_size(dsize) == 1024
+
+    def test_max_onchip_rejects_odd_dtype(self):
+        with pytest.raises(DeviceError):
+            GEFORCE_8800_GTX.max_onchip_system_size(2)
+
+    def test_lookup_by_alias(self):
+        assert get_device_spec("GeForce GTX 470") is GEFORCE_GTX_470
+        assert get_device_spec("470") is GEFORCE_GTX_470
+        assert get_device_spec("8800") is GEFORCE_8800_GTX
+
+    def test_unknown_device(self):
+        with pytest.raises(DeviceError):
+            get_device_spec("gtx9000")
+
+    def test_with_overrides(self):
+        modified = GEFORCE_GTX_470.with_overrides(num_processors=28)
+        assert modified.num_processors == 28
+        assert GEFORCE_GTX_470.num_processors == 14
+
+    def test_invalid_spec_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GEFORCE_GTX_470.with_overrides(num_processors=0)
+        with pytest.raises(ConfigurationError):
+            GEFORCE_GTX_470.with_overrides(global_bandwidth_gb_s=-1.0)
+
+    def test_bytes_per_ms(self):
+        assert GEFORCE_8800_GTX.bytes_per_ms == pytest.approx(57.6e6)
+
+    def test_total_thread_processors(self):
+        assert GEFORCE_GTX_470.total_thread_processors == 448
+
+
+class TestQueryProjection:
+    def test_queryable_fields_present(self):
+        props = query_device(GEFORCE_GTX_280)
+        assert props.num_processors == 30
+        assert props.warp_size == 32
+        assert props.shared_mem_per_processor == 16 * 1024
+
+    def test_hidden_fields_absent(self):
+        """The paper's premise: bandwidth, banks, and latency parameters
+        cannot be queried."""
+        props = query_device(GEFORCE_GTX_280)
+        for hidden in (
+            "global_bandwidth_gb_s",
+            "shared_mem_banks",
+            "threads_for_full_utilization",
+            "blocks_to_saturate_bandwidth",
+            "partition_camping_efficiency",
+            "misaligned_access_penalty",
+            "uncoalesced_penalty_cap",
+            "coop_bandwidth_efficiency",
+        ):
+            assert not hasattr(props, hidden), hidden
+
+    @pytest.mark.parametrize("dsize", [4, 8])
+    def test_queryable_max_onchip_matches_spec(self, dsize):
+        for spec in PAPER_DEVICES.values():
+            props = query_device(spec)
+            assert props.max_onchip_system_size(dsize) == spec.max_onchip_system_size(dsize)
+
+    def test_projection_is_complete(self):
+        """Every DeviceProperties field must come from the spec."""
+        props = query_device(GEFORCE_8800_GTX)
+        for f in dataclasses.fields(props):
+            assert getattr(props, f.name) == getattr(GEFORCE_8800_GTX, f.name)

@@ -1,0 +1,222 @@
+"""Tests for the simulated-GPU kernels: numerics and cost accounting."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    max_residual,
+    pcr_thomas_solve,
+    pcr_unsplit_solution,
+    thomas_solve,
+)
+from repro.gpu import make_device
+from repro.kernels import (
+    CoopPcrKernel,
+    DivideKernel,
+    GlobalPcrKernel,
+    KernelContext,
+    PcrThomasSmemKernel,
+    ThomasGlobalKernel,
+    TransposeKernel,
+    warp_padded_threads,
+    warps_for,
+)
+from repro.systems import generators
+from repro.util.errors import ConfigurationError, ResourceExhaustedError
+
+
+def _ctx(device="gtx470"):
+    return KernelContext(make_device(device).session())
+
+
+class TestHelpers:
+    def test_warps_for(self):
+        assert warps_for(1) == 1
+        assert warps_for(32) == 1
+        assert warps_for(33) == 2
+
+    def test_warp_padded(self):
+        assert warp_padded_threads(33) == 64
+
+    def test_warps_rejects_zero(self):
+        with pytest.raises(ConfigurationError):
+            warps_for(0)
+
+
+class TestPcrThomasSmemKernel:
+    def test_numerics_match_reference(self):
+        ctx = _ctx()
+        batch = generators.random_dominant(8, 512, rng=0)
+        x = PcrThomasSmemKernel(thomas_switch=128).run(ctx, batch)
+        np.testing.assert_allclose(x, pcr_thomas_solve(batch, 128), atol=1e-12)
+
+    def test_records_one_launch(self):
+        ctx = _ctx()
+        batch = generators.random_dominant(4, 256, rng=1)
+        PcrThomasSmemKernel().run(ctx, batch)
+        report = ctx.session.report()
+        assert report.num_launches == 1
+        assert report.total_ms > 0
+
+    def test_rejects_oversized_system(self):
+        ctx = _ctx("8800gtx")  # max on-chip 256
+        batch = generators.random_dominant(2, 512, rng=0)
+        with pytest.raises(ResourceExhaustedError):
+            PcrThomasSmemKernel().run(ctx, batch)
+
+    def test_rejects_unknown_variant(self):
+        with pytest.raises(ConfigurationError):
+            PcrThomasSmemKernel(variant="magic")
+
+    def test_variants_equal_at_stride_one(self):
+        ctx = _ctx()
+        cost_c = PcrThomasSmemKernel(variant="coalesced").cost(ctx, 64, 512, 4, 1)
+        cost_s = PcrThomasSmemKernel(variant="strided").cost(ctx, 64, 512, 4, 1)
+        assert cost_c.traffic.effective_bytes == cost_s.traffic.effective_bytes
+
+    def test_strided_pays_transaction_penalty(self):
+        ctx = _ctx()
+        base = PcrThomasSmemKernel(variant="strided").cost(ctx, 64, 512, 4, 1)
+        far = PcrThomasSmemKernel(variant="strided").cost(ctx, 64, 512, 4, 64)
+        assert far.traffic.effective_bytes > base.traffic.effective_bytes
+
+    def test_coalesced_spill_grows_with_stride(self):
+        ctx = _ctx()
+        near = PcrThomasSmemKernel(variant="coalesced").cost(ctx, 64, 512, 4, 2)
+        far = PcrThomasSmemKernel(variant="coalesced").cost(ctx, 64, 512, 4, 512)
+        assert far.traffic.effective_bytes > near.traffic.effective_bytes
+
+    def test_crossover_exists(self):
+        """At large strides the strided variant must win (paper §III-A)."""
+        ctx = _ctx()
+        stride = 4096
+        c = PcrThomasSmemKernel(variant="coalesced").cost(ctx, 64, 512, 4, stride)
+        s = PcrThomasSmemKernel(variant="strided").cost(ctx, 64, 512, 4, stride)
+        assert s.traffic.effective_bytes < c.traffic.effective_bytes
+
+    def test_thomas_switch_clamped(self):
+        ctx = _ctx()
+        batch = generators.random_dominant(4, 64, rng=2)
+        x = PcrThomasSmemKernel(thomas_switch=1024).run(ctx, batch)
+        assert max_residual(batch, x) < 1e-12
+
+    def test_two_phases_recorded(self):
+        ctx = _ctx()
+        cost = PcrThomasSmemKernel(thomas_switch=64).cost(ctx, 16, 512, 4, 1)
+        assert len(cost.phases) == 2
+        pcr_phase, thomas_phase = cost.phases
+        assert thomas_phase.active_threads_per_block == 64
+
+
+class TestGlobalPcrKernel:
+    def test_split_numerics(self):
+        ctx = _ctx()
+        batch = generators.random_dominant(16, 1024, rng=3)
+        split = GlobalPcrKernel().run(ctx, batch, 256)
+        assert split.shape == (64, 256)
+        x = pcr_unsplit_solution(thomas_solve(split), 2)
+        assert max_residual(batch, x) < 1e-12
+
+    def test_noop_when_small_enough(self):
+        ctx = _ctx()
+        batch = generators.random_dominant(4, 128, rng=4)
+        out = GlobalPcrKernel().run(ctx, batch, 256)
+        assert out is batch
+        assert ctx.session.report().num_launches == 0
+
+    def test_single_launch_for_all_steps(self):
+        ctx = _ctx()
+        batch = generators.random_dominant(64, 4096, rng=5)
+        GlobalPcrKernel().run(ctx, batch, 256)
+        assert ctx.session.report().num_launches == 1
+
+    def test_traffic_proportional_to_steps(self):
+        ctx = _ctx()
+        one = GlobalPcrKernel().cost(ctx, 64, 1024, 4, 1)
+        three = GlobalPcrKernel().cost(ctx, 64, 1024, 4, 3)
+        assert three.traffic.raw_bytes == pytest.approx(3 * one.traffic.raw_bytes)
+
+    def test_camping_lowers_efficiency_at_large_strides(self):
+        ctx = _ctx()
+        near = GlobalPcrKernel().cost(ctx, 64, 1024, 4, 2, start_stride=1)
+        far = GlobalPcrKernel().cost(ctx, 64, 1024, 4, 2, start_stride=1024)
+        assert far.bandwidth_efficiency < near.bandwidth_efficiency
+
+    def test_rejects_zero_steps(self):
+        ctx = _ctx()
+        with pytest.raises(ConfigurationError):
+            GlobalPcrKernel().cost(ctx, 4, 64, 4, 0)
+
+
+class TestCoopPcrKernel:
+    def test_split_numerics(self):
+        ctx = _ctx()
+        batch = generators.random_dominant(1, 4096, rng=6)
+        split = CoopPcrKernel().run(ctx, batch, 4)
+        assert split.shape == (16, 256)
+        x = pcr_unsplit_solution(thomas_solve(split), 4)
+        assert max_residual(batch, x) < 1e-12
+
+    def test_one_launch_per_step(self):
+        """The inter-step dependency forces a grid sync per split."""
+        ctx = _ctx()
+        batch = generators.random_dominant(1, 1024, rng=7)
+        CoopPcrKernel().run(ctx, batch, 5)
+        assert ctx.session.report().num_launches == 5
+
+    def test_zero_splits_is_noop(self):
+        ctx = _ctx()
+        batch = generators.random_dominant(1, 64, rng=8)
+        out = CoopPcrKernel().run(ctx, batch, 0)
+        assert out is batch
+
+    def test_too_many_splits_rejected(self):
+        ctx = _ctx()
+        batch = generators.random_dominant(1, 64, rng=9)
+        with pytest.raises(ConfigurationError):
+            CoopPcrKernel().run(ctx, batch, 7)
+
+    def test_sync_overhead_charged(self):
+        ctx = _ctx()
+        cost = CoopPcrKernel().cost_per_step(ctx, 1 << 20, 4)
+        assert cost.extra_sync_us == ctx.spec.coop_sync_overhead_us
+
+    def test_coop_less_efficient_than_stage2(self):
+        """Stage 1's per-byte cost exceeds stage 2's (paper §III-C)."""
+        ctx = _ctx()
+        coop = CoopPcrKernel().cost_per_step(ctx, 1 << 20, 4)
+        stage2 = GlobalPcrKernel().cost(ctx, 64, (1 << 20) // 64, 4, 1)
+        assert coop.bandwidth_efficiency < stage2.bandwidth_efficiency
+
+
+class TestThomasGlobalKernel:
+    def test_numerics(self):
+        ctx = _ctx()
+        batch = generators.random_dominant(128, 64, rng=10)
+        x = ThomasGlobalKernel().run(ctx, batch)
+        np.testing.assert_allclose(x, thomas_solve(batch), atol=1e-13)
+
+    def test_row_layout_pays_stride_penalty(self):
+        ctx = _ctx()
+        row = ThomasGlobalKernel(layout="row").cost(ctx, 1024, 64, 4)
+        inter = ThomasGlobalKernel(layout="interleaved").cost(ctx, 1024, 64, 4)
+        assert row.traffic.effective_bytes > inter.traffic.effective_bytes
+
+    def test_rejects_unknown_layout(self):
+        with pytest.raises(ConfigurationError):
+            ThomasGlobalKernel(layout="diagonal")
+
+
+class TestElementwiseKernels:
+    def test_divide(self):
+        ctx = _ctx()
+        batch = generators.identity(4, 32)
+        x = DivideKernel().run(ctx, batch)
+        np.testing.assert_array_equal(x, batch.d)
+        assert ctx.session.report().num_launches == 1
+
+    def test_transpose(self):
+        ctx = _ctx()
+        arr = np.arange(12.0, dtype=np.float32).reshape(3, 4)
+        out = TransposeKernel().run(ctx, arr)
+        np.testing.assert_array_equal(out, arr.T)

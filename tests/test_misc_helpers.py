@@ -1,0 +1,125 @@
+"""Direct tests for small helpers covered only indirectly elsewhere."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    cr_forward_levels,
+    get_algorithm,
+    normalize_thomas_switch,
+)
+from repro.analysis import figure6_to_csv
+from repro.cli import build_parser
+from repro.dnc import MultiStageSorter
+from repro.kernels import KernelContext, dtype_size
+from repro.gpu import make_device
+from repro.systems import generators
+from repro.util import (
+    check_dtype,
+    check_positive_int,
+    check_same_shape,
+    require,
+)
+from repro.util.errors import ConfigurationError, ShapeError
+from repro.util.units import mib, ms_to_seconds, ns_to_ms, seconds_to_ms
+
+
+class TestValidationHelpers:
+    def test_require(self):
+        require(True, "fine")
+        with pytest.raises(ConfigurationError, match="broken"):
+            require(False, "broken")
+        with pytest.raises(ShapeError):
+            require(False, "x", exc=ShapeError)
+
+    def test_check_positive_int(self):
+        assert check_positive_int(5, "x") == 5
+        assert check_positive_int(np.int64(3), "x") == 3
+        for bad in (0, -1, 2.5, True):
+            with pytest.raises(ConfigurationError):
+                check_positive_int(bad, "x")
+
+    def test_check_dtype(self):
+        assert check_dtype(np.zeros(3), "x") == np.float64
+        with pytest.raises(ShapeError):
+            check_dtype(np.zeros(3, dtype=np.int32), "x")
+
+    def test_check_same_shape(self):
+        arrays = [np.zeros((2, 3)), np.ones((2, 3))]
+        assert check_same_shape(arrays, ["a", "b"]) == (2, 3)
+        with pytest.raises(ShapeError, match="b has shape"):
+            check_same_shape([np.zeros((2, 3)), np.zeros((2, 4))], ["a", "b"])
+
+    def test_units(self):
+        assert mib(2) == 2 * 1024 * 1024
+        assert seconds_to_ms(1.5) == 1500.0
+        assert ms_to_seconds(1500.0) == 1.5
+        assert ns_to_ms(1e6) == 1.0
+
+
+class TestAlgorithmHelpers:
+    def test_cr_forward_levels_shapes(self):
+        batch = generators.random_dominant(2, 16, rng=0)
+        levels = cr_forward_levels(batch)
+        assert len(levels) == 4  # 16 -> 8 -> 4 -> 2 -> 1
+        widths = [reduced[1].shape[1] for reduced, _ in levels]
+        assert widths == [8, 4, 2, 1]
+
+    def test_normalize_thomas_switch(self):
+        assert normalize_thomas_switch(256, 64) == 64
+        assert normalize_thomas_switch(256, 1024) == 256
+        with pytest.raises(ConfigurationError):
+            normalize_thomas_switch(256, 48)
+
+    def test_get_algorithm(self):
+        info = get_algorithm("pcr")
+        assert info.pow2_only
+        assert "log" in info.work
+        with pytest.raises(ConfigurationError):
+            get_algorithm("sorcery")
+
+    def test_dtype_size(self):
+        assert dtype_size(np.float32) == 4
+        assert dtype_size(np.float64) == 8
+        with pytest.raises(ConfigurationError):
+            dtype_size(np.int16)
+
+    def test_regs_per_thread_for_system(self):
+        ctx = KernelContext(make_device("gtx470").session())
+        assert ctx.regs_per_thread_for_system(1024, 1024) == 32
+        assert ctx.regs_per_thread_for_system(1024, 512) == 64
+
+
+class TestCliParser:
+    def test_all_subcommands_registered(self):
+        parser = build_parser()
+        args = parser.parse_args(["devices"])
+        assert args.command == "devices"
+        args = parser.parse_args(["solve", "--workload", "2Kx2K"])
+        assert args.workload == "2Kx2K"
+        args = parser.parse_args(["tune", "--dtype-size", "8"])
+        assert args.dtype_size == 8
+        args = parser.parse_args(["figures", "--out", "x"])
+        assert args.out == "x"
+
+
+class TestExportHelpers:
+    def test_figure6_csv(self):
+        text = figure6_to_csv({"d": {16: 0.5, 32: 1.0}})
+        assert "thomas_switch=16" in text.splitlines()[0]
+        assert "0.5" in text
+
+
+class TestSorterCapacity:
+    def test_max_tile_elements(self):
+        sorter470 = MultiStageSorter("gtx470")
+        sorter8800 = MultiStageSorter("8800gtx")
+        # 48 KB vs 16 KB shared memory, double-buffered f64 keys.
+        assert sorter470.max_tile_elements(8) == 2048
+        assert sorter8800.max_tile_elements(8) == 1024
+
+    def test_report_describe_stage_shares(self):
+        values = np.random.default_rng(0).random(1 << 14)
+        result = MultiStageSorter("gtx470", tile_size=256, coop_threshold=4).sort(values)
+        text = result.report.describe()
+        assert "tile_sort" in text and "%" in text

@@ -1,0 +1,104 @@
+"""Tests for multigrid with tridiagonal line relaxation."""
+
+import numpy as np
+import pytest
+
+from repro.apps import MultigridPoisson2D
+from repro.core import MultiStageSolver
+from repro.util.errors import ConfigurationError, ShapeError
+
+
+@pytest.fixture(scope="module")
+def solver():
+    return MultiStageSolver("gtx470", "static")
+
+
+def _manufactured(n):
+    h = 1.0 / (n + 1)
+    x = np.linspace(h, 1 - h, n)
+    X, Y = np.meshgrid(x, x)
+    u = np.sin(np.pi * X) * np.sin(2 * np.pi * Y)
+    f = (1 + 4) * np.pi**2 * u  # -lap u = f
+    return u, f
+
+
+class TestComponents:
+    def test_residual_zero_for_discrete_solution(self, solver):
+        n = 15
+        mg = MultigridPoisson2D(n, solver=solver)
+        f = np.random.default_rng(0).standard_normal((n, n))
+        u = mg.solve(f, tol=1e-12)
+        assert np.abs(mg.residual_field(u, f)).max() < 1e-8
+
+    def test_restrict_prolong_shapes(self):
+        r = np.random.default_rng(1).standard_normal((7, 7))
+        coarse = MultigridPoisson2D._restrict(r)
+        assert coarse.shape == (3, 3)
+        fine = MultigridPoisson2D._prolong(coarse, 7)
+        assert fine.shape == (7, 7)
+
+    def test_prolong_restrict_constant(self):
+        """Full weighting of a constant field is that constant; bilinear
+        interpolation of a constant is that constant."""
+        c = np.full((3, 3), 2.5)
+        fine = MultigridPoisson2D._prolong(c, 7)
+        # Interior coincident points keep the value.
+        assert fine[1, 1] == 2.5
+        r = np.full((7, 7), 1.5)
+        np.testing.assert_allclose(MultigridPoisson2D._restrict(r), 1.5)
+
+    def test_grid_size_validation(self, solver):
+        with pytest.raises(ConfigurationError):
+            MultigridPoisson2D(8, solver=solver)  # not 2^k - 1
+        with pytest.raises(ConfigurationError):
+            MultigridPoisson2D(1, solver=solver)
+
+    def test_field_shape_validation(self, solver):
+        mg = MultigridPoisson2D(7, solver=solver)
+        with pytest.raises(ShapeError):
+            mg.v_cycle(np.zeros((5, 5)), np.zeros((5, 5)))
+
+
+class TestConvergence:
+    def test_vcycle_contraction(self, solver):
+        """Each V-cycle must contract the residual by a healthy factor
+        (textbook multigrid: ~0.1 per cycle for Poisson)."""
+        n = 31
+        mg = MultigridPoisson2D(n, solver=solver)
+        _, f = _manufactured(n)
+        u = np.zeros((n, n))
+        norms = [np.linalg.norm(f)]
+        for _ in range(4):
+            u = mg.v_cycle(u, f)
+            norms.append(np.linalg.norm(mg.residual_field(u, f)))
+        factors = [norms[i + 1] / norms[i] for i in range(len(norms) - 1)]
+        assert max(factors) < 0.25, factors
+
+    def test_matches_manufactured_solution(self, solver):
+        n = 63
+        mg = MultigridPoisson2D(n, solver=solver)
+        u_exact, f = _manufactured(n)
+        u = mg.solve(f, tol=1e-11)
+        h = 1.0 / (n + 1)
+        assert np.abs(u - u_exact).max() < 10 * h * h  # O(h^2) discretisation
+
+    def test_grid_size_independence(self, solver):
+        """The contraction factor must not degrade as the grid refines
+        (the defining property of multigrid)."""
+        factors = []
+        for n in (15, 31, 63):
+            mg = MultigridPoisson2D(n, solver=solver)
+            f = np.random.default_rng(n).standard_normal((n, n))
+            u = np.zeros((n, n))
+            u = mg.v_cycle(u, f)
+            r1 = np.linalg.norm(mg.residual_field(u, f))
+            u = mg.v_cycle(u, f)
+            r2 = np.linalg.norm(mg.residual_field(u, f))
+            factors.append(r2 / r1)
+        assert max(factors) < 0.3
+        assert max(factors) / min(factors) < 5.0
+
+    def test_simulated_time_accumulates(self, solver):
+        mg = MultigridPoisson2D(15, solver=solver)
+        mg.solve(np.ones((15, 15)), tol=1e-8, max_cycles=3)
+        assert mg.simulated_ms > 0

@@ -1,0 +1,118 @@
+"""Tests for the Figure-1 workflow planner."""
+
+import pytest
+
+from repro.core import SwitchPoints, plan_solve
+from repro.gpu import make_device
+from repro.util.errors import PlanError
+
+DEV = make_device("gtx470")
+SP = SwitchPoints(
+    stage1_target_systems=16,
+    stage3_system_size=512,
+    thomas_switch=64,
+    source="manual",
+)
+
+
+class TestPlanShapes:
+    def test_fits_onchip_no_splitting(self):
+        plan = plan_solve(DEV, 1024, 512, 4, SP)
+        assert plan.stage1_steps == 0 and plan.stage2_steps == 0
+        assert plan.stage3_system_size == 512
+        assert plan.stride == 1
+
+    def test_small_system_uses_own_size(self):
+        plan = plan_solve(DEV, 16, 64, 4, SP)
+        assert plan.stage3_system_size == 64
+        assert plan.thomas_switch == 64
+
+    def test_many_systems_skip_stage1(self):
+        plan = plan_solve(DEV, 1024, 4096, 4, SP)
+        assert plan.stage1_steps == 0
+        assert plan.stage2_steps == 3
+        assert plan.stride == 8
+
+    def test_single_large_system_uses_stage1(self):
+        plan = plan_solve(DEV, 1, 1 << 21, 4, SP)
+        assert plan.stage1_steps == 4  # 1 -> 16 systems
+        assert plan.stage2_steps == (21 - 9) - 4
+        assert plan.systems_entering_stage2 == 16
+        assert plan.systems_entering_stage3 == (1 << 21) // 512
+
+    def test_stage1_stops_at_target(self):
+        # 4 systems, target 16 -> 2 cooperative steps.
+        plan = plan_solve(DEV, 4, 1 << 16, 4, SP)
+        assert plan.stage1_steps == 2
+
+    def test_stage1_capped_by_total_steps(self):
+        # Tiny system: cannot split deeper than to size stage3.
+        plan = plan_solve(DEV, 1, 1024, 4, SP)
+        assert plan.stage1_steps + plan.stage2_steps == 1
+        assert plan.stage1_steps == 1  # all available splits go to stage 1
+
+    def test_non_pow2_padded(self):
+        plan = plan_solve(DEV, 8, 1000, 4, SP)
+        assert plan.system_size == 1024
+
+    def test_stage3_clamped_to_device(self):
+        sp = SP.with_(stage3_system_size=4096)
+        plan = plan_solve(DEV, 64, 8192, 4, sp)
+        assert plan.stage3_system_size == 1024  # 470 on-chip max
+
+    def test_stage3_clamped_on_weak_device(self):
+        dev = make_device("8800gtx")
+        sp = SP.with_(stage3_system_size=1024)
+        plan = plan_solve(dev, 64, 8192, 4, sp)
+        assert plan.stage3_system_size == 256
+
+    def test_thomas_clamped_to_stage3(self):
+        sp = SP.with_(thomas_switch=1024, stage3_system_size=256)
+        plan = plan_solve(DEV, 64, 8192, 4, sp)
+        assert plan.thomas_switch == 256
+
+    def test_variant_selection_via_crossover(self):
+        sp = SP.with_(variant_crossover_stride=8)
+        near = plan_solve(DEV, 1024, 1024, 4, sp)
+        assert near.variant == "coalesced"  # stride 2 < 8
+        far = plan_solve(DEV, 1024, 16384, 4, sp)
+        assert far.stride == 32
+        assert far.variant == "strided"
+
+    def test_invalid_workload_rejected(self):
+        with pytest.raises(PlanError):
+            plan_solve(DEV, 0, 64, 4, SP)
+        with pytest.raises(PlanError):
+            plan_solve(DEV, 4, 0, 4, SP)
+
+    def test_describe_mentions_stages(self):
+        plan = plan_solve(DEV, 1, 1 << 21, 4, SP)
+        text = plan.describe()
+        assert "stage 1" in text and "stage 2" in text and "stage 3+4" in text
+
+
+class TestSwitchPoints:
+    def test_defaults_valid(self):
+        sp = SwitchPoints()
+        assert sp.stage3_system_size == 256
+
+    def test_validation(self):
+        with pytest.raises(Exception):
+            SwitchPoints(stage3_system_size=300)
+        with pytest.raises(Exception):
+            SwitchPoints(thomas_switch=0)
+        with pytest.raises(Exception):
+            SwitchPoints(base_variant="weird")
+
+    def test_variant_for_stride_fixed(self):
+        sp = SwitchPoints(base_variant="strided")
+        assert sp.variant_for_stride(1) == "coalesced"  # contiguous
+        assert sp.variant_for_stride(4) == "strided"
+
+    def test_with_copy(self):
+        sp = SwitchPoints()
+        sp2 = sp.with_(thomas_switch=128)
+        assert sp.thomas_switch == 64 and sp2.thomas_switch == 128
+
+    def test_describe(self):
+        assert "stage1->2" in SwitchPoints().describe()

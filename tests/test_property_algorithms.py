@@ -1,0 +1,144 @@
+"""Property-based tests (hypothesis) on the algorithm layer.
+
+Invariants under test:
+
+- every solver agrees with the LAPACK oracle on dominant systems;
+- PCR splitting preserves the solution set at every depth;
+- PCR preserves diagonal dominance (so later stages remain stable);
+- padding round-trips exactly;
+- LU factors reproduce Thomas results.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.algorithms import (
+    cr_solve,
+    lu_solve,
+    pad_pow2,
+    pcr_reduce,
+    pcr_solve,
+    pcr_split,
+    pcr_thomas_solve,
+    pcr_unsplit_solution,
+    scipy_banded_solve,
+    thomas_solve,
+    unpad_solution,
+)
+from repro.systems import generators
+from repro.systems.properties import dominance_margin, is_diagonally_dominant
+from tests.conftest import assert_close_to_oracle, dominant_batches
+
+COMMON = dict(max_examples=25, deadline=None)
+
+
+@settings(**COMMON)
+@given(batch=dominant_batches(max_size=128))
+def test_thomas_matches_oracle(batch):
+    assert_close_to_oracle(batch, thomas_solve(batch), factor=4)
+
+
+@settings(**COMMON)
+@given(batch=dominant_batches(max_size=128))
+def test_cr_matches_oracle(batch):
+    assert_close_to_oracle(batch, cr_solve(batch), factor=8)
+
+
+@settings(**COMMON)
+@given(batch=dominant_batches(max_size=128))
+def test_pcr_matches_oracle(batch):
+    assert_close_to_oracle(batch, pcr_solve(batch), factor=8)
+
+
+@settings(**COMMON)
+@given(
+    batch=dominant_batches(min_size=2, max_size=128),
+    switch_exp=st.integers(min_value=0, max_value=7),
+)
+def test_pcr_thomas_matches_oracle_all_switches(batch, switch_exp):
+    x = pcr_thomas_solve(batch, 1 << switch_exp)
+    assert_close_to_oracle(batch, x, factor=8)
+
+
+@settings(**COMMON)
+@given(
+    batch=dominant_batches(min_size=4, max_size=64),
+    depth=st.integers(min_value=0, max_value=4),
+)
+def test_pcr_split_preserves_solutions(batch, depth):
+    depth = min(depth, int(np.log2(batch.system_size)))
+    split = pcr_split(batch, depth)
+    assert split.shape == (
+        batch.num_systems << depth,
+        batch.system_size >> depth,
+    )
+    x = pcr_unsplit_solution(thomas_solve(split), depth)
+    assert_close_to_oracle(batch, x, factor=8)
+
+
+@settings(**COMMON)
+@given(
+    batch=dominant_batches(min_size=4, max_size=64),
+    steps=st.integers(min_value=1, max_value=3),
+)
+def test_pcr_preserves_dominance(batch, steps):
+    """PCR on a strictly dominant system keeps every reduced system dominant.
+
+    This is the stability contract that lets stage 4 run Thomas without
+    pivoting on PCR-produced subsystems.
+    """
+    steps = min(steps, int(np.log2(batch.system_size)))
+    reduced = pcr_reduce(batch, steps)
+    assert is_diagonally_dominant(reduced)
+    assert dominance_margin(reduced).min() >= -1e-9
+
+
+@settings(**COMMON)
+@given(batch=dominant_batches(min_size=3, max_size=150, pow2=False))
+def test_padding_roundtrip(batch):
+    padded, original = pad_pow2(batch)
+    assert padded.system_size >= batch.system_size
+    assert padded.system_size & (padded.system_size - 1) == 0
+    x = unpad_solution(thomas_solve(padded), original)
+    assert_close_to_oracle(batch, x, factor=8)
+
+
+@settings(**COMMON)
+@given(batch=dominant_batches(min_size=3, max_size=150, pow2=False))
+def test_padded_equations_decoupled(batch):
+    """Padding rows solve to exactly zero and leave real rows untouched."""
+    padded, original = pad_pow2(batch)
+    x = thomas_solve(padded)
+    if padded.system_size > original:
+        np.testing.assert_array_equal(x[:, original:], 0.0)
+    np.testing.assert_allclose(
+        x[:, :original], thomas_solve(batch), atol=1e-12, rtol=1e-12
+    )
+
+
+@settings(**COMMON)
+@given(batch=dominant_batches(max_size=64, pow2=False))
+def test_lu_equals_thomas(batch):
+    np.testing.assert_allclose(
+        lu_solve(batch), thomas_solve(batch), atol=1e-10, rtol=1e-10
+    )
+
+
+@settings(**COMMON)
+@given(
+    batch=dominant_batches(max_size=64),
+    scale=st.floats(min_value=0.25, max_value=4.0),
+)
+def test_solver_linearity(batch, scale):
+    """Solutions scale linearly with the RHS (solver is linear in d)."""
+    x1 = thomas_solve(batch)
+    x2 = thomas_solve(batch.with_rhs(batch.d * scale))
+    np.testing.assert_allclose(x2, x1 * scale, atol=1e-9, rtol=1e-9)
+
+
+@settings(**COMMON)
+@given(batch=dominant_batches(max_size=64))
+def test_oracle_self_consistency(batch):
+    """The scipy oracle itself satisfies the residual contract."""
+    x = scipy_banded_solve(batch)
+    assert batch.residual(x).max() < 1e-12

@@ -1,0 +1,49 @@
+"""Tests for the reproduction scorecard (and its CLI command)."""
+
+import io
+
+import pytest
+
+from repro.analysis import Check, render_scorecard, reproduction_scorecard
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def checks():
+    return reproduction_scorecard()
+
+
+class TestScorecard:
+    def test_all_claims_reproduced(self, checks):
+        failed = [c for c in checks if not c.passed]
+        assert not failed, render_scorecard(checks)
+
+    def test_covers_every_claim_family(self, checks):
+        claims = " ".join(c.claim for c in checks)
+        for token in (
+            "largest on-chip",
+            "Fig.5",
+            "Fig.6",
+            "static tuning",
+            "dynamic tuning",
+            "Fig.8",
+        ):
+            assert token in claims, token
+
+    def test_render(self, checks):
+        text = render_scorecard(checks)
+        assert "Reproduction scorecard" in text
+        assert f"{len(checks)}/{len(checks)} claims reproduced" in text
+
+    def test_render_flags_failures(self):
+        text = render_scorecard(
+            [Check(claim="x", expected="1", measured="2", passed=False)]
+        )
+        assert "FAIL" in text
+        assert "0/1" in text
+
+    def test_cli_verify(self):
+        out = io.StringIO()
+        code = main(["verify"], out=out)
+        assert code == 0
+        assert "claims reproduced" in out.getvalue()

@@ -1,0 +1,156 @@
+"""Integration tests for the multi-stage solver across devices/workloads."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import max_residual, scipy_banded_solve
+from repro.core import (
+    MultiStageSolver,
+    SelfTuner,
+    SwitchPoints,
+    simulate_plan,
+    solve,
+)
+from repro.gpu import make_device
+from repro.systems import generators
+from repro.util.errors import ConfigurationError, DeviceError
+from tests.conftest import assert_close_to_oracle
+
+DEVICES = ("8800gtx", "gtx280", "gtx470")
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("device", DEVICES)
+    @pytest.mark.parametrize(
+        "shape",
+        [(64, 32), (16, 256), (8, 1024), (4, 4096), (1, 16384)],
+    )
+    def test_solution_matches_oracle(self, device, shape):
+        m, n = shape
+        batch = generators.random_dominant(m, n, rng=m * n)
+        result = MultiStageSolver(device, "default").solve(batch)
+        assert_close_to_oracle(batch, result.x, factor=8)
+
+    @pytest.mark.parametrize("strategy", ["default", "static", "dynamic"])
+    def test_all_strategies_correct(self, strategy):
+        batch = generators.random_dominant(8, 2048, rng=5)
+        result = MultiStageSolver("gtx470", strategy).solve(batch)
+        assert max_residual(batch, result.x) < 1e-12
+
+    def test_non_pow2_size(self):
+        batch = generators.random_dominant(8, 1000, rng=6)
+        result = MultiStageSolver("gtx470", "default").solve(batch)
+        assert result.x.shape == (8, 1000)
+        assert max_residual(batch, result.x) < 1e-12
+
+    def test_float32(self):
+        batch = generators.random_dominant(8, 512, rng=7, dtype=np.float32)
+        result = MultiStageSolver("gtx280", "default").solve(batch)
+        assert result.x.dtype == np.float32
+        assert max_residual(batch, result.x) < 1e-4
+
+    def test_structured_workloads(self):
+        for gen in ("poisson_1d", "cubic_spline", "ocean_mixing"):
+            batch = getattr(generators, gen)(16, 600, rng=1)
+            result = MultiStageSolver("gtx470", "static").solve(batch)
+            oracle = scipy_banded_solve(batch)
+            scale = np.abs(oracle).max() + 1.0
+            assert np.abs(result.x - oracle).max() / scale < 1e-9, gen
+
+    def test_verify_flag(self):
+        batch = generators.random_dominant(4, 256, rng=8)
+        result = MultiStageSolver("gtx470", "default", verify=True).solve(batch)
+        assert result.x.shape == batch.shape
+
+    def test_single_tiny_system(self):
+        batch = generators.random_dominant(1, 2, rng=9)
+        result = solve(batch, device="8800gtx", tuning="default")
+        assert max_residual(batch, result.x) < 1e-13
+
+
+class TestReporting:
+    def test_report_timing_matches_pricing(self):
+        """simulate_plan and the real solver must agree exactly."""
+        batch = generators.random_dominant(16, 2048, rng=10)
+        for device in DEVICES:
+            sp = SwitchPoints(stage3_system_size=256, thomas_switch=64)
+            dev = make_device(device)
+            result = MultiStageSolver(dev, sp).solve(batch)
+            _, priced = simulate_plan(dev, 16, 2048, 8, sp)
+            assert result.simulated_ms == pytest.approx(priced.total_ms), device
+
+    def test_stage_breakdown_present(self):
+        batch = generators.random_dominant(1, 1 << 15, rng=11)
+        result = MultiStageSolver("gtx470", "default").solve(batch)
+        stages = result.report.stage_ms()
+        assert "stage1_coop_pcr" in stages
+        assert "stage2_global_pcr" in stages
+        assert "stage3_pcr_thomas" in stages
+
+    def test_plan_exposed(self):
+        batch = generators.random_dominant(4, 8192, rng=12)
+        solver = MultiStageSolver("gtx470", "default")
+        plan = solver.plan_for(batch)
+        result = solver.solve(batch)
+        assert result.plan == plan
+
+    def test_switch_points_carried(self):
+        batch = generators.random_dominant(4, 512, rng=13)
+        result = MultiStageSolver("gtx470", "static").solve(batch)
+        assert result.switch_points.source == "static"
+
+
+class TestConfiguration:
+    def test_explicit_switch_points(self):
+        sp = SwitchPoints(stage3_system_size=128, thomas_switch=32)
+        batch = generators.random_dominant(8, 1024, rng=14)
+        result = MultiStageSolver("gtx470", sp).solve(batch)
+        assert result.plan.stage3_system_size == 128
+
+    def test_tuner_instance(self):
+        tuner = SelfTuner()
+        batch = generators.random_dominant(8, 1024, rng=15)
+        result = MultiStageSolver("gtx470", tuner).solve(batch)
+        assert result.switch_points.source == "dynamic"
+
+    def test_bad_tuning_argument(self):
+        with pytest.raises(ConfigurationError):
+            MultiStageSolver("gtx470", 3.14)
+
+    def test_unknown_strategy_name(self):
+        with pytest.raises(ConfigurationError):
+            MultiStageSolver("gtx470", "telepathic")
+
+    def test_oversized_workload_rejected(self):
+        dev = make_device("8800gtx")  # 768 MiB of global memory
+        batch = generators.random_dominant(4, 8, rng=0)
+        huge = type(batch)(
+            batch.a, batch.b, batch.c, batch.d
+        )  # real batch, fake the size check by calling directly
+        with pytest.raises(DeviceError):
+            dev.check_fits_global(10**10)
+
+
+class TestDynamicBeatsOthers:
+    """The paper's §V headline ordering, asserted per workload."""
+
+    @pytest.mark.parametrize("device", DEVICES)
+    @pytest.mark.parametrize(
+        "shape", [(1024, 1024), (2048, 2048), (1, 1 << 21)]
+    )
+    def test_dynamic_not_worse(self, device, shape):
+        m, n = shape
+        dev = make_device(device)
+        from repro.core import DefaultTuner, MachineQueryTuner
+
+        dyn = SelfTuner().switch_points(dev, m, n, 4)
+        _, dyn_rep = simulate_plan(dev, m, n, 4, dyn)
+        for other in (DefaultTuner(), MachineQueryTuner()):
+            sp = other.switch_points(dev, m, n, 4)
+            _, rep = simulate_plan(dev, m, n, 4, sp)
+            # Allow 2% slack for hill-climb locality.
+            assert dyn_rep.total_ms <= rep.total_ms * 1.02, (
+                device,
+                shape,
+                other.name,
+            )

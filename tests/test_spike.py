@@ -1,0 +1,77 @@
+"""Tests for the SPIKE / Wang partition solver."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.algorithms import scipy_banded_solve, spike_solve, thomas_solve
+from repro.algorithms.spike import _auto_partitions
+from repro.systems import generators
+from repro.util.errors import ConfigurationError
+from tests.conftest import assert_close_to_oracle
+
+
+class TestSpike:
+    @pytest.mark.parametrize("p", [1, 2, 4, 8, 16])
+    def test_matches_oracle(self, p):
+        batch = generators.random_dominant(5, 128, rng=p)
+        assert_close_to_oracle(batch, spike_solve(batch, p), factor=8)
+
+    def test_auto_partitions(self):
+        assert _auto_partitions(128) == 16
+        assert _auto_partitions(12) == 4  # chunks of 3
+        assert _auto_partitions(7) == 1  # prime: no split
+        assert _auto_partitions(4) == 2
+
+    def test_auto_mode_solves(self):
+        batch = generators.random_dominant(4, 96, rng=0)
+        assert_close_to_oracle(batch, spike_solve(batch), factor=8)
+
+    def test_single_partition_is_thomas(self):
+        batch = generators.random_dominant(3, 50, rng=1)
+        np.testing.assert_allclose(
+            spike_solve(batch, 1), thomas_solve(batch), atol=1e-14
+        )
+
+    def test_invalid_partitions(self):
+        batch = generators.random_dominant(1, 100, rng=2)
+        with pytest.raises(ConfigurationError):
+            spike_solve(batch, 3)  # 100 % 3 != 0
+        with pytest.raises(ConfigurationError):
+            spike_solve(batch, 100)  # chunks of 1
+        with pytest.raises(ConfigurationError):
+            spike_solve(batch, 0)
+
+    def test_non_pow2_sizes(self):
+        batch = generators.random_dominant(3, 90, rng=3)  # 90 = 2*3^2*5
+        assert_close_to_oracle(batch, spike_solve(batch, 6), factor=8)
+
+    def test_structured_systems(self):
+        for gen in ("poisson_1d", "cubic_spline", "toeplitz"):
+            batch = getattr(generators, gen)(4, 64, rng=4)
+            x = spike_solve(batch, 8)
+            oracle = scipy_banded_solve(batch)
+            scale = np.abs(oracle).max() + 1.0
+            assert np.abs(x - oracle).max() / scale < 1e-9, gen
+
+    def test_registry_integration(self):
+        from repro.algorithms import solve_with
+
+        batch = generators.random_dominant(3, 100, rng=5)
+        x = solve_with("spike", batch)
+        assert batch.residual(x).max() < 1e-11
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    m=st.integers(min_value=1, max_value=5),
+    q=st.integers(min_value=2, max_value=20),
+    p_exp=st.integers(min_value=0, max_value=4),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_spike_property(m, q, p_exp, seed):
+    """SPIKE matches the oracle for any (chunk size, partition count)."""
+    p = 1 << p_exp
+    batch = generators.random_dominant(m, p * q, rng=seed)
+    x = spike_solve(batch, p)
+    assert batch.residual(x).max() < 1e-9

@@ -1,0 +1,157 @@
+"""Tests for properties, I/O, workload suite, and util helpers."""
+
+import numpy as np
+import pytest
+
+from repro.systems import (
+    PAPER_WORKLOAD_NAMES,
+    Workload,
+    build_workload,
+    condition_estimate,
+    dominance_margin,
+    generators,
+    has_zero_diagonal,
+    is_diagonally_dominant,
+    is_symmetric,
+    is_toeplitz,
+    load_batch,
+    paper_workloads,
+    save_batch,
+    summarize,
+)
+from repro.util.errors import ConfigurationError, ShapeError
+from repro.util.validation import (
+    check_power_of_two,
+    ilog2,
+    is_power_of_two,
+    next_power_of_two,
+)
+from repro.util import units
+
+
+class TestProperties:
+    def test_dominance_margin_sign(self):
+        dominant = generators.random_dominant(2, 16, rng=0)
+        assert dominance_margin(dominant).min() > 0
+        hostile = generators.ill_conditioned(2, 16, epsilon=1e-9)
+        assert 0 < dominance_margin(hostile).min() < 1e-6
+
+    def test_strict_vs_weak(self):
+        poisson = generators.poisson_1d(1, 16)
+        assert is_diagonally_dominant(poisson)
+        assert not is_diagonally_dominant(poisson, strict=True)
+
+    def test_symmetry_detection(self):
+        assert is_symmetric(generators.poisson_1d(2, 16))
+        assert not is_symmetric(generators.random_dominant(2, 16, rng=0))
+
+    def test_toeplitz_detection(self):
+        assert is_toeplitz(generators.toeplitz(2, 16))
+        assert not is_toeplitz(generators.cubic_spline(2, 16, rng=0))
+
+    def test_zero_diagonal(self):
+        assert has_zero_diagonal(generators.singular(1, 8))
+        assert not has_zero_diagonal(generators.random_dominant(1, 8, rng=0))
+
+    def test_condition_estimate_identity(self):
+        batch = generators.identity(2, 8)
+        np.testing.assert_allclose(condition_estimate(batch), 1.0)
+
+    def test_condition_estimate_guard(self):
+        batch = generators.identity(1, 16)
+        with pytest.raises(ValueError):
+            condition_estimate(batch, max_size=8)
+
+    def test_condition_grows_with_ill_conditioning(self):
+        good = generators.random_dominant(1, 32, rng=0)
+        bad = generators.ill_conditioned(1, 32, epsilon=1e-8)
+        assert condition_estimate(bad)[0] > 100 * condition_estimate(good)[0]
+
+    def test_summary_fields(self):
+        batch = generators.poisson_1d(3, 16)
+        s = summarize(batch)
+        assert s.num_systems == 3 and s.system_size == 16
+        assert s.symmetric and s.toeplitz and s.diagonally_dominant
+        assert "3x16" in str(s)
+
+
+class TestIO:
+    def test_roundtrip(self, tmp_path, small_batch):
+        path = tmp_path / "batch.npz"
+        save_batch(path, small_batch)
+        loaded = load_batch(path)
+        np.testing.assert_array_equal(loaded.a, small_batch.a)
+        np.testing.assert_array_equal(loaded.d, small_batch.d)
+        assert loaded.dtype == small_batch.dtype
+
+    def test_missing_keys_rejected(self, tmp_path):
+        path = tmp_path / "bogus.npz"
+        np.savez(path, a=np.ones((1, 4)))
+        with pytest.raises(ShapeError):
+            load_batch(path)
+
+    def test_bad_format_tag_rejected(self, tmp_path, small_batch):
+        path = tmp_path / "tagged.npz"
+        np.savez(
+            path,
+            a=small_batch.a,
+            b=small_batch.b,
+            c=small_batch.c,
+            d=small_batch.d,
+            format=np.array("other-format"),
+        )
+        with pytest.raises(ShapeError):
+            load_batch(path)
+
+
+class TestWorkloadSuite:
+    def test_paper_workloads_shapes(self):
+        loads = {w.name: w for w in paper_workloads()}
+        assert set(loads) == set(PAPER_WORKLOAD_NAMES)
+        assert loads["1Kx1K"].shape == (1024, 1024)
+        assert loads["4Kx4K"].shape == (4096, 4096)
+        assert loads["1x2M"].shape == (1, 1 << 21)
+        assert loads["1x2M"].total_equations == 1 << 21
+
+    def test_build_by_name_scaled(self):
+        batch = build_workload("1Kx1K", scale=64, seed=0)
+        assert batch.shape == (16, 16)
+
+    def test_scale_floors(self):
+        w = Workload("tiny", 1, 8)
+        assert w.scaled(100).shape == (1, 2)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_workload("3Kx3K")
+
+    def test_unknown_generator_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_workload("1Kx1K", generator="evil", scale=64)
+
+    def test_generator_choice(self):
+        batch = build_workload("1Kx1K", generator="poisson_1d", scale=64)
+        assert is_toeplitz(batch)
+
+
+class TestUtil:
+    def test_power_of_two_helpers(self):
+        assert is_power_of_two(1) and is_power_of_two(1024)
+        assert not is_power_of_two(0) and not is_power_of_two(12)
+        assert next_power_of_two(1) == 1
+        assert next_power_of_two(17) == 32
+        assert ilog2(256) == 8
+        with pytest.raises(ConfigurationError):
+            check_power_of_two(12, "x")
+        with pytest.raises(ConfigurationError):
+            check_power_of_two(True, "x")
+
+    def test_units(self):
+        assert units.kib(16) == 16384
+        assert units.gb_per_s_to_bytes_per_ms(1.0) == 1e6
+        assert units.us_to_ms(1000) == 1.0
+        assert units.cycles_to_ms(1_000_000, 1000.0) == 1.0
+        assert "KiB" in units.fmt_bytes(2048)
+        assert "ms" in units.fmt_ms(5.0)
+        assert "us" in units.fmt_ms(0.5)
+        assert "s" in units.fmt_ms(2000.0)

@@ -1,0 +1,192 @@
+"""Unit tests for the tridiagonal system containers."""
+
+import numpy as np
+import pytest
+
+from repro.systems import TridiagonalBatch, TridiagonalSystem
+from repro.util.errors import ShapeError
+
+
+def _mk(m=3, n=8, dtype=np.float64):
+    rng = np.random.default_rng(0)
+    a = rng.standard_normal((m, n)).astype(dtype)
+    b = (rng.standard_normal((m, n)) + 4.0).astype(dtype)
+    c = rng.standard_normal((m, n)).astype(dtype)
+    d = rng.standard_normal((m, n)).astype(dtype)
+    return a, b, c, d
+
+
+class TestConstruction:
+    def test_shape_properties(self):
+        batch = TridiagonalBatch(*_mk(5, 16))
+        assert batch.num_systems == 5
+        assert batch.system_size == 16
+        assert batch.shape == (5, 16)
+        assert batch.total_equations == 80
+        assert len(batch) == 5
+
+    def test_corners_zeroed(self):
+        a, b, c, d = _mk()
+        batch = TridiagonalBatch(a, b, c, d)
+        assert (batch.a[:, 0] == 0).all()
+        assert (batch.c[:, -1] == 0).all()
+
+    def test_corner_zeroing_does_not_mutate_input(self):
+        a, b, c, d = _mk()
+        a0 = a.copy()
+        TridiagonalBatch(a, b, c, d)
+        np.testing.assert_array_equal(a, a0)
+
+    def test_1d_inputs_promoted(self):
+        a, b, c, d = (np.ones(6), np.full(6, 4.0), np.ones(6), np.ones(6))
+        batch = TridiagonalBatch(a, b, c, d)
+        assert batch.shape == (1, 6)
+
+    def test_mismatched_shapes_rejected(self):
+        a, b, c, d = _mk()
+        with pytest.raises(ShapeError):
+            TridiagonalBatch(a[:, :-1], b, c, d)
+
+    def test_mismatched_dtypes_rejected(self):
+        a, b, c, d = _mk()
+        with pytest.raises(ShapeError):
+            TridiagonalBatch(a.astype(np.float32), b, c, d)
+
+    def test_integer_dtype_rejected(self):
+        n = 4
+        arr = np.ones((2, n), dtype=np.int64)
+        with pytest.raises(ShapeError):
+            TridiagonalBatch(arr, arr, arr, arr)
+
+    def test_3d_rejected(self):
+        arr = np.ones((2, 3, 4))
+        with pytest.raises(ShapeError):
+            TridiagonalBatch(arr, arr, arr, arr)
+
+    def test_empty_system_rejected(self):
+        arr = np.ones((2, 0))
+        with pytest.raises(ShapeError):
+            TridiagonalBatch(arr, arr, arr, arr)
+
+    def test_nbytes(self):
+        batch = TridiagonalBatch(*_mk(2, 8))
+        assert batch.nbytes == 4 * 2 * 8 * 8
+
+    def test_from_single(self):
+        n = 10
+        batch = TridiagonalBatch.from_single(
+            np.zeros(n), np.ones(n), np.zeros(n), np.arange(n, dtype=float)
+        )
+        assert batch.shape == (1, n)
+
+
+class TestStackAndCopy:
+    def test_stack(self):
+        b1 = TridiagonalBatch(*_mk(2, 8))
+        b2 = TridiagonalBatch(*_mk(3, 8))
+        stacked = TridiagonalBatch.stack([b1, b2])
+        assert stacked.shape == (5, 8)
+        np.testing.assert_array_equal(stacked.b[:2], b1.b)
+        np.testing.assert_array_equal(stacked.b[2:], b2.b)
+
+    def test_stack_size_mismatch(self):
+        b1 = TridiagonalBatch(*_mk(2, 8))
+        b2 = TridiagonalBatch(*_mk(2, 16))
+        with pytest.raises(ShapeError):
+            TridiagonalBatch.stack([b1, b2])
+
+    def test_stack_empty(self):
+        with pytest.raises(ShapeError):
+            TridiagonalBatch.stack([])
+
+    def test_copy_is_deep(self):
+        batch = TridiagonalBatch(*_mk())
+        dup = batch.copy()
+        dup.b[0, 0] = 123.0
+        assert batch.b[0, 0] != 123.0
+
+    def test_astype(self):
+        batch = TridiagonalBatch(*_mk())
+        f32 = batch.astype(np.float32)
+        assert f32.dtype == np.float32
+        assert batch.dtype == np.float64
+
+    def test_with_rhs(self):
+        batch = TridiagonalBatch(*_mk(2, 8))
+        new_d = np.zeros((2, 8))
+        replaced = batch.with_rhs(new_d)
+        np.testing.assert_array_equal(replaced.d, 0)
+        np.testing.assert_array_equal(replaced.b, batch.b)
+
+    def test_with_rhs_shape_mismatch(self):
+        batch = TridiagonalBatch(*_mk(2, 8))
+        with pytest.raises(ShapeError):
+            batch.with_rhs(np.zeros((2, 9)))
+
+
+class TestLinearAlgebra:
+    def test_matvec_matches_dense(self):
+        batch = TridiagonalBatch(*_mk(4, 12))
+        x = np.random.default_rng(3).standard_normal((4, 12))
+        dense = batch.to_dense()
+        expected = np.einsum("mij,mj->mi", dense, x)
+        np.testing.assert_allclose(batch.matvec(x), expected, atol=1e-12)
+
+    def test_matvec_identity(self):
+        n = 9
+        batch = TridiagonalBatch.from_single(
+            np.zeros(n), np.ones(n), np.zeros(n), np.zeros(n)
+        )
+        x = np.arange(n, dtype=float)[None, :]
+        np.testing.assert_array_equal(batch.matvec(x), x)
+
+    def test_matvec_shape_mismatch(self):
+        batch = TridiagonalBatch(*_mk(2, 8))
+        with pytest.raises(ShapeError):
+            batch.matvec(np.zeros((3, 8)))
+
+    def test_residual_zero_for_exact(self):
+        n = 6
+        batch = TridiagonalBatch.from_single(
+            np.zeros(n), np.full(n, 2.0), np.zeros(n), np.arange(n, dtype=float)
+        )
+        x = batch.d / 2.0
+        assert batch.residual(x).max() == 0.0
+
+    def test_to_dense_size_one(self):
+        batch = TridiagonalBatch(
+            np.zeros((2, 1)), np.full((2, 1), 3.0), np.zeros((2, 1)), np.ones((2, 1))
+        )
+        dense = batch.to_dense()
+        assert dense.shape == (2, 1, 1)
+        assert (dense[:, 0, 0] == 3.0).all()
+
+
+class TestSingleSystem:
+    def test_roundtrip_through_batch(self):
+        a, b, c, d = (arr[0] for arr in _mk(1, 8))
+        sys1 = TridiagonalSystem(a, b, c, d)
+        batch = sys1.as_batch()
+        assert batch.shape == (1, 8)
+        assert sys1.size == 8
+
+    def test_system_view_from_batch(self):
+        batch = TridiagonalBatch(*_mk(3, 8))
+        sys1 = batch.system(1)
+        np.testing.assert_array_equal(sys1.b, batch.b[1])
+
+    def test_iteration(self):
+        batch = TridiagonalBatch(*_mk(3, 8))
+        assert sum(1 for _ in batch) == 3
+
+    def test_residual_scalar(self):
+        n = 5
+        sys1 = TridiagonalSystem(
+            np.zeros(n), np.ones(n), np.zeros(n), np.arange(n, dtype=float)
+        )
+        assert sys1.residual(np.arange(n, dtype=float)) == 0.0
+
+    def test_2d_rejected(self):
+        arr = np.ones((2, 3))
+        with pytest.raises(ShapeError):
+            TridiagonalSystem(arr, arr, arr, arr)

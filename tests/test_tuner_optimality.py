@@ -1,0 +1,101 @@
+"""Optimality audits of the self-tuner's hill climbs.
+
+The decoupled hill climbs are only as good as the unimodality assumption
+behind them (paper §IV-D: "a local minimum in a hyperbolic search
+space"). These tests brute-force each axis on every device and assert
+the hill climb actually lands on (or within noise of) the exhaustive
+optimum — so any future cost-model change that breaks unimodality gets
+caught instead of silently degrading the tuner.
+"""
+
+import pytest
+
+from repro.core import SelfTuner, SwitchPoints, simulate_plan
+from repro.core.pricing import price_base_kernel
+from repro.core.tuning import exhaustive_min, pow2_range
+from repro.gpu import make_device
+
+DEVICES = ("8800gtx", "gtx280", "gtx470")
+DSIZE = 4
+
+
+@pytest.mark.parametrize("device", DEVICES)
+@pytest.mark.parametrize("size_exp", [7, 8, 9])
+def test_thomas_axis_hill_climb_is_global(device, size_exp):
+    """Per (device, on-chip size): the T axis optimum found by climbing
+    from the machine seed equals the exhaustive optimum."""
+    dev = make_device(device)
+    size = 1 << size_exp
+    if size > dev.max_onchip_system_size(DSIZE):
+        pytest.skip("size exceeds on-chip capacity")
+    from repro.core.tuning import pow2_hill_climb
+
+    def cost(t):
+        return price_base_kernel(
+            dev, 4096, size, DSIZE, thomas_switch=t, variant="coalesced", stride=1
+        )
+
+    climbed, climbed_ms = pow2_hill_climb(cost, seed=min(64, size), lo=4, hi=size)
+    _, exhaustive_ms = exhaustive_min(cost, 4, size)
+    assert climbed_ms <= exhaustive_ms * 1.0001
+
+
+@pytest.mark.parametrize("device", DEVICES)
+def test_stage3_axis_deployment_optimal(device):
+    """The tuned stage-3 size must match the best deployment choice for
+    its workload class (brute force over all feasible sizes)."""
+    dev = make_device(device)
+    m, n = 2048, 4096
+    tuned = SelfTuner().switch_points(dev, m, n, DSIZE)
+
+    def deployed(sp):
+        _, report = simulate_plan(dev, m, n, DSIZE, sp)
+        return report.total_ms
+
+    tuned_ms = deployed(tuned)
+    best_ms = min(
+        deployed(tuned.with_(stage3_system_size=s))
+        for s in pow2_range(32, dev.max_onchip_system_size(DSIZE))
+    )
+    assert tuned_ms <= best_ms * 1.02
+
+
+@pytest.mark.parametrize("device", DEVICES)
+def test_stage1_axis_deployment_optimal(device):
+    """Same audit for the stage-1 target on the huge-system workload."""
+    dev = make_device(device)
+    tuned = SelfTuner().switch_points(dev, 1, 1 << 21, DSIZE)
+
+    def deployed(target):
+        _, report = simulate_plan(
+            dev, 1, 1 << 21, DSIZE, tuned.with_(stage1_target_systems=target)
+        )
+        return report.total_ms
+
+    tuned_ms = deployed(tuned.stage1_target_systems)
+    best_ms = min(deployed(t) for t in pow2_range(1, 4096))
+    assert tuned_ms <= best_ms * 1.02
+
+
+@pytest.mark.parametrize("device", DEVICES)
+def test_crossover_is_a_true_boundary(device):
+    """Below the learned crossover the coalesced kernel wins; at and
+    above it the strided kernel wins (for the tuned configuration)."""
+    dev = make_device(device)
+    tuned = SelfTuner().switch_points(dev, 0, 0, DSIZE)
+    crossover = tuned.variant_crossover_stride
+    if crossover is None:
+        pytest.skip("no crossover found on this device")
+    size, thomas = tuned.stage3_system_size, tuned.thomas_switch
+    ref_m = max(64, 4 * dev.spec.num_processors) * 16
+
+    def ms(variant, stride):
+        return price_base_kernel(
+            dev, ref_m, size, DSIZE,
+            thomas_switch=thomas, variant=variant, stride=stride,
+        )
+
+    assert ms("strided", crossover) < ms("coalesced", crossover)
+    below = crossover // 2
+    if below >= 2:
+        assert ms("coalesced", below) <= ms("strided", below)

@@ -1,0 +1,216 @@
+"""Tests for the three tuning strategies, the search, and the cache."""
+
+import pytest
+
+from repro.core import (
+    DEFAULT_SWITCH_POINTS,
+    DefaultTuner,
+    MachineQueryTuner,
+    SelfTuner,
+    SwitchPoints,
+    TuningCache,
+    make_tuner,
+)
+from repro.core.tuning import exhaustive_min, pow2_hill_climb, pow2_range
+from repro.gpu import make_device
+from repro.util.errors import ConfigurationError, TuningError
+
+
+class TestSearchPrimitives:
+    def test_pow2_range(self):
+        assert pow2_range(4, 64) == (4, 8, 16, 32, 64)
+        assert pow2_range(3, 9) == (4, 8)
+
+    def test_pow2_range_invalid(self):
+        with pytest.raises(TuningError):
+            pow2_range(0, 8)
+        with pytest.raises(TuningError):
+            pow2_range(9, 15)
+
+    def test_hill_climb_finds_unimodal_minimum(self):
+        f = lambda x: abs(x - 64) + 0.1 * x
+        best, cost = pow2_hill_climb(f, seed=8, lo=1, hi=1024)
+        exhaust, _ = exhaustive_min(f, 1, 1024)
+        assert best == exhaust
+
+    def test_hill_climb_seeded_at_optimum_is_cheap(self):
+        evals = []
+
+        def f(x):
+            evals.append(x)
+            return abs(x - 64)
+
+        best, _ = pow2_hill_climb(f, seed=64, lo=1, hi=1024)
+        assert best == 64
+        assert len(evals) == 3  # seed + both neighbours
+
+    def test_hill_climb_clamps_seed(self):
+        best, _ = pow2_hill_climb(lambda x: x, seed=1024, lo=1, hi=64)
+        assert best == 1
+
+    def test_hill_climb_rejects_non_pow2_seed(self):
+        with pytest.raises(TuningError):
+            pow2_hill_climb(lambda x: x, seed=24, lo=1, hi=64)
+
+    def test_memo_shared(self):
+        calls = []
+        memo = {}
+
+        def f(x):
+            calls.append(x)
+            return x
+
+        pow2_hill_climb(f, seed=4, lo=1, hi=64, memo=memo)
+        pow2_hill_climb(f, seed=4, lo=1, hi=64, memo=memo)
+        assert len(calls) == len(set(calls))
+
+
+class TestDefaultTuner:
+    def test_constants(self):
+        sp = DefaultTuner().switch_points(make_device("gtx470"), 0, 0, 4)
+        assert sp == DEFAULT_SWITCH_POINTS
+        assert sp.stage3_system_size == 256  # weakest-card ceiling
+        assert sp.thomas_switch == 64
+        assert sp.stage1_target_systems == 16
+        assert sp.source == "default"
+
+    def test_device_oblivious(self):
+        a = DefaultTuner().switch_points(make_device("8800gtx"), 1, 2, 4)
+        b = DefaultTuner().switch_points(make_device("gtx470"), 9, 9, 8)
+        assert a == b
+
+
+class TestMachineQueryTuner:
+    def test_stage3_tracks_onchip_capacity(self):
+        t = MachineQueryTuner()
+        assert t.switch_points(make_device("8800gtx"), 0, 0, 4).stage3_system_size == 256
+        assert t.switch_points(make_device("gtx280"), 0, 0, 4).stage3_system_size == 512
+        assert t.switch_points(make_device("gtx470"), 0, 0, 4).stage3_system_size == 1024
+
+    def test_thomas_is_two_warps_everywhere(self):
+        """§IV-C: without bank information, guess from the warp size."""
+        for name in ("8800gtx", "gtx280", "gtx470"):
+            sp = MachineQueryTuner().switch_points(make_device(name), 0, 0, 4)
+            assert sp.thomas_switch == 64
+
+    def test_stage1_target_from_processors(self):
+        sp = MachineQueryTuner().switch_points(make_device("gtx280"), 0, 0, 4)
+        assert sp.stage1_target_systems == 60
+
+    def test_no_crossover_knowledge(self):
+        sp = MachineQueryTuner().switch_points(make_device("gtx470"), 0, 0, 4)
+        assert sp.variant_crossover_stride is None
+        assert sp.base_variant == "coalesced"
+
+
+class TestSelfTuner:
+    def test_tuned_values_in_valid_ranges(self):
+        for name in ("8800gtx", "gtx280", "gtx470"):
+            dev = make_device(name)
+            sp = SelfTuner().switch_points(dev, 0, 0, 4)
+            assert sp.source == "dynamic"
+            assert 32 <= sp.stage3_system_size <= dev.max_onchip_system_size(4)
+            assert 4 <= sp.thomas_switch <= sp.stage3_system_size
+            assert sp.stage1_target_systems >= 1
+
+    def test_fig6_thomas_optima(self):
+        """§V: on near-contiguous workloads the 8800's tuned switch is 64
+        (the Figure-6 optimum); deeper-strided deployments may tune lower
+        because out-of-window fetches are ruinous on G80."""
+        sp8800 = SelfTuner().switch_points(
+            make_device("8800gtx"), 1024, 512, 4
+        )
+        assert sp8800.thomas_switch == 64
+
+    def test_fig5_gtx470_prefers_512(self):
+        """§V: the 470 splits one step beyond its 1024 on-chip capacity."""
+        sp = SelfTuner().switch_points(make_device("gtx470"), 2048, 1024, 4)
+        assert sp.stage3_system_size == 512
+
+    def test_crossover_learned(self):
+        sp = SelfTuner().switch_points(make_device("gtx470"), 0, 0, 4)
+        assert sp.variant_crossover_stride is not None
+
+    def test_cache_hit_skips_tuning(self):
+        tuner = SelfTuner()
+        dev = make_device("gtx470")
+        first = tuner.switch_points(dev, 0, 0, 4)
+        trace = tuner.last_trace
+        second = tuner.switch_points(dev, 0, 0, 4)
+        assert first == second
+        assert tuner.last_trace is trace  # no re-tune
+
+    def test_per_workload_classes_tuned_separately(self):
+        tuner = SelfTuner()
+        dev = make_device("gtx470")
+        generic = tuner.switch_points(dev, 0, 0, 4)
+        huge = tuner.switch_points(dev, 1, 1 << 21, 4)
+        assert len(tuner.cache) == 2
+        assert generic.source == huge.source == "dynamic"
+
+    def test_trace_records_axes(self):
+        tuner = SelfTuner()
+        tuner.switch_points(make_device("gtx280"), 0, 0, 4)
+        trace = tuner.last_trace
+        assert trace.num_evaluations > 0
+        for axis in ("stage3_size", "thomas_switch", "stage1_target", "variant_crossover"):
+            assert trace.evaluations_for(axis) > 0, axis
+
+    def test_decoupled_search_is_small(self):
+        """The pruning claim: decoupled axes keep the search to dozens of
+        probes, not the hundreds a joint grid would take."""
+        tuner = SelfTuner()
+        tuner.switch_points(make_device("gtx470"), 0, 0, 4)
+        assert tuner.last_trace.num_evaluations < 150
+
+
+class TestTuningCache:
+    def test_memory_roundtrip(self):
+        cache = TuningCache()
+        sp = SwitchPoints(thomas_switch=128, source="dynamic")
+        cache.put("dev", 4, sp, "n=1024")
+        assert cache.get("dev", 4, "n=1024") == sp
+        assert cache.get("dev", 8, "n=1024") is None
+        assert cache.get("dev", 4, "n=2048") is None
+
+    def test_disk_roundtrip(self, tmp_path):
+        path = tmp_path / "tuning.json"
+        cache = TuningCache(path)
+        sp = SwitchPoints(stage3_system_size=512, variant_crossover_stride=16)
+        cache.put("GeForce GTX 470", 4, sp)
+        reloaded = TuningCache(path)
+        assert reloaded.get("GeForce GTX 470", 4) == sp
+
+    def test_clear(self, tmp_path):
+        cache = TuningCache(tmp_path / "t.json")
+        cache.put("d", 4, SwitchPoints())
+        cache.clear()
+        assert len(cache) == 0
+        assert TuningCache(tmp_path / "t.json").get("d", 4) is None
+
+    def test_bad_version_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"version": 99, "entries": {}}')
+        with pytest.raises(TuningError):
+            TuningCache(path)
+
+    def test_self_tuner_persists(self, tmp_path):
+        path = tmp_path / "tuned.json"
+        dev = make_device("gtx280")
+        sp1 = SelfTuner(cache=str(path)).switch_points(dev, 0, 0, 4)
+        fresh = SelfTuner(cache=str(path))
+        sp2 = fresh.switch_points(dev, 0, 0, 4)
+        assert sp1 == sp2
+        assert fresh.last_trace is None  # served from disk, no search
+
+
+class TestMakeTuner:
+    def test_names(self):
+        assert make_tuner("default").name == "default"
+        assert make_tuner("static").name == "static"
+        assert make_tuner("dynamic").name == "dynamic"
+        assert make_tuner("machine-query").name == "static"
+
+    def test_unknown(self):
+        with pytest.raises(ConfigurationError):
+            make_tuner("oracle")
