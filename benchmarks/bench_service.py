@@ -1,0 +1,73 @@
+"""Throughput of the batched solve service vs sequential one-shot solves.
+
+The ROADMAP's serving scenario: 1k independent mixed-shape solve
+requests arrive; the service groups plan-compatible requests into merged
+multi-stage solves (amortising per-launch overhead and filling the
+machine), while the baseline re-plans and launches once per request.
+The acceptance bar is >= 5x simulated throughput with bit-identical
+answers; typical runs land well above it.
+"""
+
+import numpy as np
+
+from repro.analysis import ascii_table
+from repro.core import MultiStageSolver
+from repro.service import BatchSolveService
+from repro.systems import generators
+
+NUM_REQUESTS = 1000
+SEED = 2011  # the paper's year; any fixed seed works
+
+
+def test_service_throughput_vs_oneshot(benchmark, emit):
+    requests = generators.mixed_requests(NUM_REQUESTS, rng=SEED)
+
+    def serve():
+        service = BatchSolveService(
+            "gtx470", "static", max_workers=8, max_pending=NUM_REQUESTS
+        )
+        with service:
+            results = service.solve_many(requests)
+        return service, results
+
+    service, results = benchmark.pedantic(serve, rounds=1, iterations=1)
+    batched_ms = service.stats.simulated_ms
+
+    # Sequential baseline with identical switch points (so the only
+    # difference is batching), checking bit-identity along the way.
+    solvers = {
+        dtype: MultiStageSolver(
+            "gtx470", service.switch_points_for(dtype=np.dtype(dtype))
+        )
+        for dtype in ("float32", "float64")
+    }
+    sequential_ms = 0.0
+    for batch, res in zip(requests, results):
+        direct = solvers[str(batch.dtype)].solve(batch)
+        sequential_ms += direct.report.total_ms
+        np.testing.assert_array_equal(direct.x, res.x)
+
+    snap = service.stats.snapshot()
+    speedup = sequential_ms / batched_ms
+    rows = [
+        ["requests", NUM_REQUESTS, NUM_REQUESTS],
+        ["solver launches (solves)", NUM_REQUESTS, snap["groups_executed"]],
+        ["systems solved", snap["systems_solved"], snap["systems_solved"]],
+        ["simulated ms", round(sequential_ms, 3), round(batched_ms, 3)],
+        ["requests per group", 1.0, round(snap["mean_group_requests"], 1)],
+    ]
+    text = (
+        ascii_table(
+            ["metric", "sequential one-shot", "batched service"],
+            rows,
+            title=f"Batched service vs one-shot solves "
+            f"({NUM_REQUESTS} mixed requests, GTX 470)",
+        )
+        + f"\nsimulated throughput speedup: {speedup:.1f}x"
+    )
+    emit("service_throughput", text)
+
+    assert snap["requests_completed"] == NUM_REQUESTS
+    assert snap["requests_failed"] == 0
+    # The acceptance criterion: >= 5x simulated throughput.
+    assert speedup >= 5.0, f"batched speedup only {speedup:.2f}x"

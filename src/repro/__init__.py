@@ -21,8 +21,9 @@ The most common entry points are re-exported here.
 
 __version__ = "1.0.0"
 
-from . import algorithms, analysis, baselines, core, gpu, kernels, systems, util  # noqa: F401
+from . import algorithms, analysis, baselines, core, gpu, kernels, service, systems, util  # noqa: F401
 from .core import MultiStageSolver, SelfTuner, SolveResult, SwitchPoints, solve  # noqa: F401
+from .service import BatchSolveService, ServiceResult  # noqa: F401
 from .gpu import Device, DeviceSpec, make_device  # noqa: F401
 from .systems import TridiagonalBatch, TridiagonalSystem  # noqa: F401
 
@@ -34,9 +35,12 @@ __all__ = [
     "core",
     "gpu",
     "kernels",
+    "service",
     "systems",
     "util",
     "solve",
+    "BatchSolveService",
+    "ServiceResult",
     "MultiStageSolver",
     "SolveResult",
     "SwitchPoints",

@@ -101,6 +101,35 @@ def build_parser() -> argparse.ArgumentParser:
         "verify",
         help="regenerate the evaluation and grade every paper claim",
     )
+
+    p_serve = sub.add_parser(
+        "serve-bench",
+        help="batched solve service vs sequential one-shot solves",
+    )
+    p_serve.add_argument("--device", default="gtx470")
+    p_serve.add_argument(
+        "--requests",
+        type=int,
+        default=1000,
+        help="number of mixed-shape solve requests (default 1000)",
+    )
+    p_serve.add_argument("--seed", type=int, default=0)
+    p_serve.add_argument(
+        "--tuning",
+        default="static",
+        choices=["default", "static", "dynamic"],
+        help="switch-point strategy shared by both sides (default static)",
+    )
+    p_serve.add_argument(
+        "--max-workers", type=int, default=4, dest="max_workers"
+    )
+    p_serve.add_argument(
+        "--max-group-systems",
+        type=int,
+        default=None,
+        dest="max_group_systems",
+        help="cap on merged-batch height (default unlimited)",
+    )
     return parser
 
 
@@ -176,6 +205,60 @@ def _cmd_tune(args, out) -> int:
             f"crossover {trace.evaluations_for('variant_crossover')}, "
             f"stage1 {trace.evaluations_for('stage1_target')})\n"
         )
+    return 0
+
+
+def _cmd_serve_bench(args, out) -> int:
+    import time
+
+    from .service import BatchSolveService
+    from .systems import generators
+
+    requests = generators.mixed_requests(args.requests, rng=args.seed)
+    service = BatchSolveService(
+        args.device,
+        args.tuning,
+        max_workers=args.max_workers,
+        max_pending=max(args.requests, 1),
+        max_group_systems=args.max_group_systems,
+    )
+    with service:
+        t0 = time.perf_counter()
+        results = service.solve_many(requests)
+        service_wall_s = time.perf_counter() - t0
+        batched_ms = service.stats.simulated_ms
+
+        # The one-shot baseline: same switch points, one solve per request.
+        solvers = {}
+        sequential_ms = 0.0
+        t0 = time.perf_counter()
+        for batch in requests:
+            solver = solvers.get(batch.dtype.str)
+            if solver is None:
+                solver = solvers[batch.dtype.str] = MultiStageSolver(
+                    args.device, service.switch_points_for(dtype=batch.dtype)
+                )
+            sequential_ms += solver.solve(batch).report.total_ms
+        sequential_wall_s = time.perf_counter() - t0
+
+    completed = len(results)
+    snap = service.stats.snapshot()
+    out.write(f"device    : {service.default_device.name}\n")
+    out.write(
+        f"workload  : {completed} mixed-shape requests "
+        f"({snap['systems_solved']} systems, seed {args.seed})\n"
+    )
+    out.write(
+        f"service   : {snap['groups_executed']} merged solves, "
+        f"{snap['mean_group_requests']:.1f} requests/group, "
+        f"{batched_ms:.3f} simulated ms ({service_wall_s:.2f} s wall)\n"
+    )
+    out.write(
+        f"sequential: {args.requests} one-shot solves, "
+        f"{sequential_ms:.3f} simulated ms ({sequential_wall_s:.2f} s wall)\n"
+    )
+    speedup = sequential_ms / max(batched_ms, 1e-300)
+    out.write(f"speedup   : {speedup:.1f}x simulated throughput\n")
     return 0
 
 
@@ -293,6 +376,8 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
             return _cmd_tune(args, out)
         if args.command == "figures":
             return _cmd_figures(args, out)
+        if args.command == "serve-bench":
+            return _cmd_serve_bench(args, out)
         if args.command == "verify":
             from .analysis import render_scorecard, reproduction_scorecard
 

@@ -15,7 +15,7 @@ the CPU overtakes the GPU.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Union
+from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -85,6 +85,30 @@ class HybridDispatcher:
         return self.price(
             batch.num_systems, batch.system_size, dtype_size(batch.dtype)
         )
+
+    def choose_many(
+        self, batches: Iterable[TridiagonalBatch]
+    ) -> List[HybridChoice]:
+        """Dispatch decisions for a stream of batches, priced per shape.
+
+        The service-aware path: a request mix repeats a handful of
+        workload shapes thousands of times, so each distinct
+        ``(num_systems, system_size, dtype)`` is priced once and the
+        decision reused for every request of that shape.
+        """
+        memo: Dict[Tuple[int, int, int], HybridChoice] = {}
+        out: List[HybridChoice] = []
+        for batch in batches:
+            shape = (
+                batch.num_systems,
+                batch.system_size,
+                dtype_size(batch.dtype),
+            )
+            choice = memo.get(shape)
+            if choice is None:
+                choice = memo[shape] = self.price(*shape)
+            out.append(choice)
+        return out
 
     def crossover_size(
         self, num_systems: int, *, dsize: int = 4, max_exp: int = 24

@@ -17,7 +17,8 @@ Decision logic (paper §III-D):
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
+from typing import Tuple
 
 from ..util.errors import PlanError
 from ..util.validation import ilog2, is_power_of_two, next_power_of_two
@@ -63,6 +64,36 @@ class SolvePlan:
     def systems_entering_stage3(self) -> int:
         """Independent systems entering the on-chip kernel."""
         return self.num_systems << self.total_split_steps
+
+    @property
+    def signature(self) -> Tuple:
+        """Everything that fixes the per-system arithmetic — all fields
+        except the system count.
+
+        The staged kernels are vectorised over independent systems, so two
+        workloads whose plans share a signature execute the exact same
+        sequence of per-system operations. Their batches may therefore be
+        merged and solved in one pass with bit-identical per-system
+        results — the contract the batched solve service relies on.
+        """
+        return (
+            self.system_size,
+            self.stage1_steps,
+            self.stage2_steps,
+            self.stage3_system_size,
+            self.thomas_switch,
+            self.variant,
+            self.stride,
+        )
+
+    def with_num_systems(self, num_systems: int) -> "SolvePlan":
+        """The same plan applied to a different number of systems.
+
+        Used by the batched service to widen a per-request plan to a
+        merged group; the signature (and hence the arithmetic) is
+        unchanged.
+        """
+        return replace(self, num_systems=num_systems)
 
     def describe(self) -> str:
         """Multi-line human-readable plan."""

@@ -30,7 +30,7 @@ from ..kernels import (
     dtype_size,
 )
 from ..systems.tridiagonal import TridiagonalBatch
-from ..util.errors import ConfigurationError
+from ..util.errors import ConfigurationError, PlanError
 from .config import SwitchPoints
 from .planner import SolvePlan, plan_solve
 
@@ -122,8 +122,28 @@ class MultiStageSolver:
         plan = plan_solve(
             self.device, batch.num_systems, batch.system_size, dsize, switch
         )
+        return self.execute_plan(batch, plan, switch)
 
+    def execute_plan(
+        self, batch: TridiagonalBatch, plan: SolvePlan, switch: SwitchPoints
+    ) -> SolveResult:
+        """Run a prepared ``plan`` on ``batch``.
+
+        ``batch`` may hold any number of systems — the staged kernels are
+        vectorised over independent systems, so the per-system arithmetic
+        depends only on the plan's :attr:`~SolvePlan.signature`, not the
+        count. This is the entry point the batched solve service uses to
+        execute one merged solve for many same-signature requests while
+        keeping each request's answer bit-identical to a standalone
+        ``solve``. The padded system size must match the plan's.
+        """
+        self.device.check_fits_global(batch.nbytes + batch.d.nbytes)
         padded, original_n = pad_pow2(batch)
+        if padded.system_size != plan.system_size:
+            raise PlanError(
+                f"plan was built for padded size {plan.system_size}, batch "
+                f"pads to {padded.system_size}"
+            )
         session = self.device.session()
         ctx = KernelContext(session)
 

@@ -4,13 +4,22 @@ runs", paper §IV-D).
 Results are keyed by ``(device name, dtype size)`` — the axes that change
 the answers — and stored as plain JSON so they survive across processes
 and are human-inspectable. A cache without a path is memory-only.
+
+The cache is thread-safe: the batched solve service resolves switch
+points from many worker threads at once, so every read-modify-write on
+the store (and every disk load/save) happens under one reentrant lock.
+:meth:`get_or_tune` is the concurrent fast path — a hit costs one lock
+acquisition; on a miss the (expensive) tuning callable runs outside the
+lock and the first finisher's result wins, so every caller observes the
+same switch points.
 """
 
 from __future__ import annotations
 
 import json
 import os
-from typing import Dict, Optional, Union
+import threading
+from typing import Callable, Dict, Optional, Union
 
 from ...util.errors import TuningError
 from ..config import SwitchPoints
@@ -26,6 +35,7 @@ class TuningCache:
     def __init__(self, path: Union[str, os.PathLike, None] = None):
         self.path = os.fspath(path) if path is not None else None
         self._store: Dict[str, dict] = {}
+        self._lock = threading.RLock()
         if self.path is not None and os.path.exists(self.path):
             self._load()
 
@@ -46,7 +56,10 @@ class TuningCache:
         workload_class: str = "generic",
     ) -> Optional[SwitchPoints]:
         """Cached switch points, or ``None``."""
-        entry = self._store.get(self.key(device_name, dtype_size, workload_class))
+        with self._lock:
+            entry = self._store.get(
+                self.key(device_name, dtype_size, workload_class)
+            )
         if entry is None:
             return None
         return SwitchPoints(**entry)
@@ -59,46 +72,79 @@ class TuningCache:
         workload_class: str = "generic",
     ) -> None:
         """Store switch points and persist when a path is configured."""
-        self._store[self.key(device_name, dtype_size, workload_class)] = {
-            "stage1_target_systems": switch.stage1_target_systems,
-            "stage3_system_size": switch.stage3_system_size,
-            "thomas_switch": switch.thomas_switch,
-            "base_variant": switch.base_variant,
-            "variant_crossover_stride": switch.variant_crossover_stride,
-            "source": switch.source,
-        }
-        if self.path is not None:
-            self._save()
+        with self._lock:
+            self._store[self.key(device_name, dtype_size, workload_class)] = {
+                "stage1_target_systems": switch.stage1_target_systems,
+                "stage3_system_size": switch.stage3_system_size,
+                "thomas_switch": switch.thomas_switch,
+                "base_variant": switch.base_variant,
+                "variant_crossover_stride": switch.variant_crossover_stride,
+                "source": switch.source,
+            }
+            if self.path is not None:
+                self._save()
+
+    def get_or_tune(
+        self,
+        device_name: str,
+        dtype_size: int,
+        tune: Callable[[], SwitchPoints],
+        workload_class: str = "generic",
+    ) -> SwitchPoints:
+        """Cached switch points, tuning (and storing) on first miss.
+
+        ``tune`` runs *outside* the lock — a full self-tune prices dozens
+        of configurations and must not stall concurrent readers. When
+        several threads miss the same key at once each runs ``tune``, but
+        only the first finisher's result is stored; later finishers
+        discard their own result and return the stored one, so every
+        caller agrees on the switch points in use.
+        """
+        cached = self.get(device_name, dtype_size, workload_class)
+        if cached is not None:
+            return cached
+        tuned = tune()
+        with self._lock:
+            cached = self.get(device_name, dtype_size, workload_class)
+            if cached is not None:
+                return cached
+            self.put(device_name, dtype_size, tuned, workload_class)
+        return tuned
 
     def clear(self) -> None:
         """Drop every entry (and the on-disk file's contents)."""
-        self._store.clear()
-        if self.path is not None:
-            self._save()
+        with self._lock:
+            self._store.clear()
+            if self.path is not None:
+                self._save()
 
     def __len__(self) -> int:
-        return len(self._store)
+        with self._lock:
+            return len(self._store)
 
     # -- disk ----------------------------------------------------------------
 
     def _save(self) -> None:
+        # Callers hold the lock; write-to-temp + atomic rename keeps the
+        # on-disk file consistent even across processes.
         payload = {"version": _FORMAT_VERSION, "entries": self._store}
-        tmp = f"{self.path}.tmp"
+        tmp = f"{self.path}.tmp.{os.getpid()}.{threading.get_ident()}"
         with open(tmp, "w", encoding="utf-8") as fh:
             json.dump(payload, fh, indent=2, sort_keys=True)
         os.replace(tmp, self.path)
 
     def _load(self) -> None:
-        with open(self.path, encoding="utf-8") as fh:
-            text = fh.read()
-        if not text.strip():
-            # An empty (e.g. freshly-touched) file is an empty cache.
-            self._store = {}
-            return
-        payload = json.loads(text)
-        if payload.get("version") != _FORMAT_VERSION:
-            raise TuningError(
-                f"tuning cache {self.path} has unsupported version "
-                f"{payload.get('version')!r}"
-            )
-        self._store = dict(payload.get("entries", {}))
+        with self._lock:
+            with open(self.path, encoding="utf-8") as fh:
+                text = fh.read()
+            if not text.strip():
+                # An empty (e.g. freshly-touched) file is an empty cache.
+                self._store = {}
+                return
+            payload = json.loads(text)
+            if payload.get("version") != _FORMAT_VERSION:
+                raise TuningError(
+                    f"tuning cache {self.path} has unsupported version "
+                    f"{payload.get('version')!r}"
+                )
+            self._store = dict(payload.get("entries", {}))

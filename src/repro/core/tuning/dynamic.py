@@ -95,18 +95,21 @@ class SelfTuner(Tuner):
         workload_class = (
             f"m={num_systems}|n={ref_system}" if known else f"n={ref_system}"
         )
-        cached = self.cache.get(device.name, dtype_size, workload_class)
-        if cached is not None:
-            return cached
-        tuned, trace = self.tune(
-            device,
-            dtype_size,
-            system_size=system_size,
-            num_systems=num_systems if known else 0,
+        def tune_now() -> SwitchPoints:
+            tuned, trace = self.tune(
+                device,
+                dtype_size,
+                system_size=system_size,
+                num_systems=num_systems if known else 0,
+            )
+            self.last_trace = trace
+            return tuned
+
+        # get_or_tune is the concurrent-safe read-modify-write: the first
+        # finisher's result is stored and every caller returns it.
+        return self.cache.get_or_tune(
+            device.name, dtype_size, tune_now, workload_class
         )
-        self.last_trace = trace
-        self.cache.put(device.name, dtype_size, tuned, workload_class)
-        return tuned
 
     def _reference_system(
         self, device: Device, system_size: int, dtype_size: int

@@ -1,0 +1,30 @@
+"""Batched solve service — production serving on top of the solver core.
+
+The package turns the library's one-shot :func:`repro.core.solve` into a
+throughput-oriented service:
+
+- :mod:`.queue` — bounded request queue with block/reject backpressure;
+- :mod:`.batcher` — deterministic plan-signature grouping of requests
+  into merged solves;
+- :mod:`.workers` — :class:`BatchSolveService`, the worker pool that
+  executes merged solves with shared tuning-cache and plan reuse;
+- :mod:`.stats` — per-group latency/throughput counters.
+"""
+
+from .batcher import GroupKey, ServiceRequest, SolveGroup, group_requests
+from .queue import OVERFLOW_POLICIES, BoundedRequestQueue
+from .stats import GroupStats, ServiceStats
+from .workers import BatchSolveService, ServiceResult
+
+__all__ = [
+    "BatchSolveService",
+    "ServiceResult",
+    "BoundedRequestQueue",
+    "OVERFLOW_POLICIES",
+    "GroupKey",
+    "ServiceRequest",
+    "SolveGroup",
+    "group_requests",
+    "ServiceStats",
+    "GroupStats",
+]

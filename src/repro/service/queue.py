@@ -1,0 +1,88 @@
+"""Bounded request queue with backpressure.
+
+The service's front door: submissions land here before the batcher
+groups them. The queue is a thread-safe FIFO with a hard ``max_pending``
+bound and one of two overflow policies:
+
+- ``"block"`` — a full queue makes ``put`` wait until a drain frees
+  space (optionally bounded by a timeout, after which the request is
+  rejected). This is the latency-for-safety default.
+- ``"reject"`` — a full queue raises
+  :class:`~repro.util.errors.ServiceOverloadedError` immediately, for
+  callers that prefer shedding load over queueing it.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Deque, Generic, List, Optional, TypeVar
+
+from ..util.errors import ConfigurationError, ServiceOverloadedError
+
+__all__ = ["BoundedRequestQueue", "OVERFLOW_POLICIES"]
+
+T = TypeVar("T")
+
+OVERFLOW_POLICIES = ("block", "reject")
+
+
+class BoundedRequestQueue(Generic[T]):
+    """Thread-safe FIFO with a pending bound and an overflow policy."""
+
+    def __init__(self, max_pending: int = 1024, policy: str = "block"):
+        if max_pending < 1:
+            raise ConfigurationError(
+                f"max_pending must be >= 1, got {max_pending}"
+            )
+        if policy not in OVERFLOW_POLICIES:
+            raise ConfigurationError(
+                f"unknown overflow policy {policy!r}; "
+                f"expected one of {OVERFLOW_POLICIES}"
+            )
+        self.max_pending = max_pending
+        self.policy = policy
+        self._items: Deque[T] = deque()
+        self._lock = threading.Lock()
+        self._not_full = threading.Condition(self._lock)
+
+    def put(self, item: T, timeout: Optional[float] = None) -> None:
+        """Enqueue ``item``, applying the overflow policy when full.
+
+        Raises :class:`ServiceOverloadedError` under the ``reject``
+        policy, or under ``block`` when ``timeout`` (seconds) elapses
+        without space freeing up.
+        """
+        with self._not_full:
+            if len(self._items) >= self.max_pending:
+                if self.policy == "reject":
+                    raise ServiceOverloadedError(
+                        f"queue full ({self.max_pending} pending); "
+                        f"request rejected"
+                    )
+                if not self._not_full.wait_for(
+                    lambda: len(self._items) < self.max_pending,
+                    timeout=timeout,
+                ):
+                    raise ServiceOverloadedError(
+                        f"queue full ({self.max_pending} pending); gave up "
+                        f"after {timeout}s"
+                    )
+            self._items.append(item)
+
+    def drain(self) -> List[T]:
+        """Atomically take every pending item (FIFO order) and free space."""
+        with self._not_full:
+            items = list(self._items)
+            self._items.clear()
+            self._not_full.notify_all()
+        return items
+
+    @property
+    def pending(self) -> int:
+        """Number of items waiting to be drained."""
+        with self._lock:
+            return len(self._items)
+
+    def __len__(self) -> int:
+        return self.pending

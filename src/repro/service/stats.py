@@ -1,0 +1,142 @@
+"""Service telemetry: per-group latency/throughput counters.
+
+Every merged solve reports into :class:`ServiceStats`; the service
+exposes a consistent :meth:`~ServiceStats.snapshot` so benchmarks and
+operators can read throughput without stopping traffic. All mutation
+happens under one lock — workers report concurrently.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict
+
+__all__ = ["GroupStats", "ServiceStats"]
+
+
+@dataclass
+class GroupStats:
+    """Accumulated counters for one group key (device|dtype|size)."""
+
+    groups: int = 0
+    requests: int = 0
+    systems: int = 0
+    simulated_ms: float = 0.0
+    wall_ms: float = 0.0
+
+    @property
+    def mean_group_systems(self) -> float:
+        """Average merged-batch height — the batching win in one number."""
+        return self.systems / self.groups if self.groups else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "groups": self.groups,
+            "requests": self.requests,
+            "systems": self.systems,
+            "simulated_ms": self.simulated_ms,
+            "wall_ms": self.wall_ms,
+            "mean_group_systems": self.mean_group_systems,
+        }
+
+
+@dataclass
+class ServiceStats:
+    """Thread-safe roll-up of the service's lifetime activity."""
+
+    requests_submitted: int = 0
+    requests_completed: int = 0
+    requests_failed: int = 0
+    requests_rejected: int = 0
+    groups_executed: int = 0
+    systems_solved: int = 0
+    simulated_ms: float = 0.0
+    wall_ms: float = 0.0
+    per_group: Dict[str, GroupStats] = field(default_factory=dict)
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    # -- recording (called by the service) --------------------------------
+
+    def record_submitted(self, count: int = 1) -> None:
+        with self._lock:
+            self.requests_submitted += count
+
+    def record_rejected(self, count: int = 1) -> None:
+        with self._lock:
+            self.requests_rejected += count
+
+    def record_group(
+        self,
+        label: str,
+        *,
+        requests: int,
+        systems: int,
+        simulated_ms: float,
+        wall_ms: float,
+    ) -> None:
+        """Report one finished merged solve."""
+        with self._lock:
+            self.groups_executed += 1
+            self.requests_completed += requests
+            self.systems_solved += systems
+            self.simulated_ms += simulated_ms
+            self.wall_ms += wall_ms
+            per = self.per_group.setdefault(label, GroupStats())
+            per.groups += 1
+            per.requests += requests
+            per.systems += systems
+            per.simulated_ms += simulated_ms
+            per.wall_ms += wall_ms
+
+    def record_failed(self, count: int = 1) -> None:
+        with self._lock:
+            self.requests_failed += count
+
+    # -- reading ------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """A consistent point-in-time copy of every counter."""
+        with self._lock:
+            return {
+                "requests_submitted": self.requests_submitted,
+                "requests_completed": self.requests_completed,
+                "requests_failed": self.requests_failed,
+                "requests_rejected": self.requests_rejected,
+                "groups_executed": self.groups_executed,
+                "systems_solved": self.systems_solved,
+                "simulated_ms": self.simulated_ms,
+                "wall_ms": self.wall_ms,
+                "mean_group_requests": (
+                    self.requests_completed / self.groups_executed
+                    if self.groups_executed
+                    else 0.0
+                ),
+                "per_group": {
+                    label: stats.as_dict()
+                    for label, stats in self.per_group.items()
+                },
+            }
+
+    def describe(self) -> str:
+        """Multi-line human-readable summary."""
+        snap = self.snapshot()
+        lines = [
+            f"requests : {snap['requests_submitted']} submitted, "
+            f"{snap['requests_completed']} completed, "
+            f"{snap['requests_failed']} failed, "
+            f"{snap['requests_rejected']} rejected",
+            f"groups   : {snap['groups_executed']} merged solves "
+            f"({snap['mean_group_requests']:.1f} requests/group, "
+            f"{snap['systems_solved']} systems)",
+            f"simulated: {snap['simulated_ms']:.3f} ms on-device",
+        ]
+        for label, per in sorted(snap["per_group"].items()):
+            lines.append(
+                f"  {label:<28s} {per['groups']:4d} groups  "
+                f"{per['requests']:5d} req  "
+                f"{per['simulated_ms']:9.3f} ms"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,333 @@
+"""The batched solve service: plan reuse + merged solves + worker pool.
+
+:class:`BatchSolveService` is the production front end the ROADMAP asks
+for. Callers :meth:`~BatchSolveService.submit` independent solve
+requests; the service
+
+1. resolves switch points **once per (device, dtype)** through a shared,
+   thread-safe :class:`~repro.core.TuningCache` (``get_or_tune``),
+2. reuses :class:`~repro.core.SolvePlan` objects per workload shape,
+3. groups plan-compatible requests (see :mod:`.batcher`) into single
+   merged :class:`~repro.systems.TridiagonalBatch` solves, and
+4. executes the groups concurrently on a bounded thread pool, with
+   queue backpressure (``max_pending`` + block/reject policy).
+
+Merged solves amortise the per-launch overhead that dominates small
+workloads — the simulated analogue of the interleaved batch solvers of
+Gloster et al. — while the plan-signature grouping keeps every
+request's answer bit-identical to a standalone
+:meth:`MultiStageSolver.solve`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..core.config import SwitchPoints
+from ..core.planner import SolvePlan, plan_solve
+from ..core.solver import MultiStageSolver
+from ..core.tuning import TuningCache, make_tuner
+from ..gpu.executor import Device, SimReport, make_device
+from ..kernels import dtype_size
+from ..systems.tridiagonal import TridiagonalBatch
+from ..util.errors import ConfigurationError, ServiceError
+from .batcher import GroupKey, ServiceRequest, SolveGroup, group_requests
+from .queue import BoundedRequestQueue
+from .stats import ServiceStats
+
+__all__ = ["ServiceResult", "BatchSolveService"]
+
+
+@dataclass(frozen=True)
+class ServiceResult:
+    """One request's answer, with the merged solve's provenance."""
+
+    x: np.ndarray
+    plan: SolvePlan  # the request's own plan (what a standalone solve runs)
+    switch_points: SwitchPoints
+    report: SimReport  # timing of the whole merged solve
+    group_label: str
+    group_requests: int  # requests merged into the solve that produced x
+    group_systems: int  # total systems in that merged solve
+    wall_ms: float  # wall-clock of the merged solve
+
+    @property
+    def simulated_ms(self) -> float:
+        """Simulated device time of the merged solve (shared by the group)."""
+        return self.report.total_ms
+
+
+class BatchSolveService:
+    """Accepts many solve requests; executes few merged solves.
+
+    Parameters
+    ----------
+    device:
+        Default device for requests that don't name one.
+    tuning:
+        ``SwitchPoints`` used verbatim, or a strategy name
+        (``default``/``static``/``dynamic``) resolved once per
+        (device, dtype) and cached.
+    cache:
+        Shared :class:`TuningCache` (or a path for a persistent one).
+        Created memory-only when omitted.
+    max_workers:
+        Worker threads executing merged solves concurrently.
+    max_pending / overflow / submit_timeout:
+        Backpressure: the pending queue holds at most ``max_pending``
+        requests; ``overflow="block"`` waits (up to ``submit_timeout``
+        seconds) for space, ``overflow="reject"`` raises
+        :class:`ServiceOverloadedError` immediately.
+    auto_flush:
+        When set, ``submit`` dispatches pending work automatically once
+        this many requests are queued; otherwise call :meth:`flush`.
+    max_group_systems:
+        Cap on merged-batch height (bounds per-solve working set).
+    """
+
+    def __init__(
+        self,
+        device: Union[Device, str] = "gtx470",
+        tuning: Union[SwitchPoints, str] = "static",
+        *,
+        cache: Union[TuningCache, str, None] = None,
+        max_workers: int = 4,
+        max_pending: int = 1024,
+        overflow: str = "block",
+        submit_timeout: Optional[float] = None,
+        auto_flush: Optional[int] = None,
+        max_group_systems: Optional[int] = None,
+        verify: bool = False,
+    ):
+        if max_workers < 1:
+            raise ConfigurationError(f"max_workers must be >= 1, got {max_workers}")
+        self.default_device = make_device(device)
+        self.cache = cache if isinstance(cache, TuningCache) else TuningCache(cache)
+        self.verify = verify
+        self.max_group_systems = max_group_systems
+        self.auto_flush = auto_flush
+        self.submit_timeout = submit_timeout
+        self.stats = ServiceStats()
+        self._tuning = tuning
+        self._queue: BoundedRequestQueue[ServiceRequest] = BoundedRequestQueue(
+            max_pending=max_pending, policy=overflow
+        )
+        self._pool = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="repro-solve"
+        )
+        self._lock = threading.Lock()
+        self._seq = 0
+        self._devices: Dict[str, Device] = {}
+        self._switch: Dict[Tuple[str, int], SwitchPoints] = {}
+        self._solvers: Dict[Tuple[str, int], MultiStageSolver] = {}
+        self._plans: Dict[Tuple[str, int, int, int], SolvePlan] = {}
+        self._group_futures: List[Future] = []
+        self._closed = False
+
+    # -- tuning / planning reuse -------------------------------------------
+
+    def _device(self, device: Union[Device, str, None]) -> Device:
+        dev = self.default_device if device is None else make_device(device)
+        with self._lock:
+            return self._devices.setdefault(dev.name, dev)
+
+    def switch_points_for(
+        self, device: Union[Device, str, None] = None, dtype=np.float64
+    ) -> SwitchPoints:
+        """The switch points the service uses for (device, dtype).
+
+        Resolved once through the shared cache's ``get_or_tune`` fast
+        path; exposes the exact configuration a standalone reference
+        solve must use to reproduce service results bit-for-bit.
+        """
+        dev = self._device(device)
+        dsize = dtype_size(np.dtype(dtype))
+        key = (dev.name, dsize)
+        with self._lock:
+            cached = self._switch.get(key)
+        if cached is not None:
+            return cached
+        if isinstance(self._tuning, SwitchPoints):
+            resolved = self._tuning
+        else:
+            strategy = self._tuning
+
+            def tune_now() -> SwitchPoints:
+                return make_tuner(strategy).switch_points(dev, 0, 0, dsize)
+
+            resolved = self.cache.get_or_tune(
+                dev.name, dsize, tune_now, workload_class="service"
+            )
+        with self._lock:
+            return self._switch.setdefault(key, resolved)
+
+    def solver_for(
+        self, device: Union[Device, str, None] = None, dtype=np.float64
+    ) -> MultiStageSolver:
+        """The (shared) solver executing merged solves for (device, dtype)."""
+        dev = self._device(device)
+        dsize = dtype_size(np.dtype(dtype))
+        key = (dev.name, dsize)
+        with self._lock:
+            solver = self._solvers.get(key)
+        if solver is not None:
+            return solver
+        switch = self.switch_points_for(dev, dtype)
+        solver = MultiStageSolver(dev, switch, verify=self.verify)
+        with self._lock:
+            return self._solvers.setdefault(key, solver)
+
+    def plan_for(
+        self, batch: TridiagonalBatch, device: Union[Device, str, None] = None
+    ) -> SolvePlan:
+        """The per-request plan, memoised per (device, dtype, m, n)."""
+        dev = self._device(device)
+        dsize = dtype_size(batch.dtype)
+        key = (dev.name, dsize, batch.num_systems, batch.system_size)
+        with self._lock:
+            plan = self._plans.get(key)
+        if plan is not None:
+            return plan
+        switch = self.switch_points_for(dev, batch.dtype)
+        plan = plan_solve(
+            dev, batch.num_systems, batch.system_size, dsize, switch
+        )
+        with self._lock:
+            return self._plans.setdefault(key, plan)
+
+    # -- the request path ----------------------------------------------------
+
+    def submit(
+        self,
+        batch: TridiagonalBatch,
+        device: Union[Device, str, None] = None,
+        *,
+        timeout: Optional[float] = None,
+    ) -> "Future[ServiceResult]":
+        """Queue one solve request; returns a future for its result.
+
+        Applies the backpressure policy; a rejected request raises
+        :class:`ServiceOverloadedError` and is counted in the stats.
+        """
+        if self._closed:
+            raise ServiceError("service is closed")
+        dev = self._device(device)
+        plan = self.plan_for(batch, dev)
+        key = GroupKey(
+            device=dev.name,
+            dtype=str(batch.dtype),
+            system_size=batch.system_size,
+            signature=plan.signature,
+        )
+        with self._lock:
+            seq = self._seq
+            self._seq += 1
+        request = ServiceRequest(seq=seq, batch=batch, device=dev.name, key=key, plan=plan)
+        try:
+            self._queue.put(
+                request,
+                timeout=self.submit_timeout if timeout is None else timeout,
+            )
+        except Exception:
+            self.stats.record_rejected()
+            raise
+        self.stats.record_submitted()
+        if self.auto_flush is not None and self._queue.pending >= self.auto_flush:
+            self.flush()
+        return request.future
+
+    def flush(self) -> int:
+        """Group everything pending and dispatch the groups to the pool.
+
+        Returns the number of merged solves dispatched.
+        """
+        pending = self._queue.drain()
+        if not pending:
+            return 0
+        groups = group_requests(
+            pending, max_group_systems=self.max_group_systems
+        )
+        for group in groups:
+            fut = self._pool.submit(self._run_group, group)
+            with self._lock:
+                self._group_futures.append(fut)
+        return len(groups)
+
+    def _run_group(self, group: SolveGroup) -> None:
+        """Worker body: one merged solve, fanned back out to futures."""
+        t0 = time.perf_counter()
+        try:
+            merged = group.merged_batch()
+            first = group.requests[0]
+            solver = self.solver_for(group.key.device, merged.dtype)
+            switch = self.switch_points_for(group.key.device, merged.dtype)
+            result = solver.execute_plan(
+                merged, first.plan.with_num_systems(merged.num_systems), switch
+            )
+        except Exception as exc:
+            for req in group.requests:
+                req.future.set_exception(exc)
+            self.stats.record_failed(group.num_requests)
+            return
+        wall_ms = (time.perf_counter() - t0) * 1e3
+        for req, offset in zip(group.requests, group.offsets()):
+            rows = slice(offset, offset + req.batch.num_systems)
+            req.future.set_result(
+                ServiceResult(
+                    x=np.ascontiguousarray(result.x[rows]),
+                    plan=req.plan,
+                    switch_points=result.switch_points,
+                    report=result.report,
+                    group_label=group.key.describe(),
+                    group_requests=group.num_requests,
+                    group_systems=merged.num_systems,
+                    wall_ms=wall_ms,
+                )
+            )
+        self.stats.record_group(
+            group.key.describe(),
+            requests=group.num_requests,
+            systems=merged.num_systems,
+            simulated_ms=result.report.total_ms,
+            wall_ms=wall_ms,
+        )
+
+    def solve_many(
+        self,
+        batches: Sequence[TridiagonalBatch],
+        device: Union[Device, str, None] = None,
+    ) -> List[ServiceResult]:
+        """Submit ``batches``, flush, and wait; results in input order."""
+        futures = [self.submit(batch, device) for batch in batches]
+        self.flush()
+        return [fut.result() for fut in futures]
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def drain(self) -> None:
+        """Block until every dispatched group has finished."""
+        with self._lock:
+            futures = list(self._group_futures)
+            self._group_futures.clear()
+        for fut in futures:
+            fut.result()
+
+    def close(self, wait: bool = True) -> None:
+        """Dispatch any pending work, then shut the pool down."""
+        if self._closed:
+            return
+        self.flush()
+        self._closed = True
+        self._pool.shutdown(wait=wait)
+
+    def __enter__(self) -> "BatchSolveService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -34,6 +34,7 @@ __all__ = [
     "singular",
     "identity",
     "from_solution",
+    "mixed_requests",
 ]
 
 RngLike = Union[None, int, np.random.Generator]
@@ -320,3 +321,32 @@ def from_solution(
 ) -> TridiagonalBatch:
     """Replace the RHS so the exact solution is ``x`` (for oracle tests)."""
     return batch.with_rhs(batch.matvec(np.asarray(x, dtype=batch.dtype)))
+
+
+def mixed_requests(
+    count: int,
+    *,
+    rng: RngLike = None,
+    sizes=(64, 100, 128, 200, 256, 384, 512),
+    max_systems: int = 8,
+    dtypes=(np.float32, np.float64),
+) -> "list[TridiagonalBatch]":
+    """A stream of small independent solve requests with mixed shapes.
+
+    Models serving traffic: each request is a dominant batch whose
+    system size (power-of-two and not), count, and dtype are drawn from
+    small pools, so a request mix repeats a handful of shapes many
+    times — the regime where a batched service amortises per-launch
+    overhead. Deterministic for a given ``rng`` seed.
+    """
+    check_positive_int(count, "count")
+    gen = _rng(rng)
+    requests = []
+    for _ in range(count):
+        n = int(gen.choice(sizes))
+        m = int(gen.integers(1, max_systems + 1))
+        dtype = dtypes[int(gen.integers(0, len(dtypes)))]
+        requests.append(
+            random_dominant(m, n, rng=gen, dtype=dtype)
+        )
+    return requests

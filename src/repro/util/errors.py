@@ -17,6 +17,8 @@ __all__ = [
     "ResourceExhaustedError",
     "TuningError",
     "PlanError",
+    "ServiceError",
+    "ServiceOverloadedError",
 ]
 
 
@@ -63,3 +65,16 @@ class TuningError(ReproError):
 
 class PlanError(ReproError):
     """The planner could not construct a valid multi-stage plan."""
+
+
+class ServiceError(ReproError):
+    """A failure inside the batched solve service."""
+
+
+class ServiceOverloadedError(ServiceError):
+    """The service's pending-request queue is full (backpressure).
+
+    Raised by the ``reject`` overflow policy, or by the ``block`` policy
+    when the configured wait times out.
+    """
+

@@ -69,6 +69,24 @@ class TestTune:
         assert "cache (0 probes)" in text2
 
 
+class TestServeBench:
+    def test_reports_speedup(self):
+        code, text = _run(
+            ["serve-bench", "--requests", "64", "--seed", "1", "--max-workers", "2"]
+        )
+        assert code == 0
+        assert "64 mixed-shape requests" in text
+        assert "merged solves" in text
+        assert "speedup" in text
+
+    def test_group_cap_flag(self):
+        code, text = _run(
+            ["serve-bench", "--requests", "32", "--max-group-systems", "8"]
+        )
+        assert code == 0
+        assert "merged solves" in text
+
+
 class TestFigures:
     def test_writes_all_outputs(self, tmp_path):
         out_dir = tmp_path / "figs"

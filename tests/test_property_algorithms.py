@@ -6,7 +6,10 @@ Invariants under test:
 - PCR splitting preserves the solution set at every depth;
 - PCR preserves diagonal dominance (so later stages remain stable);
 - padding round-trips exactly;
-- LU factors reproduce Thomas results.
+- LU factors reproduce Thomas results;
+- solvers are stack-equivariant: stacking independent batches and
+  solving once is bit-identical to solving each batch alone (the
+  contract the batched solve service is built on).
 """
 
 import numpy as np
@@ -142,3 +145,77 @@ def test_oracle_self_consistency(batch):
     """The scipy oracle itself satisfies the residual contract."""
     x = scipy_banded_solve(batch)
     assert batch.residual(x).max() < 1e-12
+
+
+# ---------------------------------------------------------------------------
+# stack equivariance — the batched-service contract
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def same_size_batch_lists(draw):
+    """2-5 independent batches sharing one (power-of-two) system size."""
+    from repro.systems.tridiagonal import TridiagonalBatch
+
+    n = 1 << draw(st.integers(min_value=1, max_value=7))
+    count = draw(st.integers(min_value=2, max_value=5))
+    batches = []
+    for _ in range(count):
+        m = draw(st.integers(min_value=1, max_value=4))
+        seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+        batches.append(generators.random_dominant(m, n, rng=seed))
+    return batches
+
+
+@settings(**COMMON)
+@given(batches=same_size_batch_lists())
+def test_thomas_stack_equivariance(batches):
+    """Solving a stack == solving each member, bitwise."""
+    from repro.systems.tridiagonal import TridiagonalBatch
+
+    stacked_x = thomas_solve(TridiagonalBatch.stack(batches))
+    offset = 0
+    for batch in batches:
+        rows = slice(offset, offset + batch.num_systems)
+        np.testing.assert_array_equal(stacked_x[rows], thomas_solve(batch))
+        offset += batch.num_systems
+
+
+@settings(**COMMON)
+@given(
+    batches=same_size_batch_lists(),
+    switch_exp=st.integers(min_value=0, max_value=6),
+)
+def test_pcr_thomas_stack_equivariance(batches, switch_exp):
+    """The hybrid kernel never couples independent systems in a batch."""
+    from repro.systems.tridiagonal import TridiagonalBatch
+
+    switch = 1 << switch_exp
+    stacked_x = pcr_thomas_solve(TridiagonalBatch.stack(batches), switch)
+    offset = 0
+    for batch in batches:
+        rows = slice(offset, offset + batch.num_systems)
+        np.testing.assert_array_equal(
+            stacked_x[rows], pcr_thomas_solve(batch, switch)
+        )
+        offset += batch.num_systems
+
+
+@settings(**COMMON)
+@given(
+    batches=same_size_batch_lists(),
+    depth=st.integers(min_value=1, max_value=3),
+)
+def test_pcr_split_stack_equivariance(batches, depth):
+    """Splitting a stack splits each member exactly as it would alone."""
+    from repro.systems.tridiagonal import TridiagonalBatch
+
+    depth = min(depth, int(np.log2(batches[0].system_size)))
+    split_all = pcr_split(TridiagonalBatch.stack(batches), depth)
+    offset = 0
+    for batch in batches:
+        rows = slice(offset, offset + (batch.num_systems << depth))
+        alone = pcr_split(batch, depth)
+        np.testing.assert_array_equal(split_all.b[rows], alone.b)
+        np.testing.assert_array_equal(split_all.d[rows], alone.d)
+        offset += batch.num_systems << depth

@@ -1,0 +1,125 @@
+"""Property-based round-trip tests for the batched solve service.
+
+The service's core promise: however requests are mixed — dtypes,
+non-power-of-two sizes, diagonal dominance from comfortable to
+near-singular — every answer is **bit-identical** to what a standalone
+:class:`MultiStageSolver` (with the same switch points) produces for
+that request alone. Grouping, merging, and worker concurrency must be
+invisible in the numbers.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import MultiStageSolver, SwitchPoints
+from repro.service import BatchSolveService
+from repro.systems import generators
+
+COMMON = dict(max_examples=20, deadline=None)
+
+DEVICE = "gtx470"
+SWITCH = SwitchPoints(
+    stage1_target_systems=16, stage3_system_size=256, thomas_switch=64
+)
+
+
+@st.composite
+def request_batches(draw):
+    """One service request: random shape, dtype, and conditioning."""
+    n = draw(st.integers(min_value=2, max_value=300))
+    m = draw(st.integers(min_value=1, max_value=6))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    dtype = draw(st.sampled_from([np.float32, np.float64]))
+    kind = draw(st.sampled_from(["dominant", "barely-dominant", "near-singular"]))
+    if kind == "near-singular":
+        return generators.ill_conditioned(m, n, epsilon=1e-6, rng=seed, dtype=dtype)
+    dominance = 1.01 if kind == "barely-dominant" else draw(
+        st.floats(min_value=1.2, max_value=4.0)
+    )
+    return generators.random_dominant(m, n, dominance=dominance, rng=seed, dtype=dtype)
+
+
+def _direct(batch):
+    return MultiStageSolver(DEVICE, SWITCH).solve(batch)
+
+
+@settings(**COMMON)
+@given(batch=request_batches())
+def test_single_request_bit_identical(batch):
+    with BatchSolveService(DEVICE, SWITCH) as svc:
+        (res,) = svc.solve_many([batch])
+    direct = _direct(batch)
+    assert res.x.dtype == direct.x.dtype
+    np.testing.assert_array_equal(direct.x, res.x)
+
+
+@settings(**COMMON)
+@given(batches=st.lists(request_batches(), min_size=2, max_size=8))
+def test_mixed_batch_round_trip_bit_identical(batches):
+    """Random request mixes survive grouping + concurrency untouched."""
+    with BatchSolveService(DEVICE, SWITCH, max_workers=4) as svc:
+        results = svc.solve_many(batches)
+        snap = svc.stats.snapshot()
+    assert snap["requests_completed"] == len(batches)
+    for batch, res in zip(batches, results):
+        np.testing.assert_array_equal(_direct(batch).x, res.x)
+
+
+@settings(**COMMON)
+@given(
+    n=st.integers(min_value=2, max_value=600),
+    m=st.integers(min_value=1, max_value=4),
+    copies=st.integers(min_value=2, max_value=6),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_identical_requests_get_identical_answers(n, m, copies, seed):
+    """The same system submitted many times in one mix answers identically
+    — merged execution must not couple neighbouring systems."""
+    batch = generators.random_dominant(m, n, rng=seed)
+    others = [
+        generators.random_dominant(m, n, rng=seed + 1 + i) for i in range(copies)
+    ]
+    mix = [batch] + others + [batch]
+    with BatchSolveService(DEVICE, SWITCH) as svc:
+        results = svc.solve_many(mix)
+    np.testing.assert_array_equal(results[0].x, results[-1].x)
+
+
+@settings(**COMMON)
+@given(
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    count=st.integers(min_value=3, max_value=12),
+)
+def test_mixed_requests_generator_round_trip(seed, count):
+    """The serving-workload generator itself round-trips bit-identically."""
+    requests = generators.mixed_requests(
+        count, rng=seed, sizes=(32, 48, 64, 100), max_systems=4
+    )
+    with BatchSolveService(DEVICE, SWITCH, max_workers=2) as svc:
+        results = svc.solve_many(requests)
+    for batch, res in zip(requests, results):
+        np.testing.assert_array_equal(_direct(batch).x, res.x)
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    batches=st.lists(request_batches(), min_size=2, max_size=6),
+    cap=st.integers(min_value=1, max_value=8),
+)
+def test_group_cap_does_not_change_answers(batches, cap):
+    """max_group_systems only re-partitions work; answers are unchanged."""
+    with BatchSolveService(DEVICE, SWITCH, max_group_systems=cap) as svc:
+        capped = svc.solve_many(batches)
+    with BatchSolveService(DEVICE, SWITCH) as svc:
+        uncapped = svc.solve_many(batches)
+    for lhs, rhs in zip(capped, uncapped):
+        np.testing.assert_array_equal(lhs.x, rhs.x)
+
+
+@pytest.mark.parametrize("dtype", [np.float32, np.float64])
+def test_dtype_preserved_end_to_end(dtype):
+    batch = generators.random_dominant(3, 100, rng=5, dtype=dtype)
+    with BatchSolveService(DEVICE, SWITCH) as svc:
+        (res,) = svc.solve_many([batch])
+    assert res.x.dtype == np.dtype(dtype)

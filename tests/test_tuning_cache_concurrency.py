@@ -1,0 +1,161 @@
+"""Concurrency behaviour of :class:`TuningCache`.
+
+The batched solve service resolves switch points from many worker
+threads against one shared cache, so the store's read-modify-write and
+the disk load/save must be lock-protected. These tests hammer the cache
+from 8 threads — same key, distinct keys, and the ``get_or_tune`` fast
+path — and pin the invariants the service relies on: no lost updates,
+one agreed-upon result per key, and a consistent on-disk file.
+"""
+
+import threading
+
+import pytest
+
+from repro.core import SwitchPoints
+from repro.core.tuning import MachineQueryTuner, TuningCache
+from repro.gpu import make_device
+
+THREADS = 8
+ROUNDS = 50
+
+
+def _sp(tag: int) -> SwitchPoints:
+    return SwitchPoints(
+        stage1_target_systems=1 + tag,
+        stage3_system_size=256,
+        thomas_switch=64,
+        source="manual",
+    )
+
+
+def _hammer(worker, threads=THREADS):
+    """Run ``worker(thread_index)`` on N threads; re-raise any failure."""
+    errors = []
+    barrier = threading.Barrier(threads)
+
+    def body(idx):
+        try:
+            barrier.wait()
+            worker(idx)
+        except Exception as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    ts = [threading.Thread(target=body, args=(i,)) for i in range(threads)]
+    for t in ts:
+        t.start()
+    for t in ts:
+        t.join()
+    assert not errors, errors
+
+
+def test_concurrent_puts_distinct_keys_lose_nothing(tmp_path):
+    cache = TuningCache(tmp_path / "tuned.json")
+
+    def worker(idx):
+        for r in range(ROUNDS):
+            cache.put(f"dev{idx}", 4, _sp(r), workload_class=f"w{r}")
+
+    _hammer(worker)
+    assert len(cache) == THREADS * ROUNDS
+    # The persisted file holds every entry too (no torn/partial saves).
+    reloaded = TuningCache(tmp_path / "tuned.json")
+    assert len(reloaded) == THREADS * ROUNDS
+    for idx in range(THREADS):
+        for r in range(ROUNDS):
+            got = reloaded.get(f"dev{idx}", 4, workload_class=f"w{r}")
+            assert got == _sp(r)
+
+
+def test_concurrent_same_key_read_modify_write(tmp_path):
+    cache = TuningCache(tmp_path / "tuned.json")
+
+    def worker(idx):
+        for r in range(ROUNDS):
+            cache.put("shared", 8, _sp(idx))
+            got = cache.get("shared", 8)
+            # Always a complete, valid entry — never a half-written dict.
+            assert got is not None
+            assert 1 <= got.stage1_target_systems <= THREADS
+
+    _hammer(worker)
+    final = TuningCache(tmp_path / "tuned.json").get("shared", 8)
+    assert final is not None
+
+
+def test_get_or_tune_converges_to_one_result():
+    cache = TuningCache()
+    calls = []
+    release = threading.Event()
+    results = {}
+
+    def tune_factory(idx):
+        def tune():
+            calls.append(idx)
+            release.wait(timeout=10)  # all concurrent misses finish together
+            return _sp(idx)
+
+        return tune
+
+    def worker(idx):
+        if idx == THREADS - 1:
+            release.set()
+        results[idx] = cache.get_or_tune("gtx470", 4, tune_factory(idx))
+
+    _hammer(worker)
+    # Concurrent misses may each run the tune, but exactly one result is
+    # stored and every caller returns it.
+    assert len(set(results.values())) == 1
+    assert len(cache) == 1
+    assert cache.get("gtx470", 4) == next(iter(results.values()))
+
+
+def test_get_or_tune_hits_skip_the_factory():
+    cache = TuningCache()
+    cache.put("gtx470", 4, _sp(3))
+
+    def boom():  # pragma: no cover - must not run
+        raise AssertionError("factory ran on a cache hit")
+
+    def worker(idx):
+        for _ in range(ROUNDS):
+            assert cache.get_or_tune("gtx470", 4, boom) == _sp(3)
+
+    _hammer(worker)
+
+
+def test_real_tuner_through_shared_cache_agrees():
+    """8 threads resolving the same device through one cache all agree."""
+    cache = TuningCache()
+    device = make_device("gtx470")
+    results = {}
+
+    def worker(idx):
+        def tune():
+            return MachineQueryTuner().switch_points(device, 0, 0, 4)
+
+        results[idx] = cache.get_or_tune(device.name, 4, tune, "service")
+
+    _hammer(worker)
+    assert len(set(results.values())) == 1
+    assert len(cache) == 1
+
+
+def test_concurrent_mixed_get_put_clear(tmp_path):
+    """No operation interleaving corrupts the store or the file."""
+    cache = TuningCache(tmp_path / "tuned.json")
+
+    def worker(idx):
+        for r in range(ROUNDS):
+            op = (idx + r) % 3
+            if op == 0:
+                cache.put(f"dev{idx % 2}", 4, _sp(idx))
+            elif op == 1:
+                got = cache.get(f"dev{(idx + 1) % 2}", 4)
+                assert got is None or isinstance(got, SwitchPoints)
+            else:
+                len(cache)
+
+    _hammer(worker)
+    # Whatever interleaving happened, the file parses back cleanly.
+    TuningCache(tmp_path / "tuned.json")
