@@ -1,0 +1,169 @@
+"""Strong/weak scaling of the multi-device distributed solver.
+
+The ROADMAP's scale-out scenario: a single system far too large for one
+simulated device (2^22 rows in float64) is decomposed SPIKE-style across
+1..16 devices joined by a modeled interconnect. Pricing is data-free —
+the same cost models the real solve reports, without allocating 2^22-row
+coefficient arrays — so the sweep runs in seconds.
+
+The acceptance bar is >= 3x simulated speedup at 8 devices over 1 on the
+2^22-row system; typical runs land near 4.5x (the local chunk solves
+carry three right-hand sides — data plus two coupling spikes — so ideal
+SPIKE scaling is p/3 once chunks leave the overhead-dominated regime).
+
+Runs both as a pytest bench (``pytest benchmarks/bench_dist.py``) and as
+a script (``python benchmarks/bench_dist.py [--smoke]``); either way the
+sweep is persisted to ``benchmarks/results/dist_scaling.json``.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+from repro.analysis import ascii_table
+from repro.dist import DistributedSolver, make_device_group, render_dist_timeline
+
+DEVICE = "gtx470"
+LINK = "pcie3"
+TOPOLOGY = "all_to_all"
+DTYPE_SIZE = 8  # float64
+NUM_SYSTEMS = 1
+STRONG_SIZE = 1 << 22  # rows of the strong-scaling system
+WEAK_SIZE = 1 << 19  # rows per device for the weak-scaling sweep
+COUNTS = (1, 2, 4, 8, 16)
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def price_sweep(counts, shape_for):
+    """Price one scaling sweep; returns (records, report at the last count)."""
+    records, last_report = [], None
+    base_ms = None
+    for count in counts:
+        m, n = shape_for(count)
+        group = make_device_group(DEVICE, count, LINK, TOPOLOGY)
+        plan, report = DistributedSolver(group).price(m, n, DTYPE_SIZE)
+        if base_ms is None:
+            base_ms = report.total_ms
+        speedup = base_ms / report.total_ms
+        records.append(
+            {
+                "devices": count,
+                "num_systems": m,
+                "system_size": n,
+                "mode": plan.mode,
+                "schedule": plan.schedule,
+                "total_ms": report.total_ms,
+                "speedup_vs_first": speedup,
+                "efficiency": speedup * counts[0] / count,
+                "compute_utilization": report.compute_utilization,
+            }
+        )
+        last_report = report
+    return records, last_report
+
+
+def render_sweep(records, title):
+    return ascii_table(
+        ["devices", "workload", "mode", "schedule", "ms", "speedup", "eff"],
+        [
+            [
+                r["devices"],
+                f"{r['num_systems']} x {r['system_size']}",
+                r["mode"],
+                r["schedule"],
+                f"{r['total_ms']:.3f}",
+                f"{r['speedup_vs_first']:.2f}x",
+                f"{r['efficiency']:.0%}",
+            ]
+            for r in records
+        ],
+        title=title,
+    )
+
+
+def run_scaling(counts=COUNTS):
+    """The full sweep: strong + weak records, rendered text, timeline."""
+    strong, strong_report = price_sweep(
+        counts, lambda count: (NUM_SYSTEMS, STRONG_SIZE)
+    )
+    weak, _ = price_sweep(
+        counts, lambda count: (NUM_SYSTEMS, WEAK_SIZE * count)
+    )
+    timeline = render_dist_timeline(strong_report)
+    text = (
+        render_sweep(
+            strong,
+            f"Distributed strong scaling ({NUM_SYSTEMS} x {STRONG_SIZE}, "
+            f"float64, {TOPOLOGY}:{LINK})",
+        )
+        + "\n"
+        + render_sweep(
+            weak,
+            f"Distributed weak scaling ({NUM_SYSTEMS} x {WEAK_SIZE} "
+            f"rows/device)",
+        )
+        + "\n\nPer-device timeline at the largest strong-scaling point:\n"
+        + timeline
+    )
+    payload = {
+        "device": DEVICE,
+        "link": LINK,
+        "topology": TOPOLOGY,
+        "dtype_size": DTYPE_SIZE,
+        "strong": strong,
+        "weak": weak,
+    }
+    return payload, text
+
+
+def write_results(payload, results_dir=RESULTS_DIR):
+    results_dir.mkdir(exist_ok=True)
+    path = results_dir / "dist_scaling.json"
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return path
+
+
+def test_dist_strong_scaling(benchmark, emit, results_dir):
+    payload, text = benchmark.pedantic(run_scaling, rounds=1, iterations=1)
+    emit("dist_scaling", text)
+    write_results(payload, results_dir)
+
+    strong = {r["devices"]: r for r in payload["strong"]}
+    # The acceptance criterion: >= 3x simulated speedup at 8 devices
+    # over 1 on the 2^22-row system.
+    speedup8 = strong[1]["total_ms"] / strong[8]["total_ms"]
+    assert speedup8 >= 3.0, f"8-device speedup only {speedup8:.2f}x"
+    # The timeline in the emitted report covers every device.
+    assert "dev7" in text
+    # 16 devices must not be slower than 8 (more chunks, all smaller).
+    assert strong[16]["total_ms"] <= strong[8]["total_ms"]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Strong/weak scaling of the distributed solver"
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="minimal sweep (1 and 8 devices) for CI smoke runs",
+    )
+    args = parser.parse_args(argv)
+    counts = (1, 8) if args.smoke else COUNTS
+    payload, text = run_scaling(counts)
+    print(text)
+    path = write_results(payload)
+    print(f"wrote {path}")
+    strong = {r["devices"]: r for r in payload["strong"]}
+    speedup8 = strong[1]["total_ms"] / strong[8]["total_ms"]
+    if speedup8 < 3.0:
+        print(f"FAIL: 8-device speedup only {speedup8:.2f}x (need >= 3x)")
+        return 1
+    print(f"OK: 8-device strong-scaling speedup {speedup8:.2f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -21,8 +21,9 @@ The most common entry points are re-exported here.
 
 __version__ = "1.0.0"
 
-from . import algorithms, analysis, baselines, core, gpu, kernels, service, systems, util  # noqa: F401
+from . import algorithms, analysis, baselines, core, dist, gpu, kernels, service, systems, util  # noqa: F401
 from .core import MultiStageSolver, SelfTuner, SolveResult, SwitchPoints, solve  # noqa: F401
+from .dist import DeviceGroup, DistributedSolver, make_device_group  # noqa: F401
 from .service import BatchSolveService, ServiceResult  # noqa: F401
 from .gpu import Device, DeviceSpec, make_device  # noqa: F401
 from .systems import TridiagonalBatch, TridiagonalSystem  # noqa: F401
@@ -33,6 +34,7 @@ __all__ = [
     "analysis",
     "baselines",
     "core",
+    "dist",
     "gpu",
     "kernels",
     "service",
@@ -45,6 +47,9 @@ __all__ = [
     "SolveResult",
     "SwitchPoints",
     "SelfTuner",
+    "DeviceGroup",
+    "DistributedSolver",
+    "make_device_group",
     "Device",
     "DeviceSpec",
     "make_device",

@@ -12,6 +12,11 @@ Commands
 ``figures``
     Regenerate every table/figure of the paper's evaluation into a
     directory of text files.
+``serve-bench``
+    Batched solve service vs sequential one-shot solves.
+``dist-bench``
+    Strong/weak scaling of the multi-device distributed solver, with a
+    per-device pipeline timeline.
 """
 
 from __future__ import annotations
@@ -129,6 +134,53 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         dest="max_group_systems",
         help="cap on merged-batch height (default unlimited)",
+    )
+
+    p_dist = sub.add_parser(
+        "dist-bench",
+        help="strong/weak scaling of the multi-device distributed solver",
+    )
+    p_dist.add_argument("--device", default="gtx470")
+    p_dist.add_argument(
+        "--link",
+        default="pcie3",
+        help="interconnect link preset (pcie3/pcie4/nvlink2)",
+    )
+    p_dist.add_argument(
+        "--topology", default="all_to_all", choices=["all_to_all", "ring"]
+    )
+    p_dist.add_argument(
+        "--devices",
+        default="1,2,4,8,16",
+        help="comma-separated device counts to sweep (default 1,2,4,8,16)",
+    )
+    p_dist.add_argument(
+        "--systems", type=int, default=1, help="system count m (default 1)"
+    )
+    p_dist.add_argument(
+        "--size",
+        type=int,
+        default=1 << 22,
+        help="system size n for strong scaling (default 2^22)",
+    )
+    p_dist.add_argument(
+        "--weak-size",
+        type=int,
+        default=1 << 19,
+        dest="weak_size",
+        help="per-device system size for weak scaling (default 2^19)",
+    )
+    p_dist.add_argument(
+        "--dtype-size", type=int, default=8, choices=[4, 8], dest="dtype_size"
+    )
+    p_dist.add_argument(
+        "--mode", default="auto", choices=["auto", "rows", "batch"]
+    )
+    p_dist.add_argument(
+        "--json",
+        default=None,
+        dest="json_out",
+        help="also write the sweep as JSON to this path",
     )
     return parser
 
@@ -259,6 +311,113 @@ def _cmd_serve_bench(args, out) -> int:
     )
     speedup = sequential_ms / max(batched_ms, 1e-300)
     out.write(f"speedup   : {speedup:.1f}x simulated throughput\n")
+    cache = snap.get("tuning_cache")
+    if cache is not None:
+        lookups = cache["hits"] + cache["misses"]
+        rate = cache["hits"] / lookups if lookups else 0.0
+        out.write(
+            f"tuning    : {cache['hits']} cache hits / {lookups} lookups "
+            f"({rate:.0%} hit rate, {cache['entries']} entries)\n"
+        )
+    return 0
+
+
+def _cmd_dist_bench(args, out) -> int:
+    import json
+
+    from .analysis import ascii_table
+    from .dist import DistributedSolver, make_device_group, render_dist_timeline
+
+    try:
+        counts = sorted(
+            {int(c) for c in args.devices.split(",") if c.strip()}
+        )
+    except ValueError:
+        raise ReproError(
+            f"--devices must be comma-separated counts, got {args.devices!r}"
+        ) from None
+    if not counts:
+        raise ReproError("--devices named no device counts")
+
+    def sweep(title, shape_for):
+        """Price one scaling sweep; returns (rows for the table, records)."""
+        rows, records = [], []
+        base_ms = None
+        last_report = None
+        for count in counts:
+            m, n = shape_for(count)
+            group = make_device_group(
+                args.device, count, args.link, args.topology
+            )
+            solver = DistributedSolver(group, mode=args.mode)
+            plan, report = solver.price(m, n, args.dtype_size)
+            if base_ms is None:
+                base_ms = report.total_ms
+            speedup = base_ms / max(report.total_ms, 1e-300)
+            record = {
+                "devices": count,
+                "num_systems": m,
+                "system_size": n,
+                "mode": plan.mode,
+                "schedule": plan.schedule,
+                "total_ms": report.total_ms,
+                "speedup_vs_first": speedup,
+                "efficiency": speedup * counts[0] / count,
+                "compute_utilization": report.compute_utilization,
+            }
+            records.append(record)
+            rows.append(
+                [
+                    count,
+                    f"{m} x {n}",
+                    plan.mode,
+                    plan.schedule,
+                    f"{report.total_ms:.3f}",
+                    f"{speedup:.2f}x",
+                    f"{record['efficiency']:.0%}",
+                ]
+            )
+            last_report = report
+        out.write(
+            ascii_table(
+                ["devices", "workload", "mode", "schedule", "ms", "speedup", "eff"],
+                rows,
+                title=title,
+            )
+            + "\n"
+        )
+        return records, last_report
+
+    link_label = f"{args.topology}:{args.link}"
+    out.write(
+        f"device group: {args.device} over {link_label}, "
+        f"dtype size {args.dtype_size}\n"
+    )
+    strong, strong_report = sweep(
+        f"Strong scaling ({args.systems} x {args.size})",
+        lambda count: (args.systems, args.size),
+    )
+    weak, _ = sweep(
+        f"Weak scaling ({args.systems} x {args.weak_size} per device)",
+        lambda count: (args.systems, args.weak_size * count),
+    )
+    out.write("\nPer-device timeline at the largest sweep point:\n")
+    out.write(render_dist_timeline(strong_report) + "\n")
+
+    if args.json_out:
+        payload = {
+            "device": args.device,
+            "link": args.link,
+            "topology": args.topology,
+            "mode": args.mode,
+            "dtype_size": args.dtype_size,
+            "strong": strong,
+            "weak": weak,
+        }
+        os.makedirs(os.path.dirname(args.json_out) or ".", exist_ok=True)
+        with open(args.json_out, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2)
+        out.write(f"wrote {args.json_out}\n")
     return 0
 
 
@@ -378,6 +537,8 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
             return _cmd_figures(args, out)
         if args.command == "serve-bench":
             return _cmd_serve_bench(args, out)
+        if args.command == "dist-bench":
+            return _cmd_dist_bench(args, out)
         if args.command == "verify":
             from .analysis import render_scorecard, reproduction_scorecard
 

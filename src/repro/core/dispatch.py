@@ -10,6 +10,14 @@ and run whichever is cheaper.
 (`solve`, exact numerics either way), and the learned boundary
 (`crossover_size`) — the system size at which, for a given system count,
 the CPU overtakes the GPU.
+
+With a ``dist`` device group configured, a third engine joins the
+auction: the :class:`~repro.dist.DistributedSolver`. Workloads whose
+working set overflows the single device's global memory price the GPU at
+infinity — the dispatcher *learns* to distribute (or fall back to the
+CPU) exactly when one device can no longer hold the problem, and
+otherwise distributes only when the modeled multi-device makespan
+actually wins.
 """
 
 from __future__ import annotations
@@ -35,15 +43,27 @@ __all__ = ["HybridChoice", "HybridDispatcher"]
 class HybridChoice:
     """Outcome of one dispatch decision."""
 
-    engine: str  # "gpu" or "cpu"
-    gpu_ms: float
+    engine: str  # "gpu", "cpu", or "dist"
+    gpu_ms: float  # inf when the working set overflows the device
     cpu_ms: float
+    dist_ms: Optional[float] = None  # None when no device group is configured
+
+    @property
+    def chosen_ms(self) -> float:
+        """Modeled time of the engine that won."""
+        return {"gpu": self.gpu_ms, "cpu": self.cpu_ms, "dist": self.dist_ms}[
+            self.engine
+        ]
 
     @property
     def advantage(self) -> float:
-        """How much faster the chosen engine is (>= 1)."""
-        slow, fast = max(self.gpu_ms, self.cpu_ms), min(self.gpu_ms, self.cpu_ms)
-        return slow / max(fast, 1e-300)
+        """How much faster the chosen engine is than the runner-up (>= 1)."""
+        times = [self.gpu_ms, self.cpu_ms]
+        if self.dist_ms is not None:
+            times.append(self.dist_ms)
+        others = sorted(times)
+        runner_up = others[1] if len(others) > 1 else others[0]
+        return runner_up / max(self.chosen_ms, 1e-300)
 
 
 class HybridDispatcher:
@@ -55,10 +75,32 @@ class HybridDispatcher:
         cpu: CpuSpec = INTEL_CORE_I5_34GHZ,
         *,
         tuner: Optional[SelfTuner] = None,
+        dist=None,
     ):
         self.device = make_device(device)
         self.tuner = tuner or SelfTuner()
         self.cpu_solver = MklLikeCpuSolver(cpu)
+        # ``dist`` may be a DistributedSolver, a DeviceGroup, or a device
+        # count; the solver is built lazily (repro.dist imports this
+        # package, so the import must not run at module load).
+        self._dist_config = dist
+        self._dist_solver = None
+
+    @property
+    def dist_solver(self):
+        """The distributed engine, or ``None`` when not configured."""
+        if self._dist_config is None:
+            return None
+        if self._dist_solver is None:
+            from ..dist.solver import DistributedSolver
+
+            if isinstance(self._dist_config, DistributedSolver):
+                self._dist_solver = self._dist_config
+            else:
+                self._dist_solver = DistributedSolver(
+                    self._dist_config, device=self.device
+                )
+        return self._dist_solver
 
     # -- pricing & decision ---------------------------------------------------
 
@@ -68,16 +110,42 @@ class HybridDispatcher:
         """Model both engines for a workload shape and pick the faster."""
         check_positive_int(num_systems, "num_systems")
         check_positive_int(system_size, "system_size")
-        sp = self.tuner.switch_points(self.device, num_systems, system_size, dsize)
-        _, report = simulate_plan(
-            self.device, num_systems, system_size, dsize, sp
-        )
-        gpu_ms = report.total_ms
+        working_set = 5 * num_systems * system_size * dsize
+        if (
+            self._dist_config is not None
+            and working_set > self.device.spec.global_mem_bytes
+        ):
+            # Memory overflow: one device cannot hold the problem. Only
+            # enforced when a distributed alternative exists — the
+            # classic two-engine dispatcher keeps pricing the GPU by its
+            # kernel model alone (assuming streamed/chunked execution).
+            gpu_ms = float("inf")
+        else:
+            sp = self.tuner.switch_points(
+                self.device, num_systems, system_size, dsize
+            )
+            _, report = simulate_plan(
+                self.device, num_systems, system_size, dsize, sp
+            )
+            gpu_ms = report.total_ms
         cpu_ms = self.cpu_solver.modeled_time_ms(num_systems, system_size, dsize)
+        dist_ms: Optional[float] = None
+        if self.dist_solver is not None:
+            from ..util.errors import ReproError
+
+            try:
+                _, dist_report = self.dist_solver.price(
+                    num_systems, system_size, dsize
+                )
+                dist_ms = dist_report.total_ms
+            except ReproError:
+                dist_ms = None  # no feasible distributed plan either
+        engines = [("gpu", gpu_ms), ("cpu", cpu_ms)]
+        if dist_ms is not None:
+            engines.append(("dist", dist_ms))
+        engine = min(engines, key=lambda pair: pair[1])[0]
         return HybridChoice(
-            engine="gpu" if gpu_ms <= cpu_ms else "cpu",
-            gpu_ms=gpu_ms,
-            cpu_ms=cpu_ms,
+            engine=engine, gpu_ms=gpu_ms, cpu_ms=cpu_ms, dist_ms=dist_ms
         )
 
     def choose(self, batch: TridiagonalBatch) -> HybridChoice:
@@ -131,4 +199,6 @@ class HybridDispatcher:
         if choice.engine == "gpu":
             result = MultiStageSolver(self.device, self.tuner).solve(batch)
             return result.x, choice
+        if choice.engine == "dist":
+            return self.dist_solver.solve(batch).x, choice
         return self.cpu_solver.solve(batch).x, choice

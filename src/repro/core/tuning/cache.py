@@ -36,6 +36,8 @@ class TuningCache:
         self.path = os.fspath(path) if path is not None else None
         self._store: Dict[str, dict] = {}
         self._lock = threading.RLock()
+        self._hits = 0
+        self._misses = 0
         if self.path is not None and os.path.exists(self.path):
             self._load()
 
@@ -49,13 +51,12 @@ class TuningCache:
         """
         return f"{device_name}|dsize={dtype_size}|{workload_class}"
 
-    def get(
-        self,
-        device_name: str,
-        dtype_size: int,
-        workload_class: str = "generic",
+    def _peek(
+        self, device_name: str, dtype_size: int, workload_class: str
     ) -> Optional[SwitchPoints]:
-        """Cached switch points, or ``None``."""
+        # Lookup without touching the hit/miss counters (used by the
+        # double-check under the lock in get_or_tune, which has already
+        # counted the initial miss).
         with self._lock:
             entry = self._store.get(
                 self.key(device_name, dtype_size, workload_class)
@@ -63,6 +64,21 @@ class TuningCache:
         if entry is None:
             return None
         return SwitchPoints(**entry)
+
+    def get(
+        self,
+        device_name: str,
+        dtype_size: int,
+        workload_class: str = "generic",
+    ) -> Optional[SwitchPoints]:
+        """Cached switch points, or ``None``. Counts one hit or miss."""
+        found = self._peek(device_name, dtype_size, workload_class)
+        with self._lock:
+            if found is None:
+                self._misses += 1
+            else:
+                self._hits += 1
+        return found
 
     def put(
         self,
@@ -105,11 +121,32 @@ class TuningCache:
             return cached
         tuned = tune()
         with self._lock:
-            cached = self.get(device_name, dtype_size, workload_class)
+            cached = self._peek(device_name, dtype_size, workload_class)
             if cached is not None:
                 return cached
             self.put(device_name, dtype_size, tuned, workload_class)
         return tuned
+
+    def counters(self) -> Dict[str, int]:
+        """Lifetime lookup counters: hits, misses, and current entries.
+
+        One ``get``/``get_or_tune`` call counts exactly one hit or miss
+        (the tune-then-recheck path does not double-count), so
+        ``hits / (hits + misses)`` is the fraction of lookups served
+        without re-tuning.
+        """
+        with self._lock:
+            return {
+                "hits": self._hits,
+                "misses": self._misses,
+                "entries": len(self._store),
+            }
+
+    def reset_counters(self) -> None:
+        """Zero the hit/miss counters (entries are untouched)."""
+        with self._lock:
+            self._hits = 0
+            self._misses = 0
 
     def clear(self) -> None:
         """Drop every entry (and the on-disk file's contents)."""

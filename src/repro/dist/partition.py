@@ -1,0 +1,53 @@
+"""Workload decomposition for the distributed solver.
+
+Two ways to cut a workload across a device group:
+
+- **rows** — split each system into contiguous per-device row chunks.
+  The chunk math is the single-device SPIKE implementation
+  (:mod:`repro.algorithms.spike`) verbatim: balanced bounds, 3-RHS chunk
+  systems (data + two coupling spikes), the 2×2-block reduced boundary
+  system, and the reconstruction FMA. This module re-exports it as the
+  dist-facing API so the solver and tests have one import point.
+- **batch** — split a wide batch by system: :func:`batch_shares` deals
+  ``m`` systems across ``p`` devices as evenly as possible, idling
+  devices beyond the system count.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..algorithms.spike import (
+    MIN_CHUNK_ROWS,
+    ChunkSplit,
+    partition_bounds,
+    reconstruct_chunk,
+    solve_reduced_system,
+    spike_rhs,
+    split_chunks,
+)
+from ..util.errors import ConfigurationError
+
+__all__ = [
+    "MIN_CHUNK_ROWS",
+    "ChunkSplit",
+    "batch_shares",
+    "partition_bounds",
+    "reconstruct_chunk",
+    "solve_reduced_system",
+    "spike_rhs",
+    "split_chunks",
+]
+
+
+def batch_shares(num_systems: int, num_devices: int) -> Tuple[int, ...]:
+    """Balanced per-device system counts for ``batch`` mode.
+
+    At most ``num_devices`` entries; devices beyond ``num_systems`` idle
+    and get no entry. Shares differ by at most one system.
+    """
+    if num_systems < 1 or num_devices < 1:
+        raise ConfigurationError("need at least one system and one device")
+    active = min(num_devices, num_systems)
+    base, extra = divmod(num_systems, active)
+    return tuple(base + (1 if i < extra else 0) for i in range(active))

@@ -1,0 +1,387 @@
+"""The exchange/compute scheduler and per-device timelines.
+
+Given per-device local costs (priced by the kernel cost model) and an
+:class:`~repro.dist.topology.Interconnect` (pricing the transfers), the
+schedulers lay events onto per-device timelines and report the makespan.
+Compute and transfer engines are independent per device (the DMA-overlap
+assumption every real multi-GPU pipeline relies on), so a device may
+stream boundary data out while its next solve runs.
+
+Rows mode offers two schedules:
+
+- ``fused`` — one three-RHS local solve per device, then one boundary
+  message. Minimum compute (a single launch sequence) but zero overlap.
+- ``split`` — the two coupling spikes solve first; their boundary values
+  stream to the reduced-system host *while* the data solve runs, and
+  only the small data-boundary message remains on the critical path.
+  More launches, but communication hides behind compute.
+
+``schedule_rows(..., schedule="auto")`` prices both and keeps the faster
+— the same auto-tuning reflex the paper applies to switch points, now
+applied to the interconnect. Batch mode pipelines the scatter: the host
+pushes shard ``i+1`` over the wire while shard ``i`` already computes.
+
+The resulting :class:`DistReport` mirrors the single-device
+:class:`~repro.gpu.executor.SimReport` interface (``total_ms``,
+``stage_ms``, ``describe``) so service stats and benchmarks treat local
+and distributed solves uniformly; ``total_ms`` is the *makespan* across
+devices, not a sum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..util.errors import ConfigurationError
+from .topology import Interconnect
+
+__all__ = [
+    "TimelineEvent",
+    "DeviceTimeline",
+    "DistReport",
+    "RowsCosts",
+    "BatchCosts",
+    "schedule_rows",
+    "schedule_batch",
+    "single_device_report",
+    "render_dist_timeline",
+]
+
+
+@dataclass(frozen=True)
+class TimelineEvent:
+    """One scheduled interval on a device's compute or transfer engine."""
+
+    kind: str  # "compute" | "xfer"
+    label: str
+    start_ms: float
+    end_ms: float
+
+    def __post_init__(self) -> None:
+        if self.end_ms < self.start_ms or self.start_ms < 0:
+            raise ConfigurationError(
+                f"event {self.label!r} has invalid interval "
+                f"[{self.start_ms}, {self.end_ms}]"
+            )
+
+    @property
+    def duration_ms(self) -> float:
+        """Length of the interval."""
+        return self.end_ms - self.start_ms
+
+
+@dataclass(frozen=True)
+class DeviceTimeline:
+    """All events scheduled on one device, in start order."""
+
+    index: int
+    device_name: str
+    events: Tuple[TimelineEvent, ...]
+
+    @property
+    def end_ms(self) -> float:
+        """When this device's last event finishes."""
+        return max((e.end_ms for e in self.events), default=0.0)
+
+    @property
+    def compute_ms(self) -> float:
+        """Total compute-engine occupancy (transfers overlap separately)."""
+        return sum(e.duration_ms for e in self.events if e.kind == "compute")
+
+
+@dataclass(frozen=True)
+class DistReport:
+    """Aggregated timing of one distributed solve.
+
+    Duck-types the parts of :class:`~repro.gpu.executor.SimReport` the
+    service and benchmarks read; ``total_ms`` is the makespan.
+    """
+
+    group_label: str
+    schedule: str
+    timelines: Tuple[DeviceTimeline, ...]
+
+    @property
+    def total_ms(self) -> float:
+        """Simulated end-to-end time: when the last device finishes."""
+        return max((t.end_ms for t in self.timelines), default=0.0)
+
+    @property
+    def num_devices(self) -> int:
+        """Devices with a timeline (idle devices included)."""
+        return len(self.timelines)
+
+    @property
+    def compute_utilization(self) -> float:
+        """Mean fraction of the makespan each device spends computing."""
+        total = self.total_ms
+        if total <= 0 or not self.timelines:
+            return 0.0
+        return sum(t.compute_ms for t in self.timelines) / (
+            total * len(self.timelines)
+        )
+
+    def stage_ms(self) -> Dict[str, float]:
+        """Per-label busy totals across all devices, insertion ordered."""
+        out: Dict[str, float] = {}
+        for timeline in self.timelines:
+            for event in timeline.events:
+                out[event.label] = out.get(event.label, 0.0) + event.duration_ms
+        return out
+
+    def describe(self) -> str:
+        """The rendered per-device timeline."""
+        return render_dist_timeline(self)
+
+
+def render_dist_timeline(report: DistReport, *, width: int = 56) -> str:
+    """Proportional ASCII Gantt chart of a distributed solve.
+
+    One row per event, grouped by device, on a shared time axis —
+    ``#`` marks compute, ``~`` marks transfers.
+    """
+    total = report.total_ms
+    header = (
+        f"{report.group_label}: {total:.3f} ms makespan "
+        f"({report.schedule} schedule, "
+        f"{report.compute_utilization:.0%} compute utilization)"
+    )
+    if total <= 0:
+        return header + " (no events)"
+    label_width = max(
+        (len(e.label) for t in report.timelines for e in t.events),
+        default=8,
+    )
+    label_width = min(max(label_width, 8), 28)
+    lines = [header]
+    for timeline in report.timelines:
+        for event in timeline.events:
+            begin = int(round(width * event.start_ms / total))
+            end = max(begin + 1, int(round(width * event.end_ms / total)))
+            end = min(end, width)
+            begin = min(begin, end - 1)
+            mark = "#" if event.kind == "compute" else "~"
+            bar = " " * begin + mark * (end - begin) + " " * (width - end)
+            lines.append(
+                f"dev{timeline.index:<2d} {event.label:<{label_width}} "
+                f"|{bar}| {event.duration_ms:9.3f} ms"
+            )
+    return "\n".join(lines)
+
+
+# -- rows mode --------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RowsCosts:
+    """Per-device priced quantities for a rows-mode (SPIKE) solve."""
+
+    fused_ms: float  # one three-RHS local solve
+    spikes_ms: float  # the two coupling spikes alone
+    data_ms: float  # the data right-hand side alone
+    reconstruct_ms: float  # x = y - w t - v s over the chunk
+    boundary_nbytes: float  # all six boundary values per system
+    spike_nbytes: float  # the four spike boundary values
+    data_nbytes: float  # the two data boundary values
+    correction_nbytes: float  # (t_prev, s_next) per system
+
+
+def _finish_rows(
+    interconnect: Interconnect,
+    costs: Sequence[RowsCosts],
+    events: List[List[TimelineEvent]],
+    arrivals: Sequence[float],
+    reduced_ms: float,
+    host: int,
+) -> None:
+    """Shared tail of both rows schedules: reduce, scatter, reconstruct."""
+    p = len(costs)
+    ready = max(arrivals)
+    reduced_end = ready + reduced_ms
+    events[host].append(
+        TimelineEvent("compute", "reduced_solve", ready, reduced_end)
+    )
+    for i in range(p):
+        t_corr = interconnect.transfer_ms(
+            costs[i].correction_nbytes, host, i, p
+        )
+        start = reduced_end + t_corr
+        if t_corr > 0:
+            events[i].append(
+                TimelineEvent("xfer", "recv_correction", reduced_end, start)
+            )
+        events[i].append(
+            TimelineEvent(
+                "compute", "reconstruct", start, start + costs[i].reconstruct_ms
+            )
+        )
+
+
+def schedule_rows(
+    interconnect: Interconnect,
+    device_names: Sequence[str],
+    costs: Sequence[RowsCosts],
+    reduced_ms: float,
+    *,
+    schedule: str = "auto",
+    host: int = 0,
+    group_label: str = "",
+) -> DistReport:
+    """Schedule a rows-mode solve; ``auto`` keeps the faster schedule."""
+    if len(device_names) != len(costs) or not costs:
+        raise ConfigurationError("one cost record per device is required")
+    if schedule == "auto":
+        fused = schedule_rows(
+            interconnect, device_names, costs, reduced_ms,
+            schedule="fused", host=host, group_label=group_label,
+        )
+        split = schedule_rows(
+            interconnect, device_names, costs, reduced_ms,
+            schedule="split", host=host, group_label=group_label,
+        )
+        return fused if fused.total_ms <= split.total_ms else split
+    if schedule not in ("fused", "split"):
+        raise ConfigurationError(f"unknown rows schedule {schedule!r}")
+
+    p = len(costs)
+    events: List[List[TimelineEvent]] = [[] for _ in range(p)]
+    arrivals: List[float] = []
+    for i, cost in enumerate(costs):
+        if schedule == "fused":
+            local_end = cost.fused_ms
+            events[i].append(
+                TimelineEvent("compute", "local_solve", 0.0, local_end)
+            )
+            t_send = interconnect.transfer_ms(cost.boundary_nbytes, i, host, p)
+            if t_send > 0:
+                events[i].append(
+                    TimelineEvent(
+                        "xfer", "send_boundary", local_end, local_end + t_send
+                    )
+                )
+            arrivals.append(local_end + t_send)
+        else:
+            spikes_end = cost.spikes_ms
+            events[i].append(
+                TimelineEvent("compute", "spike_solve", 0.0, spikes_end)
+            )
+            t_spike = interconnect.transfer_ms(cost.spike_nbytes, i, host, p)
+            if t_spike > 0:
+                events[i].append(
+                    TimelineEvent(
+                        "xfer", "send_spikes", spikes_end, spikes_end + t_spike
+                    )
+                )
+            data_end = spikes_end + cost.data_ms
+            events[i].append(
+                TimelineEvent("compute", "data_solve", spikes_end, data_end)
+            )
+            # The device's transfer engine is busy until the spike message
+            # is out; the data-boundary message queues behind it.
+            send_start = max(data_end, spikes_end + t_spike)
+            t_data = interconnect.transfer_ms(cost.data_nbytes, i, host, p)
+            if t_data > 0:
+                events[i].append(
+                    TimelineEvent(
+                        "xfer", "send_boundary", send_start, send_start + t_data
+                    )
+                )
+            arrivals.append(send_start + t_data)
+
+    _finish_rows(interconnect, costs, events, arrivals, reduced_ms, host)
+    timelines = tuple(
+        DeviceTimeline(i, device_names[i], tuple(events[i])) for i in range(p)
+    )
+    return DistReport(
+        group_label=group_label, schedule=schedule, timelines=timelines
+    )
+
+
+# -- batch mode -------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BatchCosts:
+    """Per-device priced quantities for a batch-mode (sharded) solve."""
+
+    compute_ms: float  # the shard's local solve
+    input_nbytes: float  # four coefficient arrays in
+    output_nbytes: float  # one solution array back
+
+
+def schedule_batch(
+    interconnect: Interconnect,
+    device_names: Sequence[str],
+    costs: Sequence[BatchCosts],
+    *,
+    host: int = 0,
+    group_label: str = "",
+) -> DistReport:
+    """Schedule a batch-mode solve with a pipelined scatter/gather.
+
+    The host's egress link serialises the scatter (shard ``i+1`` streams
+    while shard ``i`` computes — the pipeline), its ingress link
+    serialises the gather in completion order, and the host's own shard
+    computes concurrently with both (separate engines).
+    """
+    if len(device_names) != len(costs) or not costs:
+        raise ConfigurationError("one cost record per device is required")
+    p = len(costs)
+    events: List[List[TimelineEvent]] = [[] for _ in range(p)]
+
+    compute_end: List[float] = [0.0] * p
+    egress_free = 0.0
+    for i, cost in enumerate(costs):
+        if i == host:
+            events[i].append(
+                TimelineEvent("compute", "local_solve", 0.0, cost.compute_ms)
+            )
+            compute_end[i] = cost.compute_ms
+            continue
+        t_in = interconnect.transfer_ms(cost.input_nbytes, host, i, p)
+        recv_end = egress_free + t_in
+        if t_in > 0:
+            events[i].append(
+                TimelineEvent("xfer", "recv_coeffs", egress_free, recv_end)
+            )
+        egress_free = recv_end
+        events[i].append(
+            TimelineEvent(
+                "compute", "local_solve", recv_end, recv_end + cost.compute_ms
+            )
+        )
+        compute_end[i] = recv_end + cost.compute_ms
+
+    ingress_free = 0.0
+    for i in sorted(range(p), key=lambda j: compute_end[j]):
+        if i == host:
+            continue
+        t_out = interconnect.transfer_ms(costs[i].output_nbytes, i, host, p)
+        start = max(compute_end[i], ingress_free)
+        if t_out > 0:
+            events[i].append(
+                TimelineEvent("xfer", "send_solution", start, start + t_out)
+            )
+        ingress_free = start + t_out
+
+    timelines = tuple(
+        DeviceTimeline(i, device_names[i], tuple(events[i])) for i in range(p)
+    )
+    return DistReport(
+        group_label=group_label, schedule="pipelined", timelines=timelines
+    )
+
+
+def single_device_report(
+    device_name: str, local_ms: float, *, group_label: str = ""
+) -> DistReport:
+    """The degenerate one-device report: a single local solve, no comm."""
+    timeline = DeviceTimeline(
+        0,
+        device_name,
+        (TimelineEvent("compute", "local_solve", 0.0, local_ms),),
+    )
+    return DistReport(
+        group_label=group_label, schedule="fused", timelines=(timeline,)
+    )

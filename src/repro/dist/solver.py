@@ -1,0 +1,591 @@
+"""The multi-device domain-decomposition solver.
+
+:class:`DistributedSolver` solves workloads that exceed one simulated
+device — systems too long for its memory, or batches too wide to be
+worth one device's time — by partitioning across a
+:class:`~repro.dist.topology.DeviceGroup`:
+
+- **rows mode** (SPIKE-style): each device receives a contiguous row
+  chunk of every system and runs the full multi-stage solver on it
+  against three right-hand sides (the data plus the two coupling
+  spikes); chunk boundaries couple through a tiny 2×2-block reduced
+  system solved on device 0; a final fused-multiply-add reconstructs.
+  The math is exactly :mod:`repro.algorithms.spike` with the chunk
+  solves placed on devices.
+- **batch mode**: a wide batch of on-chip-size systems is sharded by
+  system; no coupling, the cost is the scatter/gather pipeline.
+
+Numerics are exact (verified against the single-device
+:class:`~repro.core.MultiStageSolver` to tight tolerance); timing is the
+:class:`~repro.dist.pipeline.DistReport` makespan of local kernel-model
+solves overlapped with interconnect transfers.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from ..algorithms.verify import assert_solution
+from ..core.config import SwitchPoints
+from ..core.planner import plan_solve
+from ..core.pricing import price_base_kernel, simulate_plan
+from ..core.solver import MultiStageSolver
+from ..core.tuning import TuningCache, make_tuner
+from ..gpu.cost import ComputePhase, KernelCost, kernel_time_ms
+from ..gpu.executor import Device, SimReport
+from ..gpu.memory import MemoryTraffic
+from ..kernels import dtype_size
+from ..kernels.base import warps_for
+from ..systems.tridiagonal import TridiagonalBatch
+from ..util.errors import ConfigurationError, PlanError, ReproError
+from ..util.validation import next_power_of_two
+from .partition import (
+    partition_bounds,
+    reconstruct_chunk,
+    solve_reduced_system,
+    spike_rhs,
+    split_chunks,
+)
+from .pipeline import (
+    BatchCosts,
+    DistReport,
+    RowsCosts,
+    schedule_batch,
+    schedule_rows,
+    single_device_report,
+)
+from .plan import DistPlan, batch_shares
+from .topology import DeviceGroup, make_device_group
+
+__all__ = ["DistSolveResult", "DistributedSolver", "working_set_nbytes"]
+
+# Boundary values exchanged per system in rows mode: the data solution's
+# two chunk-edge values plus the four spike edge values.
+_SPIKE_BOUNDARY_VALUES = 4
+_DATA_BOUNDARY_VALUES = 2
+_CORRECTION_VALUES = 2
+
+
+def working_set_nbytes(num_systems: int, system_size: int, dsize: int) -> int:
+    """Bytes one device needs for a solve: four coefficient arrays + x."""
+    return 5 * num_systems * system_size * dsize
+
+
+@dataclass(frozen=True)
+class DistSolveResult:
+    """Solution plus provenance of one distributed solve."""
+
+    x: np.ndarray
+    plan: DistPlan
+    switch_points: SwitchPoints
+    report: DistReport
+    local_reports: Tuple[SimReport, ...]
+
+    @property
+    def simulated_ms(self) -> float:
+        """Simulated end-to-end time (the makespan across devices)."""
+        return self.report.total_ms
+
+
+class DistributedSolver:
+    """Solve across a :class:`DeviceGroup`, verified against one device.
+
+    Parameters
+    ----------
+    group:
+        The device group, or an integer device count (a group of
+        ``device`` parts joined by ``link``/``topology`` is built).
+    tuning:
+        ``SwitchPoints`` used verbatim, a strategy name resolved once
+        per dtype through the shared ``cache``, or a tuner instance.
+    mode:
+        ``"rows"``, ``"batch"``, or ``"auto"`` (price both feasible
+        modes, keep the faster).
+    schedule:
+        Rows-mode exchange schedule: ``"fused"``, ``"split"``, or
+        ``"auto"`` (price both, keep the faster).
+    """
+
+    def __init__(
+        self,
+        group: Union[DeviceGroup, int, None] = None,
+        tuning: Union[SwitchPoints, str, object] = "static",
+        *,
+        device="gtx470",
+        link="pcie3",
+        topology: str = "all_to_all",
+        mode: str = "auto",
+        schedule: str = "auto",
+        cache: Union[TuningCache, str, None] = None,
+        verify: bool = False,
+    ):
+        if group is None:
+            group = make_device_group(device, 4, link, topology)
+        elif isinstance(group, int):
+            group = make_device_group(device, group, link, topology)
+        self.group = group
+        if mode not in ("auto", "rows", "batch"):
+            raise ConfigurationError(f"unknown dist mode {mode!r}")
+        if schedule not in ("auto", "fused", "split"):
+            raise ConfigurationError(f"unknown rows schedule {schedule!r}")
+        self.mode = mode
+        self.schedule = schedule
+        self.verify = verify
+        self.cache = cache if isinstance(cache, TuningCache) else TuningCache(cache)
+        self._tuning = tuning
+        self._lock = threading.Lock()
+        self._switch: Dict[int, SwitchPoints] = {}
+        self._solvers: Dict[Tuple[int, int], MultiStageSolver] = {}
+        self._planned: Dict[Tuple[int, int, int], Tuple[DistPlan, DistReport]] = {}
+
+    # -- tuning ----------------------------------------------------------
+
+    def switch_points_for(self, dsize: int) -> SwitchPoints:
+        """Switch points shared by every member device, per dtype size."""
+        with self._lock:
+            cached = self._switch.get(dsize)
+        if cached is not None:
+            return cached
+        if isinstance(self._tuning, SwitchPoints):
+            resolved = self._tuning
+        elif isinstance(self._tuning, str):
+            strategy = self._tuning
+            device = self.group[0]
+
+            def tune_now() -> SwitchPoints:
+                return make_tuner(strategy).switch_points(device, 0, 0, dsize)
+
+            resolved = self.cache.get_or_tune(
+                device.name, dsize, tune_now, workload_class="dist"
+            )
+        elif hasattr(self._tuning, "switch_points"):
+            resolved = self._tuning.switch_points(self.group[0], 0, 0, dsize)
+        else:
+            raise ConfigurationError(
+                f"tuning must be SwitchPoints, a tuner, or a strategy name; "
+                f"got {type(self._tuning).__name__}"
+            )
+        with self._lock:
+            return self._switch.setdefault(dsize, resolved)
+
+    def _solver(self, index: int, dsize: int) -> MultiStageSolver:
+        key = (index, dsize)
+        with self._lock:
+            solver = self._solvers.get(key)
+        if solver is not None:
+            return solver
+        solver = MultiStageSolver(self.group[index], self.switch_points_for(dsize))
+        with self._lock:
+            return self._solvers.setdefault(key, solver)
+
+    # -- planning & pricing ----------------------------------------------
+
+    def plan_for(self, batch: TridiagonalBatch) -> DistPlan:
+        """The plan this solver would execute for ``batch``."""
+        plan, _ = self.price(
+            batch.num_systems, batch.system_size, dtype_size(batch.dtype)
+        )
+        return plan
+
+    def price(
+        self, num_systems: int, system_size: int, dsize: int = 8
+    ) -> Tuple[DistPlan, DistReport]:
+        """Plan and price an ``(m, n)`` workload without touching data.
+
+        The distributed analogue of :func:`repro.core.simulate_plan` —
+        the quantity ``dist-bench`` charts and the hybrid dispatcher
+        compares against the CPU and single-GPU models.
+        """
+        key = (num_systems, system_size, dsize)
+        with self._lock:
+            cached = self._planned.get(key)
+        if cached is not None:
+            return cached
+        candidates: List[Tuple[DistPlan, DistReport]] = []
+        errors: List[str] = []
+        modes = (self.mode,) if self.mode != "auto" else ("rows", "batch")
+        for mode in modes:
+            try:
+                if mode == "rows":
+                    candidates.append(
+                        self._price_rows(num_systems, system_size, dsize)
+                    )
+                else:
+                    candidates.append(
+                        self._price_batch(num_systems, system_size, dsize)
+                    )
+            except ReproError as exc:
+                errors.append(f"{mode}: {exc}")
+        if not candidates:
+            raise ConfigurationError(
+                f"no feasible distributed plan for {num_systems} x "
+                f"{system_size} on {self.group.describe()} "
+                f"({'; '.join(errors)})"
+            )
+        best = min(candidates, key=lambda pair: pair[1].total_ms)
+        with self._lock:
+            return self._planned.setdefault(key, best)
+
+    def _price_rows(
+        self, m: int, n: int, dsize: int
+    ) -> Tuple[DistPlan, DistReport]:
+        p = len(self.group)
+        switch = self.switch_points_for(dsize)
+        label = self.group.describe()
+        if p == 1:
+            local = plan_solve(self.group[0], m, n, dsize, switch)
+            self._check_local_memory(local, dsize)
+            _, report = simulate_plan(self.group[0], m, n, dsize, switch)
+            plan = DistPlan(
+                mode="rows",
+                num_devices=1,
+                num_systems=m,
+                system_size=n,
+                chunk_sizes=(n,),
+                schedule="fused",
+                topology=self.group.interconnect.describe(),
+                device_name=self.group.device_name,
+                local_plans=(local,),
+            )
+            return plan, single_device_report(
+                self.group.device_name, report.total_ms, group_label=label
+            )
+        bounds = partition_bounds(n, p)
+        chunk_sizes = tuple(stop - start for start, stop in bounds)
+        local_plans = tuple(
+            plan_solve(self.group[i], 3 * m, chunk_sizes[i], dsize, switch)
+            for i in range(p)
+        )
+        for local in local_plans:
+            self._check_local_memory(local, dsize)
+        costs = self._rows_costs(m, chunk_sizes, dsize, switch, fused_ms=None)
+        report = schedule_rows(
+            self.group.interconnect,
+            [d.name for d in self.group],
+            costs,
+            self._reduced_ms(m, p, dsize),
+            schedule=self.schedule,
+            group_label=label,
+        )
+        plan = DistPlan(
+            mode="rows",
+            num_devices=p,
+            num_systems=m,
+            system_size=n,
+            chunk_sizes=chunk_sizes,
+            schedule=report.schedule,
+            topology=self.group.interconnect.describe(),
+            device_name=self.group.device_name,
+            local_plans=local_plans,
+        )
+        return plan, report
+
+    def _price_batch(
+        self, m: int, n: int, dsize: int
+    ) -> Tuple[DistPlan, DistReport]:
+        p = len(self.group)
+        if p == 1:
+            raise ConfigurationError(
+                "batch mode needs at least two devices (rows covers one)"
+            )
+        switch = self.switch_points_for(dsize)
+        shares = batch_shares(m, p)
+        template = plan_solve(self.group[0], shares[0], n, dsize, switch)
+        if template.total_split_steps != 0:
+            raise ConfigurationError(
+                f"batch mode shards only on-chip systems; {n} needs "
+                f"{template.total_split_steps} split steps on "
+                f"{self.group.device_name}"
+            )
+        local_plans = tuple(
+            template.with_num_systems(share) for share in shares
+        )
+        for local in local_plans:
+            self._check_local_memory(local, dsize)
+        costs = self._batch_costs(shares, n, dsize, switch, compute_ms=None)
+        report = schedule_batch(
+            self.group.interconnect,
+            [d.name for d in self.group],
+            costs,
+            group_label=self.group.describe(),
+        )
+        plan = DistPlan(
+            mode="batch",
+            num_devices=p,
+            num_systems=m,
+            system_size=n,
+            chunk_sizes=shares,
+            schedule="pipelined",
+            topology=self.group.interconnect.describe(),
+            device_name=self.group.device_name,
+            local_plans=local_plans,
+        )
+        return plan, report
+
+    def _check_local_memory(self, local_plan, dsize: int) -> None:
+        nbytes = working_set_nbytes(
+            local_plan.num_systems, local_plan.system_size, dsize
+        )
+        self.group[0].check_fits_global(nbytes)
+
+    # -- cost assembly ----------------------------------------------------
+
+    def _rows_costs(
+        self,
+        m: int,
+        chunk_sizes: Tuple[int, ...],
+        dsize: int,
+        switch: SwitchPoints,
+        fused_ms: Optional[List[float]],
+    ) -> List[RowsCosts]:
+        costs: List[RowsCosts] = []
+        for i, q in enumerate(chunk_sizes):
+            device = self.group[i]
+            if fused_ms is None:
+                _, fused = simulate_plan(device, 3 * m, q, dsize, switch)
+                fused_total = fused.total_ms
+            else:
+                fused_total = fused_ms[i]
+            _, spikes = simulate_plan(device, 2 * m, q, dsize, switch)
+            _, data = simulate_plan(device, m, q, dsize, switch)
+            costs.append(
+                RowsCosts(
+                    fused_ms=fused_total,
+                    spikes_ms=spikes.total_ms,
+                    data_ms=data.total_ms,
+                    reconstruct_ms=self._reconstruct_ms(device, m * q, dsize),
+                    boundary_nbytes=float(
+                        (_SPIKE_BOUNDARY_VALUES + _DATA_BOUNDARY_VALUES)
+                        * m
+                        * dsize
+                    ),
+                    spike_nbytes=float(_SPIKE_BOUNDARY_VALUES * m * dsize),
+                    data_nbytes=float(_DATA_BOUNDARY_VALUES * m * dsize),
+                    correction_nbytes=float(_CORRECTION_VALUES * m * dsize),
+                )
+            )
+        return costs
+
+    def _batch_costs(
+        self,
+        shares: Tuple[int, ...],
+        n: int,
+        dsize: int,
+        switch: SwitchPoints,
+        compute_ms: Optional[List[float]],
+    ) -> List[BatchCosts]:
+        costs: List[BatchCosts] = []
+        for i, share in enumerate(shares):
+            if compute_ms is None:
+                _, report = simulate_plan(
+                    self.group[i], share, n, dsize, switch
+                )
+                ms = report.total_ms
+            else:
+                ms = compute_ms[i]
+            costs.append(
+                BatchCosts(
+                    compute_ms=ms,
+                    input_nbytes=float(4 * share * n * dsize),
+                    output_nbytes=float(share * n * dsize),
+                )
+            )
+        return costs
+
+    def _reduced_ms(self, m: int, p: int, dsize: int) -> float:
+        """Price the 2×2-block reduced solve as an on-chip solve of the
+        equivalent ``2p``-row system batch on the host device."""
+        size = max(2, next_power_of_two(2 * p))
+        return price_base_kernel(
+            self.group[0],
+            m,
+            size,
+            dsize,
+            thomas_switch=size,
+            variant="coalesced",
+        )
+
+    def _reconstruct_ms(self, device: Device, elements: int, dsize: int) -> float:
+        """Price ``x = y - w t - v s``: a streaming fused-multiply-add."""
+        spec = device.spec
+        traffic = MemoryTraffic()
+        # Read y, w, v; write x.
+        traffic.add(spec, 4.0 * elements * dsize, stride=1)
+        threads = min(256, spec.max_threads_per_block)
+        grid = max(1, -(-elements // threads))
+        cost = KernelCost(
+            name="reconstruct",
+            grid_blocks=min(grid, spec.max_grid_blocks),
+            threads_per_block=threads,
+            regs_per_thread=8,
+            phases=[ComputePhase(warps_for(elements) * 4.0)],
+            traffic=traffic,
+        )
+        return kernel_time_ms(spec, cost).total_ms
+
+    # -- execution --------------------------------------------------------
+
+    def solve(self, batch: TridiagonalBatch) -> DistSolveResult:
+        """Plan and solve ``batch`` across the group."""
+        return self.execute_plan(batch, self.plan_for(batch))
+
+    def execute_plan(
+        self, batch: TridiagonalBatch, plan: DistPlan
+    ) -> DistSolveResult:
+        """Run a prepared ``plan`` on ``batch``.
+
+        Like :meth:`MultiStageSolver.execute_plan`, ``batch`` may hold a
+        different system count than the plan was built for as long as the
+        plan was widened via :meth:`DistPlan.with_num_systems` — the
+        batched service's merged-group entry point.
+        """
+        if plan.num_systems != batch.num_systems:
+            raise PlanError(
+                f"plan is for {plan.num_systems} systems, batch has "
+                f"{batch.num_systems}; widen with with_num_systems first"
+            )
+        if plan.system_size != batch.system_size:
+            raise PlanError(
+                f"plan is for size {plan.system_size}, batch has "
+                f"{batch.system_size}"
+            )
+        if plan.num_devices != len(self.group):
+            raise PlanError(
+                f"plan is for {plan.num_devices} devices, group has "
+                f"{len(self.group)}"
+            )
+        dsize = dtype_size(batch.dtype)
+        switch = self.switch_points_for(dsize)
+        if plan.mode == "rows":
+            result = self._execute_rows(batch, plan, dsize, switch)
+        else:
+            result = self._execute_batch(batch, plan, dsize, switch)
+        if self.verify:
+            assert_solution(batch, result.x, context="distributed solve")
+        return result
+
+    def _execute_rows(
+        self,
+        batch: TridiagonalBatch,
+        plan: DistPlan,
+        dsize: int,
+        switch: SwitchPoints,
+    ) -> DistSolveResult:
+        m, n = batch.shape
+        p = plan.num_devices
+        label = self.group.describe()
+        if p == 1:
+            local = self._solver(0, dsize).execute_plan(
+                batch, plan.local_plans[0], switch
+            )
+            return DistSolveResult(
+                x=local.x,
+                plan=plan,
+                switch_points=switch,
+                report=single_device_report(
+                    self.group.device_name,
+                    local.report.total_ms,
+                    group_label=label,
+                ),
+                local_reports=(local.report,),
+            )
+        bounds = []
+        start = 0
+        for q in plan.chunk_sizes:
+            bounds.append((start, start + q))
+            start += q
+        chunks = split_chunks(batch, tuple(bounds))
+
+        ys: List[np.ndarray] = []
+        ws: List[np.ndarray] = []
+        vs: List[np.ndarray] = []
+        local_reports: List[SimReport] = []
+        fused_ms: List[float] = []
+        for i, chunk in enumerate(chunks):
+            local = self._solver(i, dsize).execute_plan(
+                spike_rhs(chunk), plan.local_plans[i], switch
+            )
+            ys.append(local.x[:m])
+            ws.append(local.x[m : 2 * m])
+            vs.append(local.x[2 * m :])
+            local_reports.append(local.report)
+            fused_ms.append(local.report.total_ms)
+
+        t_prev, s_next = solve_reduced_system(
+            np.stack([y[:, 0] for y in ys], axis=1),
+            np.stack([y[:, -1] for y in ys], axis=1),
+            np.stack([w[:, 0] for w in ws], axis=1),
+            np.stack([w[:, -1] for w in ws], axis=1),
+            np.stack([v[:, 0] for v in vs], axis=1),
+            np.stack([v[:, -1] for v in vs], axis=1),
+        )
+        x = np.empty((m, n), dtype=batch.dtype)
+        for i, (lo, hi) in enumerate(bounds):
+            x[:, lo:hi] = reconstruct_chunk(
+                ys[i], ws[i], vs[i], t_prev[:, i], s_next[:, i]
+            )
+
+        costs = self._rows_costs(
+            m, plan.chunk_sizes, dsize, switch, fused_ms=fused_ms
+        )
+        report = schedule_rows(
+            self.group.interconnect,
+            [d.name for d in self.group],
+            costs,
+            self._reduced_ms(m, p, dsize),
+            schedule=plan.schedule,
+            group_label=label,
+        )
+        return DistSolveResult(
+            x=x,
+            plan=plan,
+            switch_points=switch,
+            report=report,
+            local_reports=tuple(local_reports),
+        )
+
+    def _execute_batch(
+        self,
+        batch: TridiagonalBatch,
+        plan: DistPlan,
+        dsize: int,
+        switch: SwitchPoints,
+    ) -> DistSolveResult:
+        shares = plan.chunk_sizes
+        parts: List[np.ndarray] = []
+        local_reports: List[SimReport] = []
+        compute_ms: List[float] = []
+        offset = 0
+        for i, share in enumerate(shares):
+            rows = slice(offset, offset + share)
+            offset += share
+            sub = TridiagonalBatch(
+                batch.a[rows], batch.b[rows], batch.c[rows], batch.d[rows]
+            )
+            local = self._solver(i, dsize).execute_plan(
+                sub, plan.local_plans[i], switch
+            )
+            parts.append(local.x)
+            local_reports.append(local.report)
+            compute_ms.append(local.report.total_ms)
+        x = np.concatenate(parts, axis=0)
+        costs = self._batch_costs(
+            shares, plan.system_size, dsize, switch, compute_ms=compute_ms
+        )
+        report = schedule_batch(
+            self.group.interconnect,
+            [self.group[i].name for i in range(len(shares))],
+            costs,
+            group_label=self.group.describe(),
+        )
+        return DistSolveResult(
+            x=x,
+            plan=plan,
+            switch_points=switch,
+            report=report,
+            local_reports=tuple(local_reports),
+        )

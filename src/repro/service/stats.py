@@ -57,6 +57,12 @@ class ServiceStats:
     _lock: threading.Lock = field(
         default_factory=threading.Lock, repr=False, compare=False
     )
+    _tuning_cache: object = field(default=None, repr=False, compare=False)
+
+    def attach_cache(self, cache) -> None:
+        """Expose a :class:`TuningCache`'s hit/miss counters in snapshots."""
+        with self._lock:
+            self._tuning_cache = cache
 
     # -- recording (called by the service) --------------------------------
 
@@ -100,7 +106,11 @@ class ServiceStats:
     def snapshot(self) -> dict:
         """A consistent point-in-time copy of every counter."""
         with self._lock:
+            cache = self._tuning_cache
             return {
+                "tuning_cache": (
+                    cache.counters() if cache is not None else None
+                ),
                 "requests_submitted": self.requests_submitted,
                 "requests_completed": self.requests_completed,
                 "requests_failed": self.requests_failed,
@@ -133,6 +143,15 @@ class ServiceStats:
             f"{snap['systems_solved']} systems)",
             f"simulated: {snap['simulated_ms']:.3f} ms on-device",
         ]
+        cache = snap.get("tuning_cache")
+        if cache is not None:
+            total = cache["hits"] + cache["misses"]
+            rate = cache["hits"] / total if total else 0.0
+            lines.append(
+                f"tuning   : {cache['hits']} cache hits, "
+                f"{cache['misses']} misses ({rate:.0%} hit rate, "
+                f"{cache['entries']} entries)"
+            )
         for label, per in sorted(snap["per_group"].items()):
             lines.append(
                 f"  {label:<28s} {per['groups']:4d} groups  "

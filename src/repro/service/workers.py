@@ -33,6 +33,8 @@ from ..core.config import SwitchPoints
 from ..core.planner import SolvePlan, plan_solve
 from ..core.solver import MultiStageSolver
 from ..core.tuning import TuningCache, make_tuner
+from ..dist.plan import DistPlan
+from ..dist.solver import DistributedSolver, working_set_nbytes
 from ..gpu.executor import Device, SimReport, make_device
 from ..kernels import dtype_size
 from ..systems.tridiagonal import TridiagonalBatch
@@ -89,6 +91,15 @@ class BatchSolveService:
         this many requests are queued; otherwise call :meth:`flush`.
     max_group_systems:
         Cap on merged-batch height (bounds per-solve working set).
+    dist:
+        Optional distributed backend for requests whose working set
+        overflows one device's global memory: a
+        :class:`~repro.dist.DistributedSolver`, a
+        :class:`~repro.dist.DeviceGroup`, or a device count (a group of
+        the service's default device is built). Oversized requests are
+        planned with a :class:`~repro.dist.DistPlan` and grouped by its
+        signature, so plan-compatible oversized requests still merge
+        into one distributed solve.
     """
 
     def __init__(
@@ -104,6 +115,7 @@ class BatchSolveService:
         auto_flush: Optional[int] = None,
         max_group_systems: Optional[int] = None,
         verify: bool = False,
+        dist=None,
     ):
         if max_workers < 1:
             raise ConfigurationError(f"max_workers must be >= 1, got {max_workers}")
@@ -129,6 +141,43 @@ class BatchSolveService:
         self._plans: Dict[Tuple[str, int, int, int], SolvePlan] = {}
         self._group_futures: List[Future] = []
         self._closed = False
+        self._dist_config = dist
+        self._dist_solver: Optional[DistributedSolver] = None
+        self.stats.attach_cache(self.cache)
+
+    @property
+    def dist_solver(self) -> Optional[DistributedSolver]:
+        """The distributed backend, or ``None`` when not configured."""
+        if self._dist_config is None:
+            return None
+        with self._lock:
+            solver = self._dist_solver
+        if solver is not None:
+            return solver
+        if isinstance(self._dist_config, DistributedSolver):
+            solver = self._dist_config
+        else:
+            solver = DistributedSolver(
+                self._dist_config,
+                self._tuning,
+                device=self.default_device,
+                cache=self.cache,
+                verify=self.verify,
+            )
+        with self._lock:
+            if self._dist_solver is None:
+                self._dist_solver = solver
+            return self._dist_solver
+
+    def _routes_to_dist(self, batch: TridiagonalBatch, dev: Device) -> bool:
+        """Oversized for one device, and the group models that device."""
+        solver = self.dist_solver
+        if solver is None or dev.name != solver.group.device_name:
+            return False
+        nbytes = working_set_nbytes(
+            batch.num_systems, batch.system_size, dtype_size(batch.dtype)
+        )
+        return nbytes > dev.spec.global_mem_bytes
 
     # -- tuning / planning reuse -------------------------------------------
 
@@ -218,13 +267,25 @@ class BatchSolveService:
         if self._closed:
             raise ServiceError("service is closed")
         dev = self._device(device)
-        plan = self.plan_for(batch, dev)
-        key = GroupKey(
-            device=dev.name,
-            dtype=str(batch.dtype),
-            system_size=batch.system_size,
-            signature=plan.signature,
-        )
+        if self._routes_to_dist(batch, dev):
+            # Too big for one device: plan across the group. The group
+            # label keys the merged solve so oversized requests only mix
+            # with plan-compatible oversized requests.
+            plan = self.dist_solver.plan_for(batch)
+            key = GroupKey(
+                device=self.dist_solver.group.describe(),
+                dtype=str(batch.dtype),
+                system_size=batch.system_size,
+                signature=plan.signature,
+            )
+        else:
+            plan = self.plan_for(batch, dev)
+            key = GroupKey(
+                device=dev.name,
+                dtype=str(batch.dtype),
+                system_size=batch.system_size,
+                signature=plan.signature,
+            )
         with self._lock:
             seq = self._seq
             self._seq += 1
@@ -265,11 +326,16 @@ class BatchSolveService:
         try:
             merged = group.merged_batch()
             first = group.requests[0]
-            solver = self.solver_for(group.key.device, merged.dtype)
-            switch = self.switch_points_for(group.key.device, merged.dtype)
-            result = solver.execute_plan(
-                merged, first.plan.with_num_systems(merged.num_systems), switch
-            )
+            if isinstance(first.plan, DistPlan):
+                result = self.dist_solver.execute_plan(
+                    merged, first.plan.with_num_systems(merged.num_systems)
+                )
+            else:
+                solver = self.solver_for(group.key.device, merged.dtype)
+                switch = self.switch_points_for(group.key.device, merged.dtype)
+                result = solver.execute_plan(
+                    merged, first.plan.with_num_systems(merged.num_systems), switch
+                )
         except Exception as exc:
             for req in group.requests:
                 req.future.set_exception(exc)

@@ -20,8 +20,9 @@ class TestSpike:
     def test_auto_partitions(self):
         assert _auto_partitions(128) == 16
         assert _auto_partitions(12) == 4  # chunks of 3
-        assert _auto_partitions(7) == 1  # prime: no split
+        assert _auto_partitions(7) == 2  # prime: balanced chunks of 4 and 3
         assert _auto_partitions(4) == 2
+        assert _auto_partitions(3) == 1  # too small to keep 2 rows per chunk
 
     def test_auto_mode_solves(self):
         batch = generators.random_dominant(4, 96, rng=0)
@@ -36,11 +37,26 @@ class TestSpike:
     def test_invalid_partitions(self):
         batch = generators.random_dominant(1, 100, rng=2)
         with pytest.raises(ConfigurationError):
-            spike_solve(batch, 3)  # 100 % 3 != 0
-        with pytest.raises(ConfigurationError):
             spike_solve(batch, 100)  # chunks of 1
         with pytest.raises(ConfigurationError):
+            spike_solve(batch, 51)  # 2 * 51 > 100: some chunk loses a row
+        with pytest.raises(ConfigurationError):
             spike_solve(batch, 0)
+
+    def test_non_divisible_partitions(self):
+        """Explicit p no longer needs to divide n: chunks balance instead."""
+        batch = generators.random_dominant(3, 100, rng=2)
+        for p in (3, 6, 7, 50):
+            assert_close_to_oracle(batch, spike_solve(batch, p), factor=8)
+
+    def test_partition_bounds_balanced(self):
+        from repro.algorithms.spike import partition_bounds
+
+        bounds = partition_bounds(100, 3)
+        assert bounds == ((0, 34), (34, 67), (67, 100))
+        assert partition_bounds(8, 4) == ((0, 2), (2, 4), (4, 6), (6, 8))
+        with pytest.raises(ConfigurationError):
+            partition_bounds(7, 4)  # would leave a 1-row chunk
 
     def test_non_pow2_sizes(self):
         batch = generators.random_dominant(3, 90, rng=3)  # 90 = 2*3^2*5
@@ -73,5 +89,22 @@ def test_spike_property(m, q, p_exp, seed):
     """SPIKE matches the oracle for any (chunk size, partition count)."""
     p = 1 << p_exp
     batch = generators.random_dominant(m, p * q, rng=seed)
+    x = spike_solve(batch, p)
+    assert batch.residual(x).max() < 1e-9
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    m=st.integers(min_value=1, max_value=4),
+    n=st.integers(min_value=2, max_value=200),
+    p=st.integers(min_value=1, max_value=16),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_spike_property_uneven(m, n, p, seed):
+    """SPIKE matches the oracle for arbitrary (size, partition) pairs."""
+    from hypothesis import assume
+
+    assume(n >= 2 * p)
+    batch = generators.random_dominant(m, n, rng=seed)
     x = spike_solve(batch, p)
     assert batch.residual(x).max() < 1e-9

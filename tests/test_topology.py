@@ -1,0 +1,99 @@
+"""Tests for the simulated interconnect (links, topologies, device groups)."""
+
+import pytest
+
+from repro.dist import (
+    LINK_PRESETS,
+    DeviceGroup,
+    Interconnect,
+    LinkSpec,
+    get_link,
+    make_device_group,
+)
+from repro.gpu import make_device
+from repro.util.errors import ConfigurationError
+
+
+class TestLinkSpec:
+    def test_transfer_is_latency_plus_bandwidth_term(self):
+        link = LinkSpec("test", bandwidth_gb_s=10.0, latency_us=5.0)
+        # 10 GB/s = 1e7 bytes/ms; 5 us = 0.005 ms.
+        assert link.transfer_ms(0.0) == pytest.approx(0.005)
+        assert link.transfer_ms(1e7) == pytest.approx(1.005)
+
+    def test_hops_multiply_store_and_forward(self):
+        link = LinkSpec("test", bandwidth_gb_s=10.0, latency_us=5.0)
+        one = link.transfer_ms(4096)
+        assert link.transfer_ms(4096, hops=3) == pytest.approx(3 * one)
+        assert link.transfer_ms(4096, hops=0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            LinkSpec("bad", bandwidth_gb_s=0.0, latency_us=1.0)
+        with pytest.raises(ConfigurationError):
+            LinkSpec("bad", bandwidth_gb_s=1.0, latency_us=-1.0)
+        with pytest.raises(ConfigurationError):
+            LinkSpec("x", 1.0, 1.0).transfer_ms(-1)
+
+    def test_presets_and_overrides(self):
+        assert set(LINK_PRESETS) == {"pcie3", "pcie4", "nvlink2"}
+        assert get_link("pcie3").bandwidth_gb_s == 12.0
+        assert get_link(get_link("pcie4")) is get_link("pcie4")
+        with pytest.raises(ConfigurationError):
+            get_link("infiniband")
+        slow = get_link("pcie3").with_(latency_us=100.0)
+        assert slow.latency_us == 100.0
+        assert slow.bandwidth_gb_s == get_link("pcie3").bandwidth_gb_s
+
+
+class TestInterconnect:
+    def test_all_to_all_is_one_hop(self):
+        net = Interconnect(get_link("pcie3"), "all_to_all")
+        assert net.hops(0, 5, 8) == 1
+        assert net.hops(3, 3, 8) == 0
+
+    def test_ring_takes_the_shorter_arc(self):
+        net = Interconnect(get_link("pcie3"), "ring")
+        assert net.hops(0, 1, 8) == 1
+        assert net.hops(0, 7, 8) == 1  # wraps backwards
+        assert net.hops(0, 4, 8) == 4  # antipode
+        assert net.hops(0, 5, 8) == 3
+        assert net.hops(6, 1, 8) == 3
+
+    def test_bad_indices_and_kind(self):
+        net = Interconnect(get_link("pcie3"), "ring")
+        with pytest.raises(ConfigurationError):
+            net.hops(0, 8, 8)
+        with pytest.raises(ConfigurationError):
+            Interconnect(get_link("pcie3"), "torus")
+
+    def test_describe(self):
+        assert Interconnect(get_link("nvlink2"), "ring").describe() == "ring:nvlink2"
+
+
+class TestDeviceGroup:
+    def test_make_and_iterate(self):
+        group = make_device_group("gtx470", 4)
+        assert len(group) == 4
+        assert group.device_name == group[0].name
+        assert all(d.name == group.device_name for d in group)
+        assert "x4" in group.describe()
+
+    def test_signature_keys_behaviour(self):
+        a = make_device_group("gtx470", 4, "pcie3", "all_to_all")
+        b = make_device_group("gtx470", 4, "pcie3", "all_to_all")
+        assert a.signature == b.signature
+        assert a.signature != make_device_group("gtx470", 8).signature
+        assert (
+            a.signature
+            != make_device_group("gtx470", 4, "pcie3", "ring").signature
+        )
+
+    def test_must_be_homogeneous(self):
+        with pytest.raises(ConfigurationError):
+            DeviceGroup(
+                [make_device("gtx470"), make_device("gtx280")],
+                Interconnect(get_link("pcie3")),
+            )
+        with pytest.raises(ConfigurationError):
+            make_device_group("gtx470", 0)
