@@ -10,7 +10,7 @@ but without materialising multi-gigabyte batches in host memory.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..core.config import SwitchPoints
@@ -20,7 +20,6 @@ from ..gpu.executor import Device, make_device
 from ..gpu.spec import device_names
 from ..systems.suite import paper_workloads
 from ..baselines.mkl import MklLikeCpuSolver
-from ..util.errors import ResourceExhaustedError
 
 __all__ = [
     "figure5",

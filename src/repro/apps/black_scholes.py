@@ -16,7 +16,6 @@ PDE in log-price ``y = ln S``:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Union
 
 import numpy as np
 

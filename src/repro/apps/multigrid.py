@@ -89,7 +89,6 @@ class MultigridPoisson2D:
         n = u.shape[0]
         h2 = self._h(n) ** 2
         u = u.copy()
-        pad = np.pad(u, 1)
         for parity in (0, 1):
             rows = np.arange(parity, n, 2)
             # Neighbours above/below enter the RHS with current values.

@@ -20,7 +20,6 @@ __all__ = ["banded_lu_solve", "scipy_banded_oracle"]
 
 def banded_lu_solve(batch: BandedBatch, *, check: bool = True) -> np.ndarray:
     """Solve every system of ``batch`` by banded Gaussian elimination."""
-    m = batch.num_systems
     n = batch.system_size
     kl, ku = batch.bandwidth
     dtype = batch.dtype

@@ -16,7 +16,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..algorithms.pcr import pcr_split, pcr_unsplit_solution
+from ..algorithms.pcr import pcr_unsplit_solution
 from ..gpu.executor import Device, SimReport, make_device
 from ..kernels import GlobalPcrKernel, KernelContext, ThomasGlobalKernel
 from ..systems.tridiagonal import TridiagonalBatch

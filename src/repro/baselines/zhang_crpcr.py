@@ -75,7 +75,7 @@ class ZhangCrPcrSolver:
             raise ResourceExhaustedError(
                 f"system size {n} exceeds shared memory capacity {limit} of "
                 f"{self.device.name}; the smem-only solver cannot split "
-                f"(this is the limitation the multi-stage method removes)"
+                "(this is the limitation the multi-stage method removes)"
             )
         session = self.device.session()
         ctx = KernelContext(session)

@@ -19,7 +19,7 @@ from ..core.tuning.search import pow2_hill_climb
 from ..gpu.cost import ComputePhase, KernelCost
 from ..gpu.executor import Device, SimReport, make_device
 from ..gpu.memory import MemoryTraffic
-from ..kernels.base import dtype_size, warps_for
+from ..kernels.base import dtype_size
 from ..util.errors import PlanError, ResourceExhaustedError
 from ..util.validation import check_power_of_two, ilog2, is_power_of_two
 from .algorithms import (

@@ -6,6 +6,9 @@ Commands
     List the simulated GPUs and their (queryable) capabilities.
 ``solve``
     Build a workload, solve it, and print the plan and timing report.
+``plan``
+    Lower a workload's plan to its instruction program and print the
+    program plus per-instruction priced timings — no data is touched.
 ``tune``
     Run the self-tuner for a device and print the chosen switch points
     and the search-trace summary.
@@ -26,7 +29,6 @@ import os
 import sys
 from typing import List, Optional
 
-import numpy as np
 
 from .algorithms import max_residual
 from .analysis import (
@@ -80,6 +82,50 @@ def build_parser() -> argparse.ArgumentParser:
         "numerics (timing is always for the nominal shape; default 8)",
     )
     p_solve.add_argument("--seed", type=int, default=0)
+
+    p_plan = sub.add_parser(
+        "plan",
+        help="print a workload's lowered instruction program and priced "
+        "per-instruction costs (data-free)",
+    )
+    p_plan.add_argument(
+        "--device", default="gtx470", help="device name (default: gtx470)"
+    )
+    p_plan.add_argument(
+        "--workload",
+        default="1Kx1K",
+        help=f"one of {', '.join(PAPER_WORKLOAD_NAMES)} or MxN (e.g. 64x2048)",
+    )
+    p_plan.add_argument(
+        "--tuning",
+        default="static",
+        choices=["default", "static", "dynamic"],
+        help="parameter-selection strategy (default static)",
+    )
+    p_plan.add_argument(
+        "--dtype-size", type=int, default=8, choices=[4, 8], dest="dtype_size"
+    )
+    p_plan.add_argument(
+        "--devices",
+        type=int,
+        default=1,
+        help="device count: 1 plans a single-device solve, more plans a "
+        "distributed one (default 1)",
+    )
+    p_plan.add_argument(
+        "--link",
+        default="pcie3",
+        help="interconnect link preset for --devices > 1 (default pcie3)",
+    )
+    p_plan.add_argument(
+        "--topology", default="all_to_all", choices=["all_to_all", "ring"]
+    )
+    p_plan.add_argument(
+        "--mode",
+        default="auto",
+        choices=["auto", "rows", "batch"],
+        help="distributed decomposition mode for --devices > 1",
+    )
 
     p_tune = sub.add_parser("tune", help="run the self-tuner for a device")
     p_tune.add_argument("--device", default="gtx470")
@@ -237,6 +283,61 @@ def _cmd_solve(args, out) -> int:
     out.write(result.plan.describe() + "\n")
     out.write(result.report.describe() + "\n")
     out.write(f"residual : {max_residual(batch, result.x):.3e}\n")
+    return 0
+
+
+def _cmd_plan(args, out) -> int:
+    from .systems import Workload, paper_workloads
+
+    workload = _parse_workload(args.workload)
+    if isinstance(workload, str):
+        workload = next(w for w in paper_workloads() if w.name == workload)
+    assert isinstance(workload, Workload)
+    m, n = workload.shape
+
+    if args.devices > 1:
+        from .dist import DistributedSolver
+        from .ir import Engine
+
+        solver = DistributedSolver(
+            args.devices,
+            args.tuning,
+            device=args.device,
+            link=args.link,
+            topology=args.topology,
+            mode=args.mode,
+        )
+        plan, _ = solver.price(m, n, args.dtype_size)
+        program = solver.lower(plan, args.dtype_size)
+        run = Engine.for_group(solver.group).price(program)
+        out.write(f"group    : {solver.group.describe()}\n")
+    else:
+        from .core import simulate_plan
+        from .ir import Engine
+
+        device = make_device(args.device)
+        solver = MultiStageSolver(device, args.tuning)
+        switch = solver.switch_points_for(m, n, args.dtype_size)
+        plan, _ = simulate_plan(device, m, n, args.dtype_size, switch)
+        program = plan.lower(device, args.dtype_size)
+        run = Engine.for_device(device).price(program)
+        out.write(f"device   : {device.name}\n")
+        out.write(f"tuning   : {switch.describe()}\n")
+    out.write(f"workload : {m} x {n} (dtype {args.dtype_size}B)\n")
+    out.write(plan.describe() + "\n\n")
+    out.write(program.describe() + "\n\n")
+    out.write("priced steps:\n")
+    spans = {t.index: t for t in run.trace}
+    for i, step in enumerate(program.steps):
+        t = spans.get(i)
+        timing = (
+            f"{t.start_ms:10.4f} .. {t.end_ms:10.4f} ms"
+            f"  ({t.end_ms - t.start_ms:8.4f})"
+            if t is not None
+            else " " * 28 + "(free)"
+        )
+        out.write(f"  [{i:>2d}] {timing}  {step.describe()}\n")
+    out.write(f"total    : {run.report.total_ms:.4f} ms\n")
     return 0
 
 
@@ -531,6 +632,8 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
             return _cmd_devices(out)
         if args.command == "solve":
             return _cmd_solve(args, out)
+        if args.command == "plan":
+            return _cmd_plan(args, out)
         if args.command == "tune":
             return _cmd_tune(args, out)
         if args.command == "figures":

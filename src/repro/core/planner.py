@@ -95,6 +95,16 @@ class SolvePlan:
         """
         return replace(self, num_systems=num_systems)
 
+    def lower(self, device, dtype_size: int):
+        """Lower to a :class:`~repro.ir.Program` for ``device``.
+
+        The program is what the :class:`~repro.ir.Engine` executes and
+        prices; the plan stays the human-facing decision record.
+        """
+        from ..ir.lower import lower_solve_plan
+
+        return lower_solve_plan(self, device, dtype_size)
+
     def describe(self) -> str:
         """Multi-line human-readable plan."""
         lines = [

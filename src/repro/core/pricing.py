@@ -7,6 +7,11 @@ self-tuner and of the figure benchmarks at the paper's nominal workload
 sizes (where running the numerics in host NumPy would dwarf the model
 evaluation). A regression test pins ``simulate_plan`` and the real solver
 to identical timings.
+
+Both views are now the same object: the plan lowers to an instruction
+:class:`~repro.ir.Program` and the shared :class:`~repro.ir.Engine`
+interprets it in price mode. Execution interprets the *same* program
+with data, so the agreement is structural rather than by convention.
 """
 
 from __future__ import annotations
@@ -14,12 +19,7 @@ from __future__ import annotations
 from typing import Tuple
 
 from ..gpu.executor import Device, SimReport
-from ..kernels import (
-    CoopPcrKernel,
-    GlobalPcrKernel,
-    KernelContext,
-    PcrThomasSmemKernel,
-)
+from ..kernels import KernelContext, PcrThomasSmemKernel
 from .config import SwitchPoints
 from .planner import SolvePlan, plan_solve
 
@@ -34,48 +34,11 @@ def simulate_plan(
     switch: SwitchPoints,
 ) -> Tuple[SolvePlan, SimReport]:
     """Price the full multi-stage solve of an ``(m, n)`` workload."""
-    plan = plan_solve(device, num_systems, system_size, dtype_size, switch)
-    session = device.session()
-    ctx = KernelContext(session)
-    m, n = plan.num_systems, plan.system_size
+    from ..ir.engine import Engine
 
-    if plan.uses_stage1:
-        coop = CoopPcrKernel()
-        total_eqs = m * n
-        stride = 1
-        for _ in range(plan.stage1_steps):
-            session.submit(
-                coop.cost_per_step(ctx, total_eqs, dtype_size, stride=stride),
-                stage="stage1_coop_pcr",
-            )
-            stride *= 2
-    if plan.uses_stage2:
-        splitter = GlobalPcrKernel()
-        session.submit(
-            splitter.cost(
-                ctx,
-                plan.systems_entering_stage2,
-                n >> plan.stage1_steps,
-                dtype_size,
-                plan.stage2_steps,
-                start_stride=1 << plan.stage1_steps,
-            ),
-            stage="stage2_global_pcr",
-        )
-    base = PcrThomasSmemKernel(
-        thomas_switch=plan.thomas_switch, variant=plan.variant
-    )
-    session.submit(
-        base.cost(
-            ctx,
-            plan.systems_entering_stage3,
-            plan.stage3_system_size,
-            dtype_size,
-            plan.stride,
-        ),
-        stage="stage3_pcr_thomas",
-    )
-    return plan, session.report()
+    plan = plan_solve(device, num_systems, system_size, dtype_size, switch)
+    run = Engine.for_device(device).price(plan.lower(device, dtype_size))
+    return plan, run.report
 
 
 def price_base_kernel(

@@ -18,19 +18,12 @@ from typing import Optional, Union
 
 import numpy as np
 
-from ..algorithms.padding import pad_pow2, unpad_solution
-from ..algorithms.pcr import pcr_unsplit_solution
 from ..algorithms.verify import assert_solution
 from ..gpu.executor import Device, SimReport, make_device
-from ..kernels import (
-    CoopPcrKernel,
-    GlobalPcrKernel,
-    KernelContext,
-    PcrThomasSmemKernel,
-    dtype_size,
-)
+from ..ir.engine import Engine
+from ..kernels import dtype_size
 from ..systems.tridiagonal import TridiagonalBatch
-from ..util.errors import ConfigurationError, PlanError
+from ..util.errors import ConfigurationError
 from .config import SwitchPoints
 from .planner import SolvePlan, plan_solve
 
@@ -70,6 +63,7 @@ class MultiStageSolver:
     ):
         self.device = make_device(device)
         self.verify = verify
+        self._engine = Engine.for_device(self.device)
         self._tuner = None
         self._switch: Optional[SwitchPoints] = None
         if tuning is None:
@@ -84,7 +78,7 @@ class MultiStageSolver:
             self._tuner = tuning
         else:
             raise ConfigurationError(
-                f"tuning must be SwitchPoints, a tuner, or a strategy name; "
+                "tuning must be SwitchPoints, a tuner, or a strategy name; "
                 f"got {type(tuning).__name__}"
             )
 
@@ -136,44 +130,22 @@ class MultiStageSolver:
         execute one merged solve for many same-signature requests while
         keeping each request's answer bit-identical to a standalone
         ``solve``. The padded system size must match the plan's.
+
+        The plan lowers to an instruction program and the shared
+        :class:`~repro.ir.Engine` interprets it with data — the same
+        program :func:`~repro.core.pricing.simulate_plan` prices.
         """
         self.device.check_fits_global(batch.nbytes + batch.d.nbytes)
-        padded, original_n = pad_pow2(batch)
-        if padded.system_size != plan.system_size:
-            raise PlanError(
-                f"plan was built for padded size {plan.system_size}, batch "
-                f"pads to {padded.system_size}"
-            )
-        session = self.device.session()
-        ctx = KernelContext(session)
-
-        work = padded
-        if plan.uses_stage1:
-            work = CoopPcrKernel().run(ctx, work, plan.stage1_steps)
-        if plan.uses_stage2:
-            work = GlobalPcrKernel().run(
-                ctx,
-                work,
-                plan.stage3_system_size,
-                start_stride=1 << plan.stage1_steps,
-            )
-        kernel = PcrThomasSmemKernel(
-            thomas_switch=plan.thomas_switch, variant=plan.variant
-        )
-        x = kernel.run(ctx, work, stride=plan.stride)
-        # Undo the gathers innermost-first: the stage-2 split acted on the
-        # stage-1 split's output, so their inverses compose in reverse.
-        x = pcr_unsplit_solution(x, plan.stage2_steps)
-        x = pcr_unsplit_solution(x, plan.stage1_steps)
-        x = unpad_solution(x, original_n)
+        program = plan.lower(self.device, dtype_size(batch.dtype))
+        run = self._engine.execute(program, batch)
 
         if self.verify:
-            assert_solution(batch, x, context="multi-stage solve")
+            assert_solution(batch, run.x, context="multi-stage solve")
         return SolveResult(
-            x=x,
+            x=run.x,
             plan=plan,
             switch_points=switch,
-            report=session.report(),
+            report=run.report,
         )
 
 

@@ -19,12 +19,16 @@ from __future__ import annotations
 import json
 import os
 import threading
-from typing import Callable, Dict, Optional, Union
+from typing import Callable, Dict, Optional, Tuple, Union
 
 from ...util.errors import TuningError
 from ..config import SwitchPoints
 
-__all__ = ["TuningCache"]
+__all__ = ["TuningCache", "WorkloadClass"]
+
+#: A cache workload class: a plain string, or a structured tuple
+#: (canonicalised via :func:`repro.ir.instructions.signature_text`).
+WorkloadClass = Union[str, Tuple]
 
 _FORMAT_VERSION = 1
 
@@ -42,17 +46,29 @@ class TuningCache:
             self._load()
 
     @staticmethod
-    def key(device_name: str, dtype_size: int, workload_class: str = "generic") -> str:
+    def key(
+        device_name: str,
+        dtype_size: int,
+        workload_class: WorkloadClass = "generic",
+    ) -> str:
         """Stable cache key for a device/precision/workload-class triple.
 
-        The self-tuner keys its results by the system-size class it tuned
+        The self-tuner keys its results by the workload class it tuned
         for ("a typical self-tuning run for a particular system and GPU",
-        paper §IV-D); ``generic`` covers shape-oblivious tuning.
+        paper §IV-D); ``generic`` covers shape-oblivious tuning. The
+        class may be a plain string or a structured tuple (e.g. one
+        containing a lowered :attr:`repro.ir.Program.signature`), which
+        is canonicalised to stable text so keys survive the JSON
+        round-trip of a persistent cache.
         """
+        if not isinstance(workload_class, str):
+            from ...ir.instructions import signature_text
+
+            workload_class = signature_text(tuple(workload_class))
         return f"{device_name}|dsize={dtype_size}|{workload_class}"
 
     def _peek(
-        self, device_name: str, dtype_size: int, workload_class: str
+        self, device_name: str, dtype_size: int, workload_class: WorkloadClass
     ) -> Optional[SwitchPoints]:
         # Lookup without touching the hit/miss counters (used by the
         # double-check under the lock in get_or_tune, which has already
@@ -69,7 +85,7 @@ class TuningCache:
         self,
         device_name: str,
         dtype_size: int,
-        workload_class: str = "generic",
+        workload_class: WorkloadClass = "generic",
     ) -> Optional[SwitchPoints]:
         """Cached switch points, or ``None``. Counts one hit or miss."""
         found = self._peek(device_name, dtype_size, workload_class)
@@ -85,7 +101,7 @@ class TuningCache:
         device_name: str,
         dtype_size: int,
         switch: SwitchPoints,
-        workload_class: str = "generic",
+        workload_class: WorkloadClass = "generic",
     ) -> None:
         """Store switch points and persist when a path is configured."""
         with self._lock:
@@ -105,7 +121,7 @@ class TuningCache:
         device_name: str,
         dtype_size: int,
         tune: Callable[[], SwitchPoints],
-        workload_class: str = "generic",
+        workload_class: WorkloadClass = "generic",
     ) -> SwitchPoints:
         """Cached switch points, tuning (and storing) on first miss.
 

@@ -85,16 +85,31 @@ class SelfTuner(Tuner):
     ) -> SwitchPoints:
         """Cached tuned parameters for ``device`` (tuning on first use).
 
-        Tuning runs — and results are cached — per system-size class: the
+        Tuning runs — and results are cached — per workload class: the
         paper's procedure is "a typical self-tuning run for a particular
         system and GPU", with results saved for future runs of that
-        workload.
+        workload. A known shape is classed by the signature of the
+        instruction program the machine-query seed plan lowers to (plus
+        the system count, which sets machine fill): two shapes that
+        would run the same instructions share one tuning run, while
+        shapes that plan differently tune separately.
         """
         ref_system = self._reference_system(device, system_size, dtype_size)
         known = num_systems >= 1 and system_size > 1
-        workload_class = (
-            f"m={num_systems}|n={ref_system}" if known else f"n={ref_system}"
-        )
+        if known:
+            from ..planner import plan_solve
+
+            seed = MachineQueryTuner().switch_points(device, 0, 0, dtype_size)
+            seed_plan = plan_solve(
+                device, num_systems, ref_system, dtype_size, seed
+            )
+            workload_class = (
+                "workload",
+                num_systems,
+                seed_plan.lower(device, dtype_size).signature,
+            )
+        else:
+            workload_class = f"n={ref_system}"
         def tune_now() -> SwitchPoints:
             tuned, trace = self.tune(
                 device,

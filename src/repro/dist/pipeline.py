@@ -1,11 +1,22 @@
-"""The exchange/compute scheduler and per-device timelines.
+"""Per-device timelines and the legacy scheduler API.
 
-Given per-device local costs (priced by the kernel cost model) and an
-:class:`~repro.dist.topology.Interconnect` (pricing the transfers), the
-schedulers lay events onto per-device timelines and report the makespan.
-Compute and transfer engines are independent per device (the DMA-overlap
-assumption every real multi-GPU pipeline relies on), so a device may
-stream boundary data out while its next solve runs.
+The distributed report types live here: a :class:`TimelineEvent` is one
+interval on a device's compute or transfer engine, a
+:class:`DeviceTimeline` collects them per device, and a
+:class:`DistReport` aggregates the makespan. Compute and transfer
+engines are independent per device (the DMA-overlap assumption every
+real multi-GPU pipeline relies on), so a device may stream boundary data
+out while its next solve runs.
+
+Scheduling itself is no longer hand-rolled here: :func:`schedule_rows`
+and :func:`schedule_batch` lower their cost records into instruction
+:class:`~repro.ir.Program`\\ s (``Fixed`` compute spans + ``Transfer``
+steps with dependency edges and resource claims) and hand them to the
+shared :class:`~repro.ir.Engine`, the same interpreter that prices and
+executes single-device solves. The distributed solver bypasses this
+wrapper entirely — it lowers its :class:`~repro.dist.plan.DistPlan`
+straight to a program — but the cost-record API remains for callers that
+already priced their local solves.
 
 Rows mode offers two schedules:
 
@@ -33,6 +44,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
+from ..ir.engine import Engine
+from ..ir.instructions import Fixed, Program, Step, Transfer
 from ..util.errors import ConfigurationError
 from .topology import Interconnect
 
@@ -170,7 +183,7 @@ def render_dist_timeline(report: DistReport, *, width: int = 56) -> str:
     return "\n".join(lines)
 
 
-# -- rows mode --------------------------------------------------------------
+# -- cost records ----------------------------------------------------------
 
 
 @dataclass(frozen=True)
@@ -187,33 +200,83 @@ class RowsCosts:
     correction_nbytes: float  # (t_prev, s_next) per system
 
 
-def _finish_rows(
+@dataclass(frozen=True)
+class BatchCosts:
+    """Per-device priced quantities for a batch-mode (sharded) solve."""
+
+    compute_ms: float  # the shard's local solve
+    input_nbytes: float  # four coefficient arrays in
+    output_nbytes: float  # one solution array back
+
+
+# -- program assembly ------------------------------------------------------
+#
+# Pre-priced spans become Fixed steps; byte counts become Transfer steps
+# with dtype_size=1 and shape=(1, 0) so the engine's
+# values*num_systems*dtype_size product reproduces the byte count
+# verbatim.
+
+_UNIT = (1, 0)
+
+
+def _price(
     interconnect: Interconnect,
+    device_names: Sequence[str],
+    steps: List[Step],
+    schedule: str,
+    group_label: str,
+) -> DistReport:
+    program = Program(
+        kind="dist",
+        label=group_label,
+        device_names=tuple(device_names),
+        dtype_size=1,
+        num_systems=1,
+        system_size=0,
+        schedule=schedule,
+        topology=interconnect.describe(),
+        steps=tuple(steps),
+    )
+    engine = Engine(device_names, interconnect=interconnect, label=group_label)
+    return engine.price(program).report
+
+
+def _rows_tail(
+    steps: List[Step],
     costs: Sequence[RowsCosts],
-    events: List[List[TimelineEvent]],
-    arrivals: Sequence[float],
+    boundary_sends: Sequence[int],
     reduced_ms: float,
     host: int,
 ) -> None:
     """Shared tail of both rows schedules: reduce, scatter, reconstruct."""
-    p = len(costs)
-    ready = max(arrivals)
-    reduced_end = ready + reduced_ms
-    events[host].append(
-        TimelineEvent("compute", "reduced_solve", ready, reduced_end)
-    )
-    for i in range(p):
-        t_corr = interconnect.transfer_ms(
-            costs[i].correction_nbytes, host, i, p
+    steps.append(
+        Step(
+            op=Fixed(reduced_ms),
+            device=host,
+            stage="reduced_solve",
+            shape=_UNIT,
+            deps=tuple(boundary_sends),
         )
-        start = reduced_end + t_corr
-        if t_corr > 0:
-            events[i].append(
-                TimelineEvent("xfer", "recv_correction", reduced_end, start)
+    )
+    reduced = len(steps) - 1
+    for i, cost in enumerate(costs):
+        steps.append(
+            Step(
+                op=Transfer(cost.correction_nbytes, host, i),
+                device=i,
+                engine="xfer",
+                stage="recv_correction",
+                shape=_UNIT,
+                deps=(reduced,),
             )
-        events[i].append(
-            TimelineEvent(
-                "compute", "reconstruct", start, start + costs[i].reconstruct_ms
+        )
+        steps.append(
+            Step(
+                op=Fixed(cost.reconstruct_ms),
+                device=i,
+                stage="reconstruct",
+                shape=_UNIT,
+                deps=(len(steps) - 1,),
             )
         )
 
@@ -244,70 +307,65 @@ def schedule_rows(
     if schedule not in ("fused", "split"):
         raise ConfigurationError(f"unknown rows schedule {schedule!r}")
 
-    p = len(costs)
-    events: List[List[TimelineEvent]] = [[] for _ in range(p)]
-    arrivals: List[float] = []
+    steps: List[Step] = []
+    boundary_sends: List[int] = []
     for i, cost in enumerate(costs):
         if schedule == "fused":
-            local_end = cost.fused_ms
-            events[i].append(
-                TimelineEvent("compute", "local_solve", 0.0, local_end)
-            )
-            t_send = interconnect.transfer_ms(cost.boundary_nbytes, i, host, p)
-            if t_send > 0:
-                events[i].append(
-                    TimelineEvent(
-                        "xfer", "send_boundary", local_end, local_end + t_send
-                    )
+            steps.append(
+                Step(
+                    op=Fixed(cost.fused_ms),
+                    device=i,
+                    stage="local_solve",
+                    shape=_UNIT,
                 )
-            arrivals.append(local_end + t_send)
+            )
+            last, nbytes = len(steps) - 1, cost.boundary_nbytes
         else:
-            spikes_end = cost.spikes_ms
-            events[i].append(
-                TimelineEvent("compute", "spike_solve", 0.0, spikes_end)
-            )
-            t_spike = interconnect.transfer_ms(cost.spike_nbytes, i, host, p)
-            if t_spike > 0:
-                events[i].append(
-                    TimelineEvent(
-                        "xfer", "send_spikes", spikes_end, spikes_end + t_spike
-                    )
+            steps.append(
+                Step(
+                    op=Fixed(cost.spikes_ms),
+                    device=i,
+                    stage="spike_solve",
+                    shape=_UNIT,
                 )
-            data_end = spikes_end + cost.data_ms
-            events[i].append(
-                TimelineEvent("compute", "data_solve", spikes_end, data_end)
             )
-            # The device's transfer engine is busy until the spike message
-            # is out; the data-boundary message queues behind it.
-            send_start = max(data_end, spikes_end + t_spike)
-            t_data = interconnect.transfer_ms(cost.data_nbytes, i, host, p)
-            if t_data > 0:
-                events[i].append(
-                    TimelineEvent(
-                        "xfer", "send_boundary", send_start, send_start + t_data
-                    )
+            spike = len(steps) - 1
+            steps.append(
+                Step(
+                    op=Transfer(cost.spike_nbytes, i, host),
+                    device=i,
+                    engine="xfer",
+                    stage="send_spikes",
+                    shape=_UNIT,
+                    deps=(spike,),
                 )
-            arrivals.append(send_start + t_data)
-
-    _finish_rows(interconnect, costs, events, arrivals, reduced_ms, host)
-    timelines = tuple(
-        DeviceTimeline(i, device_names[i], tuple(events[i])) for i in range(p)
-    )
-    return DistReport(
-        group_label=group_label, schedule=schedule, timelines=timelines
-    )
-
-
-# -- batch mode -------------------------------------------------------------
-
-
-@dataclass(frozen=True)
-class BatchCosts:
-    """Per-device priced quantities for a batch-mode (sharded) solve."""
-
-    compute_ms: float  # the shard's local solve
-    input_nbytes: float  # four coefficient arrays in
-    output_nbytes: float  # one solution array back
+            )
+            # The data solve waits on the spike *compute*; its boundary
+            # message then queues behind the spike message on the
+            # device's transfer engine (resource contention).
+            steps.append(
+                Step(
+                    op=Fixed(cost.data_ms),
+                    device=i,
+                    stage="data_solve",
+                    shape=_UNIT,
+                    deps=(spike,),
+                )
+            )
+            last, nbytes = len(steps) - 1, cost.data_nbytes
+        steps.append(
+            Step(
+                op=Transfer(nbytes, i, host),
+                device=i,
+                engine="xfer",
+                stage="send_boundary",
+                shape=_UNIT,
+                deps=(last,),
+            )
+        )
+        boundary_sends.append(len(steps) - 1)
+    _rows_tail(steps, costs, boundary_sends, reduced_ms, host)
+    return _price(interconnect, device_names, steps, schedule, group_label)
 
 
 def schedule_batch(
@@ -328,49 +386,59 @@ def schedule_batch(
     if len(device_names) != len(costs) or not costs:
         raise ConfigurationError("one cost record per device is required")
     p = len(costs)
-    events: List[List[TimelineEvent]] = [[] for _ in range(p)]
+    steps: List[Step] = []
+    local_idx: List[int] = [0] * p
+    for i, cost in enumerate(costs):
+        deps: Tuple[int, ...] = ()
+        if i != host:
+            steps.append(
+                Step(
+                    op=Transfer(cost.input_nbytes, host, i),
+                    device=i,
+                    engine="xfer",
+                    stage="recv_coeffs",
+                    shape=_UNIT,
+                    resource=f"dev{host}:egress",
+                )
+            )
+            deps = (len(steps) - 1,)
+        steps.append(
+            Step(
+                op=Fixed(cost.compute_ms),
+                device=i,
+                stage="local_solve",
+                shape=_UNIT,
+                deps=deps,
+            )
+        )
+        local_idx[i] = len(steps) - 1
 
+    # The gather serialises in completion order; replicate the schedule
+    # arithmetic the engine will perform to know that order up front.
     compute_end: List[float] = [0.0] * p
     egress_free = 0.0
     for i, cost in enumerate(costs):
         if i == host:
-            events[i].append(
-                TimelineEvent("compute", "local_solve", 0.0, cost.compute_ms)
-            )
             compute_end[i] = cost.compute_ms
             continue
         t_in = interconnect.transfer_ms(cost.input_nbytes, host, i, p)
-        recv_end = egress_free + t_in
-        if t_in > 0:
-            events[i].append(
-                TimelineEvent("xfer", "recv_coeffs", egress_free, recv_end)
-            )
-        egress_free = recv_end
-        events[i].append(
-            TimelineEvent(
-                "compute", "local_solve", recv_end, recv_end + cost.compute_ms
-            )
-        )
-        compute_end[i] = recv_end + cost.compute_ms
-
-    ingress_free = 0.0
+        egress_free = egress_free + t_in
+        compute_end[i] = egress_free + cost.compute_ms
     for i in sorted(range(p), key=lambda j: compute_end[j]):
         if i == host:
             continue
-        t_out = interconnect.transfer_ms(costs[i].output_nbytes, i, host, p)
-        start = max(compute_end[i], ingress_free)
-        if t_out > 0:
-            events[i].append(
-                TimelineEvent("xfer", "send_solution", start, start + t_out)
+        steps.append(
+            Step(
+                op=Transfer(costs[i].output_nbytes, i, host),
+                device=i,
+                engine="xfer",
+                stage="send_solution",
+                shape=_UNIT,
+                deps=(local_idx[i],),
+                resource=f"dev{host}:ingress",
             )
-        ingress_free = start + t_out
-
-    timelines = tuple(
-        DeviceTimeline(i, device_names[i], tuple(events[i])) for i in range(p)
-    )
-    return DistReport(
-        group_label=group_label, schedule="pipelined", timelines=timelines
-    )
+        )
+    return _price(interconnect, device_names, steps, "pipelined", group_label)
 
 
 def single_device_report(

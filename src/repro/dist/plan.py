@@ -123,6 +123,18 @@ class DistPlan:
             local_plans=local,
         )
 
+    def lower(self, group, dtype_size: int, switch):
+        """Lower to a multi-device :class:`~repro.ir.Program`.
+
+        ``switch`` is the group's resolved switch points (the split rows
+        schedule re-plans the spike and data solves). The program is
+        what the shared :class:`~repro.ir.Engine` prices into the
+        distributed makespan report.
+        """
+        from ..ir.lower import lower_dist_plan
+
+        return lower_dist_plan(self, group, dtype_size, switch)
+
     def describe(self) -> str:
         """Multi-line human-readable plan."""
         lines = [

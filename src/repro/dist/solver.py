@@ -16,33 +16,34 @@ worth one device's time — by partitioning across a
   system; no coupling, the cost is the scatter/gather pipeline.
 
 Numerics are exact (verified against the single-device
-:class:`~repro.core.MultiStageSolver` to tight tolerance); timing is the
-:class:`~repro.dist.pipeline.DistReport` makespan of local kernel-model
-solves overlapped with interconnect transfers.
+:class:`~repro.core.MultiStageSolver` to tight tolerance). Timing comes
+from one shared path: the chosen :class:`~repro.dist.plan.DistPlan`
+lowers to an instruction :class:`~repro.ir.Program` (local solve
+fragments per device, transfers with dependency edges and resource
+claims, the reduced solve, the reconstruction) and the
+:class:`~repro.ir.Engine` prices it into the
+:class:`~repro.dist.pipeline.DistReport` makespan — the same interpreter
+that executes and prices single-device solves.
 """
 
 from __future__ import annotations
 
 import threading
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Dict, List, Tuple, Union
 
 import numpy as np
 
 from ..algorithms.verify import assert_solution
 from ..core.config import SwitchPoints
 from ..core.planner import plan_solve
-from ..core.pricing import price_base_kernel, simulate_plan
 from ..core.solver import MultiStageSolver
 from ..core.tuning import TuningCache, make_tuner
-from ..gpu.cost import ComputePhase, KernelCost, kernel_time_ms
-from ..gpu.executor import Device, SimReport
-from ..gpu.memory import MemoryTraffic
+from ..gpu.executor import SimReport
+from ..ir.engine import Engine
 from ..kernels import dtype_size
-from ..kernels.base import warps_for
 from ..systems.tridiagonal import TridiagonalBatch
 from ..util.errors import ConfigurationError, PlanError, ReproError
-from ..util.validation import next_power_of_two
 from .partition import (
     partition_bounds,
     reconstruct_chunk,
@@ -50,24 +51,11 @@ from .partition import (
     spike_rhs,
     split_chunks,
 )
-from .pipeline import (
-    BatchCosts,
-    DistReport,
-    RowsCosts,
-    schedule_batch,
-    schedule_rows,
-    single_device_report,
-)
+from .pipeline import DistReport
 from .plan import DistPlan, batch_shares
 from .topology import DeviceGroup, make_device_group
 
 __all__ = ["DistSolveResult", "DistributedSolver", "working_set_nbytes"]
-
-# Boundary values exchanged per system in rows mode: the data solution's
-# two chunk-edge values plus the four spike edge values.
-_SPIKE_BOUNDARY_VALUES = 4
-_DATA_BOUNDARY_VALUES = 2
-_CORRECTION_VALUES = 2
 
 
 def working_set_nbytes(num_systems: int, system_size: int, dsize: int) -> int:
@@ -137,10 +125,12 @@ class DistributedSolver:
         self.verify = verify
         self.cache = cache if isinstance(cache, TuningCache) else TuningCache(cache)
         self._tuning = tuning
+        self._engine = Engine.for_group(group)
         self._lock = threading.Lock()
         self._switch: Dict[int, SwitchPoints] = {}
         self._solvers: Dict[Tuple[int, int], MultiStageSolver] = {}
         self._planned: Dict[Tuple[int, int, int], Tuple[DistPlan, DistReport]] = {}
+        self._programs: Dict[Tuple[DistPlan, int], object] = {}
 
     # -- tuning ----------------------------------------------------------
 
@@ -166,7 +156,7 @@ class DistributedSolver:
             resolved = self._tuning.switch_points(self.group[0], 0, 0, dsize)
         else:
             raise ConfigurationError(
-                f"tuning must be SwitchPoints, a tuner, or a strategy name; "
+                "tuning must be SwitchPoints, a tuner, or a strategy name; "
                 f"got {type(self._tuning).__name__}"
             )
         with self._lock:
@@ -181,6 +171,23 @@ class DistributedSolver:
         solver = MultiStageSolver(self.group[index], self.switch_points_for(dsize))
         with self._lock:
             return self._solvers.setdefault(key, solver)
+
+    # -- lowering ---------------------------------------------------------
+
+    def lower(self, plan: DistPlan, dsize: int):
+        """The instruction program for ``plan``, memoised per dtype."""
+        key = (plan, dsize)
+        with self._lock:
+            program = self._programs.get(key)
+        if program is not None:
+            return program
+        program = plan.lower(self.group, dsize, self.switch_points_for(dsize))
+        with self._lock:
+            return self._programs.setdefault(key, program)
+
+    def _report_for(self, plan: DistPlan, dsize: int) -> DistReport:
+        """Price ``plan``'s program on the shared engine."""
+        return self._engine.price(self.lower(plan, dsize)).report
 
     # -- planning & pricing ----------------------------------------------
 
@@ -230,30 +237,36 @@ class DistributedSolver:
         with self._lock:
             return self._planned.setdefault(key, best)
 
+    def _rows_plan(
+        self,
+        m: int,
+        n: int,
+        chunk_sizes: Tuple[int, ...],
+        schedule: str,
+        local_plans: Tuple,
+    ) -> DistPlan:
+        return DistPlan(
+            mode="rows",
+            num_devices=len(chunk_sizes),
+            num_systems=m,
+            system_size=n,
+            chunk_sizes=chunk_sizes,
+            schedule=schedule,
+            topology=self.group.interconnect.describe(),
+            device_name=self.group.device_name,
+            local_plans=local_plans,
+        )
+
     def _price_rows(
         self, m: int, n: int, dsize: int
     ) -> Tuple[DistPlan, DistReport]:
         p = len(self.group)
         switch = self.switch_points_for(dsize)
-        label = self.group.describe()
         if p == 1:
             local = plan_solve(self.group[0], m, n, dsize, switch)
             self._check_local_memory(local, dsize)
-            _, report = simulate_plan(self.group[0], m, n, dsize, switch)
-            plan = DistPlan(
-                mode="rows",
-                num_devices=1,
-                num_systems=m,
-                system_size=n,
-                chunk_sizes=(n,),
-                schedule="fused",
-                topology=self.group.interconnect.describe(),
-                device_name=self.group.device_name,
-                local_plans=(local,),
-            )
-            return plan, single_device_report(
-                self.group.device_name, report.total_ms, group_label=label
-            )
+            plan = self._rows_plan(m, n, (n,), "fused", (local,))
+            return plan, self._report_for(plan, dsize)
         bounds = partition_bounds(n, p)
         chunk_sizes = tuple(stop - start for start, stop in bounds)
         local_plans = tuple(
@@ -262,27 +275,18 @@ class DistributedSolver:
         )
         for local in local_plans:
             self._check_local_memory(local, dsize)
-        costs = self._rows_costs(m, chunk_sizes, dsize, switch, fused_ms=None)
-        report = schedule_rows(
-            self.group.interconnect,
-            [d.name for d in self.group],
-            costs,
-            self._reduced_ms(m, p, dsize),
-            schedule=self.schedule,
-            group_label=label,
+        schedules = (
+            ("fused", "split") if self.schedule == "auto" else (self.schedule,)
         )
-        plan = DistPlan(
-            mode="rows",
-            num_devices=p,
-            num_systems=m,
-            system_size=n,
-            chunk_sizes=chunk_sizes,
-            schedule=report.schedule,
-            topology=self.group.interconnect.describe(),
-            device_name=self.group.device_name,
-            local_plans=local_plans,
-        )
-        return plan, report
+        best = None
+        for sched in schedules:
+            plan = self._rows_plan(m, n, chunk_sizes, sched, local_plans)
+            report = self._report_for(plan, dsize)
+            # Ties keep the earlier (fused) schedule, matching the
+            # historical auto rule.
+            if best is None or report.total_ms < best[1].total_ms:
+                best = (plan, report)
+        return best
 
     def _price_batch(
         self, m: int, n: int, dsize: int
@@ -306,13 +310,9 @@ class DistributedSolver:
         )
         for local in local_plans:
             self._check_local_memory(local, dsize)
-        costs = self._batch_costs(shares, n, dsize, switch, compute_ms=None)
-        report = schedule_batch(
-            self.group.interconnect,
-            [d.name for d in self.group],
-            costs,
-            group_label=self.group.describe(),
-        )
+        if len(shares) != p:
+            # Fewer systems than devices: no full scatter exists.
+            raise ConfigurationError("one cost record per device is required")
         plan = DistPlan(
             mode="batch",
             num_devices=p,
@@ -324,108 +324,13 @@ class DistributedSolver:
             device_name=self.group.device_name,
             local_plans=local_plans,
         )
-        return plan, report
+        return plan, self._report_for(plan, dsize)
 
     def _check_local_memory(self, local_plan, dsize: int) -> None:
         nbytes = working_set_nbytes(
             local_plan.num_systems, local_plan.system_size, dsize
         )
         self.group[0].check_fits_global(nbytes)
-
-    # -- cost assembly ----------------------------------------------------
-
-    def _rows_costs(
-        self,
-        m: int,
-        chunk_sizes: Tuple[int, ...],
-        dsize: int,
-        switch: SwitchPoints,
-        fused_ms: Optional[List[float]],
-    ) -> List[RowsCosts]:
-        costs: List[RowsCosts] = []
-        for i, q in enumerate(chunk_sizes):
-            device = self.group[i]
-            if fused_ms is None:
-                _, fused = simulate_plan(device, 3 * m, q, dsize, switch)
-                fused_total = fused.total_ms
-            else:
-                fused_total = fused_ms[i]
-            _, spikes = simulate_plan(device, 2 * m, q, dsize, switch)
-            _, data = simulate_plan(device, m, q, dsize, switch)
-            costs.append(
-                RowsCosts(
-                    fused_ms=fused_total,
-                    spikes_ms=spikes.total_ms,
-                    data_ms=data.total_ms,
-                    reconstruct_ms=self._reconstruct_ms(device, m * q, dsize),
-                    boundary_nbytes=float(
-                        (_SPIKE_BOUNDARY_VALUES + _DATA_BOUNDARY_VALUES)
-                        * m
-                        * dsize
-                    ),
-                    spike_nbytes=float(_SPIKE_BOUNDARY_VALUES * m * dsize),
-                    data_nbytes=float(_DATA_BOUNDARY_VALUES * m * dsize),
-                    correction_nbytes=float(_CORRECTION_VALUES * m * dsize),
-                )
-            )
-        return costs
-
-    def _batch_costs(
-        self,
-        shares: Tuple[int, ...],
-        n: int,
-        dsize: int,
-        switch: SwitchPoints,
-        compute_ms: Optional[List[float]],
-    ) -> List[BatchCosts]:
-        costs: List[BatchCosts] = []
-        for i, share in enumerate(shares):
-            if compute_ms is None:
-                _, report = simulate_plan(
-                    self.group[i], share, n, dsize, switch
-                )
-                ms = report.total_ms
-            else:
-                ms = compute_ms[i]
-            costs.append(
-                BatchCosts(
-                    compute_ms=ms,
-                    input_nbytes=float(4 * share * n * dsize),
-                    output_nbytes=float(share * n * dsize),
-                )
-            )
-        return costs
-
-    def _reduced_ms(self, m: int, p: int, dsize: int) -> float:
-        """Price the 2×2-block reduced solve as an on-chip solve of the
-        equivalent ``2p``-row system batch on the host device."""
-        size = max(2, next_power_of_two(2 * p))
-        return price_base_kernel(
-            self.group[0],
-            m,
-            size,
-            dsize,
-            thomas_switch=size,
-            variant="coalesced",
-        )
-
-    def _reconstruct_ms(self, device: Device, elements: int, dsize: int) -> float:
-        """Price ``x = y - w t - v s``: a streaming fused-multiply-add."""
-        spec = device.spec
-        traffic = MemoryTraffic()
-        # Read y, w, v; write x.
-        traffic.add(spec, 4.0 * elements * dsize, stride=1)
-        threads = min(256, spec.max_threads_per_block)
-        grid = max(1, -(-elements // threads))
-        cost = KernelCost(
-            name="reconstruct",
-            grid_blocks=min(grid, spec.max_grid_blocks),
-            threads_per_block=threads,
-            regs_per_thread=8,
-            phases=[ComputePhase(warps_for(elements) * 4.0)],
-            traffic=traffic,
-        )
-        return kernel_time_ms(spec, cost).total_ms
 
     # -- execution --------------------------------------------------------
 
@@ -477,7 +382,6 @@ class DistributedSolver:
     ) -> DistSolveResult:
         m, n = batch.shape
         p = plan.num_devices
-        label = self.group.describe()
         if p == 1:
             local = self._solver(0, dsize).execute_plan(
                 batch, plan.local_plans[0], switch
@@ -486,11 +390,7 @@ class DistributedSolver:
                 x=local.x,
                 plan=plan,
                 switch_points=switch,
-                report=single_device_report(
-                    self.group.device_name,
-                    local.report.total_ms,
-                    group_label=label,
-                ),
+                report=self._report_for(plan, dsize),
                 local_reports=(local.report,),
             )
         bounds = []
@@ -504,7 +404,6 @@ class DistributedSolver:
         ws: List[np.ndarray] = []
         vs: List[np.ndarray] = []
         local_reports: List[SimReport] = []
-        fused_ms: List[float] = []
         for i, chunk in enumerate(chunks):
             local = self._solver(i, dsize).execute_plan(
                 spike_rhs(chunk), plan.local_plans[i], switch
@@ -513,7 +412,6 @@ class DistributedSolver:
             ws.append(local.x[m : 2 * m])
             vs.append(local.x[2 * m :])
             local_reports.append(local.report)
-            fused_ms.append(local.report.total_ms)
 
         t_prev, s_next = solve_reduced_system(
             np.stack([y[:, 0] for y in ys], axis=1),
@@ -529,22 +427,11 @@ class DistributedSolver:
                 ys[i], ws[i], vs[i], t_prev[:, i], s_next[:, i]
             )
 
-        costs = self._rows_costs(
-            m, plan.chunk_sizes, dsize, switch, fused_ms=fused_ms
-        )
-        report = schedule_rows(
-            self.group.interconnect,
-            [d.name for d in self.group],
-            costs,
-            self._reduced_ms(m, p, dsize),
-            schedule=plan.schedule,
-            group_label=label,
-        )
         return DistSolveResult(
             x=x,
             plan=plan,
             switch_points=switch,
-            report=report,
+            report=self._report_for(plan, dsize),
             local_reports=tuple(local_reports),
         )
 
@@ -558,7 +445,6 @@ class DistributedSolver:
         shares = plan.chunk_sizes
         parts: List[np.ndarray] = []
         local_reports: List[SimReport] = []
-        compute_ms: List[float] = []
         offset = 0
         for i, share in enumerate(shares):
             rows = slice(offset, offset + share)
@@ -571,21 +457,11 @@ class DistributedSolver:
             )
             parts.append(local.x)
             local_reports.append(local.report)
-            compute_ms.append(local.report.total_ms)
         x = np.concatenate(parts, axis=0)
-        costs = self._batch_costs(
-            shares, plan.system_size, dsize, switch, compute_ms=compute_ms
-        )
-        report = schedule_batch(
-            self.group.interconnect,
-            [self.group[i].name for i in range(len(shares))],
-            costs,
-            group_label=self.group.describe(),
-        )
         return DistSolveResult(
             x=x,
             plan=plan,
             switch_points=switch,
-            report=report,
+            report=self._report_for(plan, dsize),
             local_reports=tuple(local_reports),
         )

@@ -114,7 +114,6 @@ class MultiStageFFT:
         spec = self.device.spec
         num_tiles = total // tile
         stages = ilog2(tile)
-        butterflies = (tile / 2.0) * stages
         threads = min(max(32, tile // 2), spec.max_threads_per_block)
         instr = num_tiles * warps_for(max(32, tile // 2)) * stages * _BUTTERFLY_INSTR * (tile / 2.0) / max(32, tile // 2)
         traffic = MemoryTraffic()

@@ -8,12 +8,17 @@ the pipeline stage that issued it. A finished session yields a
 :class:`SimReport` with totals and per-stage breakdowns — the simulated
 equivalent of wall-clock measurements, and the quantity the self-tuner
 minimises.
+
+Each :class:`LaunchRecord` also carries a trace span (``start_ms`` /
+``end_ms`` on the session's serial timeline) and the issuing device name,
+so the instruction-program engine (:mod:`repro.ir.engine`) gets uniform
+per-instruction observability without a second bookkeeping path.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import Dict, List
 
 from ..util.errors import DeviceError
 from .cost import CostBreakdown, KernelCost, kernel_time_ms
@@ -29,6 +34,11 @@ class LaunchRecord:
 
     stage: str
     breakdown: CostBreakdown
+    # Trace fields (defaulted so records remain cheap to construct by
+    # hand in tests): where and when on the session's serial timeline.
+    device_name: str = ""
+    start_ms: float = 0.0
+    end_ms: float = 0.0
 
     @property
     def total_ms(self) -> float:
@@ -111,6 +121,7 @@ class SimSession:
     def __init__(self, device: Device):
         self.device = device
         self._records: List[LaunchRecord] = []
+        self._total_ms = 0.0  # running total; keeps elapsed_ms O(1)
         self._closed = False
 
     def submit(self, cost: KernelCost, *, stage: str) -> CostBreakdown:
@@ -118,13 +129,33 @@ class SimSession:
         if self._closed:
             raise DeviceError("session is closed")
         breakdown = kernel_time_ms(self.device.spec, cost)
-        self._records.append(LaunchRecord(stage=stage, breakdown=breakdown))
+        start = self._total_ms
+        self._total_ms = start + breakdown.total_ms
+        self._records.append(
+            LaunchRecord(
+                stage=stage,
+                breakdown=breakdown,
+                device_name=self.device.name,
+                start_ms=start,
+                end_ms=self._total_ms,
+            )
+        )
         return breakdown
 
     @property
     def elapsed_ms(self) -> float:
-        """Simulated time so far."""
-        return sum(r.total_ms for r in self._records)
+        """Simulated time so far (accumulated, not re-summed)."""
+        return self._total_ms
+
+    def snapshot(self) -> SimReport:
+        """A report of everything recorded so far, without closing.
+
+        Use this to observe a session mid-flight (progress displays,
+        engine traces); :meth:`report` remains the terminal call.
+        """
+        return SimReport(
+            device_name=self.device.name, records=tuple(self._records)
+        )
 
     def report(self) -> SimReport:
         """Close the session and return its report."""

@@ -19,7 +19,7 @@ GT200 / GF100) and calibrated so that the *published shapes* of Figures
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Dict, Tuple
 
 from ..util.errors import ConfigurationError, DeviceError

@@ -1,0 +1,58 @@
+"""The typed instruction IR: one representation for every solve.
+
+Plans lower to :class:`Program`\\ s of typed :class:`Step`\\ s; one
+:class:`Engine` interprets a program either with data (**execute**) or
+without (**price**), so the single-device solver, the distributed
+solver, and the batched service all share one sequencing/pricing path.
+"""
+
+from .engine import Engine, EngineRun, StepTrace
+from .instructions import (
+    Barrier,
+    Fixed,
+    OnChipSolve,
+    Pad,
+    Program,
+    Reconstruct,
+    ReducedSolve,
+    SplitBlock,
+    SplitCoop,
+    Step,
+    Transfer,
+    Unpad,
+    Unsplit,
+    signature_text,
+)
+from .lower import lower_dist_plan, lower_solve_plan
+from .passes import (
+    canonicalize,
+    eliminate_dead_steps,
+    run_default_passes,
+    validate,
+)
+
+__all__ = [
+    "Program",
+    "Step",
+    "Pad",
+    "Unpad",
+    "SplitCoop",
+    "SplitBlock",
+    "OnChipSolve",
+    "Unsplit",
+    "ReducedSolve",
+    "Reconstruct",
+    "Transfer",
+    "Barrier",
+    "Fixed",
+    "signature_text",
+    "Engine",
+    "EngineRun",
+    "StepTrace",
+    "lower_solve_plan",
+    "lower_dist_plan",
+    "eliminate_dead_steps",
+    "canonicalize",
+    "validate",
+    "run_default_passes",
+]

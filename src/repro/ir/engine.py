@@ -1,0 +1,265 @@
+"""The one interpreter behind every execution path.
+
+:class:`Engine` interprets a lowered :class:`~repro.ir.instructions.Program`
+in two modes:
+
+- :meth:`Engine.execute` — carries a real
+  :class:`~repro.systems.TridiagonalBatch` through the kernel handlers on
+  a live :class:`~repro.gpu.executor.SimSession`. Single-device
+  (``kind="solve"``) programs only; this is what
+  :meth:`MultiStageSolver.execute_plan` runs.
+- :meth:`Engine.price` — data-free. Solve programs submit the handlers'
+  :class:`~repro.gpu.cost.KernelCost` records to a session (bit-identical
+  totals to execution, because they are the *same* records in the same
+  order). Dist programs run a list scheduler: each step starts when its
+  dependencies have finished and its resource (a device's compute or
+  transfer engine, or a named shared link) is free, and lands as an event
+  on a per-device timeline — the
+  :class:`~repro.dist.pipeline.DistReport` makespan model.
+
+Both modes thread a per-instruction :class:`StepTrace` (stage, device,
+span) so every path gets uniform observability from one bookkeeping
+mechanism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..gpu.cost import kernel_time_ms
+from ..gpu.executor import Device
+from ..kernels.base import KernelContext
+from ..util.errors import PlanError
+from .instructions import Fixed, Program, Step, Transfer
+
+
+def _handlers():
+    # Imported on first use: repro.kernels.handlers itself imports
+    # repro.ir.instructions, so a module-level import here would close an
+    # import cycle through the package __init__s.
+    from ..kernels import handlers
+
+    return handlers
+
+__all__ = ["StepTrace", "EngineRun", "Engine"]
+
+
+@dataclass(frozen=True)
+class StepTrace:
+    """Where and when one instruction ran (or was priced)."""
+
+    index: int
+    op: str
+    stage: str
+    device: int
+    engine: str
+    start_ms: float
+    end_ms: float
+
+    @property
+    def duration_ms(self) -> float:
+        """Length of the step's span."""
+        return self.end_ms - self.start_ms
+
+
+@dataclass(frozen=True)
+class EngineRun:
+    """Outcome of one program interpretation.
+
+    ``report`` is a :class:`~repro.gpu.executor.SimReport` for solve
+    programs and a :class:`~repro.dist.pipeline.DistReport` for dist
+    programs; ``x`` is the solution in execute mode, ``None`` when the
+    run was data-free.
+    """
+
+    program: Program
+    report: object
+    trace: Tuple[StepTrace, ...]
+    x: Optional[np.ndarray] = None
+
+    @property
+    def total_ms(self) -> float:
+        """Simulated end-to-end time of the run."""
+        return self.report.total_ms
+
+
+class Engine:
+    """Interprets programs against a set of (simulated) devices.
+
+    ``devices`` entries may be :class:`Device` objects or bare name
+    strings — names suffice for programs made only of ``Fixed`` and
+    ``Transfer`` steps (the legacy scheduler wrappers); kernel opcodes
+    need real devices for the cost model.
+    """
+
+    def __init__(self, devices, interconnect=None, label: str = ""):
+        self.devices = tuple(devices)
+        self.interconnect = interconnect
+        self.label = label
+        self._price_ctx: Dict[int, KernelContext] = {}
+
+    @classmethod
+    def for_device(cls, device: Device) -> "Engine":
+        """An engine over one device (solve programs)."""
+        return cls((device,), label=device.name)
+
+    @classmethod
+    def for_group(cls, group) -> "Engine":
+        """An engine over a :class:`~repro.dist.topology.DeviceGroup`."""
+        return cls(
+            tuple(group.devices),
+            interconnect=group.interconnect,
+            label=group.describe(),
+        )
+
+    # -- device plumbing ---------------------------------------------------
+
+    def _require_device(self, index: int) -> Device:
+        if index >= len(self.devices):
+            raise PlanError(
+                f"program targets device {index}, engine has "
+                f"{len(self.devices)}"
+            )
+        device = self.devices[index]
+        if not isinstance(device, Device):
+            raise PlanError(
+                f"step needs a kernel cost model but device {index} is the "
+                f"bare name {device!r}"
+            )
+        return device
+
+    def _ctx(self, index: int) -> KernelContext:
+        """A throwaway pricing context for ``devices[index]`` (cost
+        methods read only the device spec; nothing is ever submitted)."""
+        ctx = self._price_ctx.get(index)
+        if ctx is None:
+            from ..gpu.executor import SimSession
+
+            ctx = KernelContext(SimSession(self._require_device(index)))
+            self._price_ctx[index] = ctx
+        return ctx
+
+    # -- execute mode ------------------------------------------------------
+
+    def execute(self, program: Program, batch) -> EngineRun:
+        """Run ``program`` on real data; single-device programs only."""
+        if program.kind != "solve":
+            raise PlanError(
+                f"only solve programs execute data; got kind {program.kind!r}"
+            )
+        handlers = _handlers()
+        device = self._require_device(0)
+        session = device.session()
+        ctx = KernelContext(session)
+        state = handlers.ExecState.for_batch(batch)
+        trace: List[StepTrace] = []
+        for i, step in enumerate(program.steps):
+            start = session.elapsed_ms
+            handlers.execute_step(step, ctx, state)
+            trace.append(self._trace(i, step, start, session.elapsed_ms))
+        return EngineRun(
+            program=program,
+            report=session.report(),
+            trace=tuple(trace),
+            x=state.x,
+        )
+
+    # -- price mode --------------------------------------------------------
+
+    def price(self, program: Program) -> EngineRun:
+        """Price ``program`` without data."""
+        if program.kind == "solve":
+            return self._price_solve(program)
+        return self._price_dist(program)
+
+    def _price_solve(self, program: Program) -> EngineRun:
+        handlers = _handlers()
+        device = self._require_device(0)
+        session = device.session()
+        ctx = KernelContext(session)
+        trace: List[StepTrace] = []
+        for i, step in enumerate(program.steps):
+            start = session.elapsed_ms
+            for cost in handlers.price_costs(step, ctx, program.dtype_size):
+                session.submit(cost, stage=step.stage)
+            trace.append(self._trace(i, step, start, session.elapsed_ms))
+        return EngineRun(
+            program=program, report=session.report(), trace=tuple(trace)
+        )
+
+    def _price_dist(self, program: Program) -> EngineRun:
+        from ..dist.pipeline import DeviceTimeline, DistReport, TimelineEvent
+
+        p = program.num_devices
+        events: List[List[TimelineEvent]] = [[] for _ in range(p)]
+        end_of: List[float] = [0.0] * len(program.steps)
+        free: Dict[str, float] = {}
+        trace: List[StepTrace] = []
+        for i, step in enumerate(program.steps):
+            ready = max((end_of[d] for d in step.deps), default=0.0)
+            if step.is_marker:
+                # Free bookkeeping: passes dependencies through without
+                # occupying any engine.
+                end_of[i] = ready
+                trace.append(self._trace(i, step, ready, ready))
+                continue
+            duration = self._step_duration(step, program)
+            start = max(ready, free.get(step.resource_key, 0.0))
+            end = start + duration
+            free[step.resource_key] = end
+            end_of[i] = end
+            kind = "compute" if step.engine == "compute" else "xfer"
+            # Compute spans always land on the timeline (even
+            # zero-duration ones); transfers only when data moved — a
+            # free local hop occupies the link for no time and draws
+            # nothing.
+            if kind == "compute" or duration > 0:
+                events[step.device].append(
+                    TimelineEvent(kind, step.stage, start, end)
+                )
+            trace.append(self._trace(i, step, start, end))
+        timelines = tuple(
+            DeviceTimeline(i, program.device_names[i], tuple(events[i]))
+            for i in range(p)
+        )
+        report = DistReport(
+            group_label=program.label or self.label,
+            schedule=program.schedule,
+            timelines=timelines,
+        )
+        return EngineRun(program=program, report=report, trace=tuple(trace))
+
+    def _step_duration(self, step: Step, program: Program) -> float:
+        """Simulated duration of one non-marker step."""
+        op = step.op
+        if isinstance(op, Fixed):
+            return op.ms
+        if isinstance(op, Transfer):
+            if self.interconnect is None:
+                raise PlanError(
+                    "program transfers data but the engine has no interconnect"
+                )
+            nbytes = op.values_per_system * step.shape[0] * program.dtype_size
+            return self.interconnect.transfer_ms(
+                nbytes, op.src, op.dst, program.num_devices
+            )
+        ctx = self._ctx(step.device)
+        total = 0.0
+        for cost in _handlers().price_costs(step, ctx, program.dtype_size):
+            total += kernel_time_ms(ctx.spec, cost).total_ms
+        return total
+
+    @staticmethod
+    def _trace(i: int, step: Step, start: float, end: float) -> StepTrace:
+        return StepTrace(
+            index=i,
+            op=type(step.op).__name__,
+            stage=step.stage,
+            device=step.device,
+            engine=step.engine,
+            start_ms=start,
+            end_ms=end,
+        )

@@ -1,0 +1,318 @@
+"""Lowering: plans become instruction programs.
+
+:func:`lower_solve_plan` turns a :class:`~repro.core.planner.SolvePlan`
+into a single-device ``solve`` program — the Figure-1 staged workflow
+spelled out as steps. :func:`lower_dist_plan` turns a
+:class:`~repro.dist.plan.DistPlan` into a multi-device ``dist`` program:
+the same local solve fragments placed per device, plus the transfers,
+the SPIKE reduced solve, and the reconstruction, with dependency edges
+and resource claims encoding exactly the overlap structure the pipeline
+scheduler used to hand-roll.
+
+Every lowering runs the default pass pipeline, so zero-step splits and
+zero-byte transfers never reach the engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import List, Tuple
+
+from ..util.validation import next_power_of_two
+from .engine import Engine
+from .instructions import (
+    OnChipSolve,
+    Pad,
+    Program,
+    Reconstruct,
+    ReducedSolve,
+    SplitBlock,
+    SplitCoop,
+    Step,
+    Transfer,
+    Unpad,
+    Unsplit,
+)
+from .passes import run_default_passes
+
+__all__ = ["lower_solve_plan", "lower_dist_plan"]
+
+_SOLVE_STAGES = ("stage1_coop_pcr", "stage2_global_pcr", "stage3_pcr_thomas")
+
+# Values exchanged per system in rows mode (see repro.dist.solver): the
+# four spike boundary values, the two data boundary values, and the two
+# correction values coming back.
+_SPIKE_VALUES = 4.0
+_DATA_VALUES = 2.0
+_CORRECTION_VALUES = 2.0
+
+
+def _solve_steps(
+    plan,
+    *,
+    device: int = 0,
+    base: int = 0,
+    deps: Tuple[int, ...] = (),
+    stages: Tuple[str, str, str] = _SOLVE_STAGES,
+    marker_stage: str = "",
+) -> List[Step]:
+    """The staged-solve fragment for one local plan, chained internally.
+
+    ``base`` is the index the first emitted step will occupy in the
+    enclosing program; ``deps`` feeds the fragment's first step.
+    """
+    m, n = plan.num_systems, plan.system_size
+    steps: List[Step] = []
+
+    def add(op, *, engine: str = "compute", stage: str, shape) -> None:
+        prev = (base + len(steps) - 1,) if steps else tuple(deps)
+        steps.append(
+            Step(
+                op=op,
+                device=device,
+                engine=engine,
+                stage=stage,
+                shape=shape,
+                deps=prev,
+            )
+        )
+
+    add(Pad(n), stage=marker_stage, shape=(m, n))
+    add(SplitCoop(plan.stage1_steps), stage=stages[0], shape=(m, n))
+    add(
+        SplitBlock(plan.stage2_steps, start_stride=1 << plan.stage1_steps),
+        stage=stages[1],
+        shape=(plan.systems_entering_stage2, n >> plan.stage1_steps),
+    )
+    add(
+        OnChipSolve(plan.thomas_switch, plan.variant, plan.stride),
+        stage=stages[2],
+        shape=(plan.systems_entering_stage3, plan.stage3_system_size),
+    )
+    add(Unsplit(plan.stage2_steps), stage=marker_stage, shape=(m, n))
+    add(Unsplit(plan.stage1_steps), stage=marker_stage, shape=(m, n))
+    add(Unpad(), stage=marker_stage, shape=(m, n))
+    return steps
+
+
+def lower_solve_plan(plan, device, dtype_size: int) -> Program:
+    """Lower a single-device :class:`SolvePlan` to a ``solve`` program."""
+    steps = _solve_steps(plan)
+    program = Program(
+        kind="solve",
+        label=device.name,
+        device_names=(device.name,),
+        dtype_size=dtype_size,
+        num_systems=plan.num_systems,
+        system_size=plan.system_size,
+        steps=tuple(steps),
+    )
+    return run_default_passes(program)
+
+
+def _local_fragment(
+    steps: List[Step], plan, device: int, stage: str, deps: Tuple[int, ...]
+) -> int:
+    """Append one local solve fragment; returns its last step's index."""
+    steps.extend(
+        _solve_steps(
+            plan,
+            device=device,
+            base=len(steps),
+            deps=deps,
+            stages=(stage, stage, stage),
+            marker_stage=stage,
+        )
+    )
+    return len(steps) - 1
+
+
+def lower_dist_plan(plan, group, dtype_size: int, switch) -> Program:
+    """Lower a :class:`DistPlan` to a multi-device ``dist`` program.
+
+    ``switch`` is the group's resolved switch points — the split rows
+    schedule re-plans the spike and data solves separately, exactly as
+    the pipeline pricing used to.
+    """
+    if plan.mode == "batch":
+        return _lower_batch(plan, group, dtype_size)
+    return _lower_rows(plan, group, dtype_size, switch)
+
+
+def _lower_rows(plan, group, dtype_size: int, switch) -> Program:
+    from ..core.planner import plan_solve
+
+    p = plan.num_devices
+    m = plan.num_systems
+    label = group.describe()
+    names = tuple(d.name for d in group)
+    if p == 1:
+        steps: List[Step] = []
+        _local_fragment(steps, plan.local_plans[0], 0, "local_solve", ())
+        return run_default_passes(
+            Program(
+                kind="dist",
+                label=label,
+                device_names=(group.device_name,),
+                dtype_size=dtype_size,
+                num_systems=m,
+                system_size=plan.system_size,
+                schedule=plan.schedule,
+                topology=plan.topology,
+                steps=tuple(steps),
+            )
+        )
+
+    steps = []
+    boundary_sends: List[int] = []
+    for i, chunk in enumerate(plan.chunk_sizes):
+        if plan.schedule == "fused":
+            last = _local_fragment(
+                steps, plan.local_plans[i], i, "local_solve", ()
+            )
+            values = _SPIKE_VALUES + _DATA_VALUES
+        else:
+            spike_plan = plan_solve(group[i], 2 * m, chunk, dtype_size, switch)
+            spike_last = _local_fragment(steps, spike_plan, i, "spike_solve", ())
+            steps.append(
+                Step(
+                    op=Transfer(_SPIKE_VALUES, i, 0),
+                    device=i,
+                    engine="xfer",
+                    stage="send_spikes",
+                    shape=(m, chunk),
+                    deps=(spike_last,),
+                )
+            )
+            data_plan = plan_solve(group[i], m, chunk, dtype_size, switch)
+            # The data solve waits on the spike *compute*, not the spike
+            # message; the device's transfer engine queues the boundary
+            # message behind the spike message by resource contention.
+            last = _local_fragment(
+                steps, data_plan, i, "data_solve", (spike_last,)
+            )
+            values = _DATA_VALUES
+        steps.append(
+            Step(
+                op=Transfer(values, i, 0),
+                device=i,
+                engine="xfer",
+                stage="send_boundary",
+                shape=(m, chunk),
+                deps=(last,),
+            )
+        )
+        boundary_sends.append(len(steps) - 1)
+
+    reduced_size = max(2, next_power_of_two(2 * p))
+    steps.append(
+        Step(
+            op=ReducedSolve(reduced_size),
+            device=0,
+            stage="reduced_solve",
+            shape=(m, reduced_size),
+            deps=tuple(boundary_sends),
+        )
+    )
+    reduced = len(steps) - 1
+    for i, chunk in enumerate(plan.chunk_sizes):
+        steps.append(
+            Step(
+                op=Transfer(_CORRECTION_VALUES, 0, i),
+                device=i,
+                engine="xfer",
+                stage="recv_correction",
+                shape=(m, chunk),
+                deps=(reduced,),
+            )
+        )
+        steps.append(
+            Step(
+                op=Reconstruct(),
+                device=i,
+                stage="reconstruct",
+                shape=(m, chunk),
+                deps=(len(steps) - 1,),
+            )
+        )
+    return run_default_passes(
+        Program(
+            kind="dist",
+            label=label,
+            device_names=names,
+            dtype_size=dtype_size,
+            num_systems=m,
+            system_size=plan.system_size,
+            schedule=plan.schedule,
+            topology=plan.topology,
+            steps=tuple(steps),
+        )
+    )
+
+
+def _lower_batch(plan, group, dtype_size: int) -> Program:
+    shares = plan.chunk_sizes
+    active = len(shares)
+    n = plan.system_size
+    names = tuple(group[i].name for i in range(active))
+    host = 0
+
+    steps: List[Step] = []
+    for i, share in enumerate(shares):
+        if i == host:
+            _local_fragment(steps, plan.local_plans[i], i, "local_solve", ())
+            continue
+        steps.append(
+            Step(
+                op=Transfer(4.0 * n, host, i),
+                device=i,
+                engine="xfer",
+                stage="recv_coeffs",
+                shape=(share, n),
+                deps=(),
+                resource=f"dev{host}:egress",
+            )
+        )
+        _local_fragment(
+            steps, plan.local_plans[i], i, "local_solve", (len(steps) - 1,)
+        )
+    prefix = run_default_passes(
+        Program(
+            kind="dist",
+            label=group.describe(),
+            device_names=names,
+            dtype_size=dtype_size,
+            num_systems=plan.num_systems,
+            system_size=n,
+            schedule=plan.schedule,
+            topology=plan.topology,
+            steps=tuple(steps),
+        )
+    )
+
+    # The gather serialises on the host's ingress link in *completion*
+    # order. Pricing the scatter+compute prefix with the same engine
+    # that will interpret the final program yields exactly the
+    # completion times the schedule will see.
+    run = Engine.for_group(group).price(prefix)
+    last_idx = {}
+    for idx, step in enumerate(prefix.steps):
+        last_idx[step.device] = idx
+    compute_end = {i: run.trace[last_idx[i]].end_ms for i in range(active)}
+
+    final = list(prefix.steps)
+    for i in sorted(range(active), key=lambda j: compute_end[j]):
+        if i == host:
+            continue
+        final.append(
+            Step(
+                op=Transfer(float(n), i, host),
+                device=i,
+                engine="xfer",
+                stage="send_solution",
+                shape=(shares[i], n),
+                deps=(last_idx[i],),
+                resource=f"dev{host}:ingress",
+            )
+        )
+    return run_default_passes(replace(prefix, steps=tuple(final)))

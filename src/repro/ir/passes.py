@@ -1,0 +1,127 @@
+"""Program transformation and validation passes.
+
+Every lowering runs :func:`run_default_passes` before a program reaches
+the engine:
+
+1. :func:`eliminate_dead_steps` — drop no-op steps (``SplitCoop``/
+   ``SplitBlock``/``Unsplit`` with zero split steps, zero-byte
+   ``Transfer``s) and forward their dependency edges, so e.g. a plan
+   with ``stage1_steps=0`` lowers to a program with no ``SplitCoop`` at
+   all and the matching zero-step ``Unsplit`` disappears with it.
+2. :func:`canonicalize` — normalise the representation-level degrees of
+   freedom (explicitly spelled default resources, duplicate dependency
+   edges) so structurally equal programs compare and sign equal.
+3. :func:`validate` — reject malformed programs (backward/forward
+   dependency indices, out-of-range devices, opcodes a single-device
+   solve cannot express) with :class:`~repro.util.errors.PlanError`
+   before the engine trips over them mid-interpretation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List, Tuple
+
+from ..util.errors import PlanError
+from .instructions import Fixed, Program, SplitBlock, SplitCoop, Step, Transfer, Unsplit
+
+__all__ = [
+    "eliminate_dead_steps",
+    "canonicalize",
+    "validate",
+    "run_default_passes",
+]
+
+_ENGINES = ("compute", "xfer")
+
+
+def _is_dead(op) -> bool:
+    if isinstance(op, (SplitCoop, SplitBlock, Unsplit)):
+        return op.steps == 0
+    if isinstance(op, Transfer):
+        return op.values_per_system == 0
+    return False
+
+
+def eliminate_dead_steps(program: Program) -> Program:
+    """Drop no-op steps, forwarding their dependency edges.
+
+    A step that depended on a dropped step inherits the dropped step's
+    own (already renumbered) dependencies, so scheduling constraints are
+    preserved exactly; only the no-op disappears.
+    """
+    kept: List[Step] = []
+    new_index: Dict[int, int] = {}
+    forwarded: Dict[int, Tuple[int, ...]] = {}
+    for i, step in enumerate(program.steps):
+        resolved: List[int] = []
+        for dep in step.deps:
+            if dep in forwarded:
+                resolved.extend(forwarded[dep])
+            else:
+                resolved.append(new_index[dep])
+        seen = set()
+        deps = tuple(d for d in resolved if not (d in seen or seen.add(d)))
+        if _is_dead(step.op):
+            forwarded[i] = deps
+            continue
+        new_index[i] = len(kept)
+        kept.append(replace(step, deps=deps))
+    return replace(program, steps=tuple(kept))
+
+
+def canonicalize(program: Program) -> Program:
+    """Normalise representation-only degrees of freedom.
+
+    An explicitly spelled default resource becomes the empty string and
+    dependency lists are deduplicated and sorted, so two lowerings of
+    the same schedule produce structurally equal (and equally signed)
+    programs.
+    """
+    steps: List[Step] = []
+    for step in program.steps:
+        resource = step.resource
+        if resource == f"dev{step.device}:{step.engine}":
+            resource = ""
+        deps = tuple(sorted(set(step.deps)))
+        if resource != step.resource or deps != step.deps:
+            step = replace(step, resource=resource, deps=deps)
+        steps.append(step)
+    return replace(program, steps=tuple(steps))
+
+
+def validate(program: Program) -> Program:
+    """Reject malformed programs; returns the program for chaining."""
+    if program.kind not in ("solve", "dist"):
+        raise PlanError(f"unknown program kind {program.kind!r}")
+    if not program.device_names:
+        raise PlanError("program places work on no devices")
+    p = program.num_devices
+    if program.kind == "solve" and p != 1:
+        raise PlanError("a solve program must target exactly one device")
+    for i, step in enumerate(program.steps):
+        ident = f"step {i} ({type(step.op).__name__})"
+        if not 0 <= step.device < p:
+            raise PlanError(f"{ident} targets device {step.device} of {p}")
+        if step.engine not in _ENGINES:
+            raise PlanError(f"{ident} uses unknown engine {step.engine!r}")
+        for dep in step.deps:
+            if not 0 <= dep < i:
+                raise PlanError(f"{ident} depends on step {dep}, not before it")
+        if isinstance(step.op, Transfer):
+            if program.kind == "solve":
+                raise PlanError(f"{ident}: solve programs cannot transfer")
+            for end in (step.op.src, step.op.dst):
+                if not 0 <= end < p:
+                    raise PlanError(
+                        f"{ident} transfers via device {end} of {p}"
+                    )
+        if isinstance(step.op, Fixed) and program.kind == "solve":
+            raise PlanError(f"{ident}: solve programs carry no fixed spans")
+    return program
+
+
+def run_default_passes(program: Program) -> Program:
+    """The standard pipeline every lowering runs: eliminate, canonicalise,
+    validate."""
+    return validate(canonicalize(eliminate_dead_steps(program)))

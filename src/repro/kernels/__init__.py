@@ -12,7 +12,7 @@ from .base import (
     warps_for,
 )
 from .coop_pcr import CoopPcrKernel
-from .elementwise import DivideKernel, TransposeKernel
+from .elementwise import DivideKernel, ReconstructKernel, TransposeKernel
 from .global_pcr import GlobalPcrKernel
 from .pcr_thomas_smem import VARIANTS, PcrThomasSmemKernel
 from .thomas_global import LAYOUTS, ThomasGlobalKernel
@@ -25,6 +25,7 @@ __all__ = [
     "ThomasGlobalKernel",
     "DivideKernel",
     "TransposeKernel",
+    "ReconstructKernel",
     "VARIANTS",
     "LAYOUTS",
     "warps_for",

@@ -17,7 +17,7 @@ from ..gpu.memory import MemoryTraffic
 from ..systems.tridiagonal import TridiagonalBatch
 from .base import KernelContext, dtype_size, warps_for
 
-__all__ = ["DivideKernel", "TransposeKernel"]
+__all__ = ["DivideKernel", "TransposeKernel", "ReconstructKernel"]
 
 
 @dataclass(frozen=True)
@@ -50,6 +50,34 @@ class DivideKernel:
         )
         ctx.session.submit(cost, stage=stage)
         return batch.d / batch.b
+
+
+@dataclass(frozen=True)
+class ReconstructKernel:
+    """SPIKE correction ``x = y - w*t - v*s`` over one row chunk.
+
+    Streams the local solution plus both spike vectors and writes the
+    corrected values back: four values per element at stride 1, with a
+    small FMA budget per warp.
+    """
+
+    threads_per_block: int = 256
+
+    def cost(self, ctx: KernelContext, elements: int, dsize: int) -> KernelCost:
+        """Cost of correcting ``elements`` solution values."""
+        spec = ctx.spec
+        traffic = MemoryTraffic()
+        traffic.add(spec, 4.0 * elements * dsize, stride=1)
+        threads = min(self.threads_per_block, spec.max_threads_per_block)
+        grid = max(1, -(-elements // threads))
+        return KernelCost(
+            name="reconstruct",
+            grid_blocks=min(grid, spec.max_grid_blocks),
+            threads_per_block=threads,
+            regs_per_thread=8,
+            phases=[ComputePhase(warps_for(elements) * 4.0)],
+            traffic=traffic,
+        )
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,153 @@
+"""Per-opcode kernel handlers for the instruction-program engine.
+
+Each IR opcode maps to two interpretations, both defined here so a
+kernel's price and its execution can never drift apart:
+
+- :func:`price_costs` — the data-free view: the exact
+  :class:`~repro.gpu.cost.KernelCost` records a step submits, in
+  submission order. The engine folds them into step durations (price
+  mode) or hands them to a session (solve pricing).
+- :func:`execute_step` — the data-carrying view: run the kernel's
+  numerics on an :class:`ExecState`, submitting the *same* cost records
+  through the kernel's own ``run`` path.
+
+Marker opcodes (``Pad``/``Unpad``/``Unsplit``/``Barrier``) cost nothing
+but still transform data in execute mode — padding and un-splitting are
+real host array operations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..algorithms.padding import pad_pow2, unpad_solution
+from ..algorithms.pcr import pcr_unsplit_solution
+from ..ir.instructions import (
+    Barrier,
+    OnChipSolve,
+    Pad,
+    Reconstruct,
+    ReducedSolve,
+    SplitBlock,
+    SplitCoop,
+    Step,
+    Unpad,
+    Unsplit,
+)
+from ..systems.tridiagonal import TridiagonalBatch
+from ..util.errors import PlanError
+from .base import KernelContext
+from .coop_pcr import CoopPcrKernel
+from .elementwise import ReconstructKernel
+from .global_pcr import GlobalPcrKernel
+from .pcr_thomas_smem import PcrThomasSmemKernel
+
+__all__ = ["ExecState", "price_costs", "execute_step"]
+
+
+# -- pricing ---------------------------------------------------------------
+
+
+def price_costs(step: Step, ctx: KernelContext, dtype_size: int) -> List:
+    """The kernel cost records ``step`` submits, in submission order.
+
+    Markers and non-kernel opcodes (``Transfer``/``Fixed``, priced by
+    the engine itself) return an empty list.
+    """
+    op = step.op
+    m, n = step.shape
+    if isinstance(op, SplitCoop):
+        coop = CoopPcrKernel()
+        costs = []
+        stride = 1
+        for _ in range(op.steps):
+            costs.append(
+                coop.cost_per_step(ctx, m * n, dtype_size, stride=stride)
+            )
+            stride *= 2
+        return costs
+    if isinstance(op, SplitBlock):
+        return [
+            GlobalPcrKernel().cost(
+                ctx, m, n, dtype_size, op.steps, start_stride=op.start_stride
+            )
+        ]
+    if isinstance(op, OnChipSolve):
+        kernel = PcrThomasSmemKernel(
+            thomas_switch=op.thomas_switch, variant=op.variant
+        )
+        return [kernel.cost(ctx, m, n, dtype_size, op.stride)]
+    if isinstance(op, ReducedSolve):
+        kernel = PcrThomasSmemKernel(
+            thomas_switch=op.system_size, variant="coalesced"
+        )
+        return [kernel.cost(ctx, m, op.system_size, dtype_size, 1)]
+    if isinstance(op, Reconstruct):
+        return [ReconstructKernel().cost(ctx, m * n, dtype_size)]
+    return []
+
+
+# -- execution -------------------------------------------------------------
+
+
+@dataclass
+class ExecState:
+    """Mutable data threaded through a solve-program execution."""
+
+    work: TridiagonalBatch  # the (progressively split) coefficient batch
+    x: Optional[np.ndarray] = None  # solution, once the on-chip solve ran
+    original_n: int = 0  # pre-padding system size, for Unpad
+
+    @classmethod
+    def for_batch(cls, batch: TridiagonalBatch) -> "ExecState":
+        """Initial state: the raw batch, no solution yet."""
+        return cls(work=batch, original_n=batch.system_size)
+
+
+def execute_step(step: Step, ctx: KernelContext, state: ExecState) -> None:
+    """Run one step's numerics (and cost submissions) on ``state``."""
+    op = step.op
+    if isinstance(op, Pad):
+        padded, original_n = pad_pow2(state.work)
+        if padded.system_size != op.padded_size:
+            raise PlanError(
+                f"plan was built for padded size {op.padded_size}, batch "
+                f"pads to {padded.system_size}"
+            )
+        state.work = padded
+        state.original_n = original_n
+        return
+    if isinstance(op, SplitCoop):
+        state.work = CoopPcrKernel().run(
+            ctx, state.work, op.steps, stage=step.stage
+        )
+        return
+    if isinstance(op, SplitBlock):
+        state.work = GlobalPcrKernel().run(
+            ctx,
+            state.work,
+            state.work.system_size >> op.steps,
+            start_stride=op.start_stride,
+            stage=step.stage,
+        )
+        return
+    if isinstance(op, OnChipSolve):
+        kernel = PcrThomasSmemKernel(
+            thomas_switch=op.thomas_switch, variant=op.variant
+        )
+        state.x = kernel.run(ctx, state.work, stride=op.stride, stage=step.stage)
+        return
+    if isinstance(op, Unsplit):
+        state.x = pcr_unsplit_solution(state.x, op.steps)
+        return
+    if isinstance(op, Unpad):
+        state.x = unpad_solution(state.x, state.original_n)
+        return
+    if isinstance(op, Barrier):
+        return
+    raise PlanError(
+        f"opcode {type(op).__name__} is not executable on a single device"
+    )

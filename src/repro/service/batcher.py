@@ -1,14 +1,19 @@
 """Request grouping — the throughput heart of the service.
 
 Independent solve requests that share a device, a dtype, a raw system
-size, and a *plan signature* execute the exact same per-system
-arithmetic (see :attr:`repro.core.SolvePlan.signature`), so the batcher
-merges them into one :class:`~repro.systems.TridiagonalBatch` and the
-service solves them in a single multi-stage pass. Grouping by the full
-signature — not just the shape — is what keeps every request's answer
-bit-identical to a standalone solve: the stage-1 split depth depends on
-the *request's own* system count, so two requests of the same size may
-still legitimately land in different groups.
+size, and a *program signature* execute the exact same per-system
+arithmetic, so the batcher merges them into one
+:class:`~repro.systems.TridiagonalBatch` and the service solves them in
+a single multi-stage pass. The signature is taken from the lowered
+instruction :class:`~repro.ir.Program` (see
+:attr:`repro.ir.Program.signature`) — the count-independent multiset of
+steps the shared engine will interpret — so two requests group together
+exactly when the engine would run the same instructions for both.
+Grouping by the full signature — not just the shape — is what keeps
+every request's answer bit-identical to a standalone solve: the stage-1
+split depth depends on the *request's own* system count, so two
+requests of the same size may still legitimately land in different
+groups.
 
 Grouping is deterministic: groups appear in order of their earliest
 request, and requests keep submission order within a group. The golden
@@ -33,7 +38,7 @@ class GroupKey:
     device: str
     dtype: str
     system_size: int  # raw (pre-padding) size — merged arrays must stack
-    signature: Tuple  # SolvePlan.signature of the per-request plan
+    signature: Tuple  # Program.signature of the request's lowered plan
 
     def describe(self) -> str:
         """Compact label for stats and logs."""

@@ -58,7 +58,7 @@ class BoundedRequestQueue(Generic[T]):
                 if self.policy == "reject":
                     raise ServiceOverloadedError(
                         f"queue full ({self.max_pending} pending); "
-                        f"request rejected"
+                        "request rejected"
                     )
                 if not self._not_full.wait_for(
                     lambda: len(self._items) < self.max_pending,

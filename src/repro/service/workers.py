@@ -7,8 +7,11 @@ requests; the service
 1. resolves switch points **once per (device, dtype)** through a shared,
    thread-safe :class:`~repro.core.TuningCache` (``get_or_tune``),
 2. reuses :class:`~repro.core.SolvePlan` objects per workload shape,
-3. groups plan-compatible requests (see :mod:`.batcher`) into single
-   merged :class:`~repro.systems.TridiagonalBatch` solves, and
+3. groups program-compatible requests (see :mod:`.batcher`) — keyed by
+   the signature of the lowered instruction
+   :class:`~repro.ir.Program`, the exact step sequence the shared
+   engine will run — into single merged
+   :class:`~repro.systems.TridiagonalBatch` solves, and
 4. executes the groups concurrently on a bounded thread pool, with
    queue backpressure (``max_pending`` + block/reject policy).
 
@@ -139,6 +142,7 @@ class BatchSolveService:
         self._switch: Dict[Tuple[str, int], SwitchPoints] = {}
         self._solvers: Dict[Tuple[str, int], MultiStageSolver] = {}
         self._plans: Dict[Tuple[str, int, int, int], SolvePlan] = {}
+        self._signatures: Dict[Tuple, Tuple] = {}
         self._group_futures: List[Future] = []
         self._closed = False
         self._dist_config = dist
@@ -250,6 +254,23 @@ class BatchSolveService:
         with self._lock:
             return self._plans.setdefault(key, plan)
 
+    def _program_signature(self, plan, device_label: str, dsize: int, lower):
+        """Signature of the lowered instruction program, memoised.
+
+        Plan signatures are count-independent, and lowering is a pure
+        function of the plan (plus device and dtype), so the program
+        signature is cached per (device, dtype, plan signature) — one
+        lowering per distinct workload class, not per request.
+        """
+        key = (device_label, dsize, plan.signature)
+        with self._lock:
+            sig = self._signatures.get(key)
+        if sig is not None:
+            return sig
+        sig = lower().signature
+        with self._lock:
+            return self._signatures.setdefault(key, sig)
+
     # -- the request path ----------------------------------------------------
 
     def submit(
@@ -267,16 +288,23 @@ class BatchSolveService:
         if self._closed:
             raise ServiceError("service is closed")
         dev = self._device(device)
+        dsize = dtype_size(batch.dtype)
         if self._routes_to_dist(batch, dev):
             # Too big for one device: plan across the group. The group
             # label keys the merged solve so oversized requests only mix
-            # with plan-compatible oversized requests.
-            plan = self.dist_solver.plan_for(batch)
+            # with program-compatible oversized requests.
+            dist = self.dist_solver
+            plan = dist.plan_for(batch)
             key = GroupKey(
-                device=self.dist_solver.group.describe(),
+                device=dist.group.describe(),
                 dtype=str(batch.dtype),
                 system_size=batch.system_size,
-                signature=plan.signature,
+                signature=self._program_signature(
+                    plan,
+                    dist.group.describe(),
+                    dsize,
+                    lambda: dist.lower(plan, dsize),
+                ),
             )
         else:
             plan = self.plan_for(batch, dev)
@@ -284,7 +312,9 @@ class BatchSolveService:
                 device=dev.name,
                 dtype=str(batch.dtype),
                 system_size=batch.system_size,
-                signature=plan.signature,
+                signature=self._program_signature(
+                    plan, dev.name, dsize, lambda: plan.lower(dev, dsize)
+                ),
             )
         with self._lock:
             seq = self._seq

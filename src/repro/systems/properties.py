@@ -81,7 +81,7 @@ def condition_estimate(batch: TridiagonalBatch, *, max_size: int = 2048) -> np.n
     """
     if batch.system_size > max_size:
         raise ValueError(
-            f"condition_estimate is test-only; system_size "
+            "condition_estimate is test-only; system_size "
             f"{batch.system_size} > max_size {max_size}"
         )
     dense = batch.to_dense()

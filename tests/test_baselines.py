@@ -1,11 +1,9 @@
 """Tests for the comparator solvers (MKL CPU, Zhang, global-only, Sakharnykh)."""
 
-import numpy as np
 import pytest
 
 from repro.algorithms import max_residual
 from repro.baselines import (
-    INTEL_CORE_I5_34GHZ,
     CpuSpec,
     GlobalPcrSolver,
     MklLikeCpuSolver,

@@ -2,7 +2,6 @@
 
 import io
 
-import pytest
 
 from repro.cli import main
 
@@ -52,6 +51,35 @@ class TestSolve:
         )
         assert code == 0
         assert "8800" in text
+
+
+class TestPlan:
+    def test_single_device_program(self):
+        code, text = _run(["plan", "--workload", "1Kx1K"])
+        assert code == 0
+        assert "solve program" in text
+        assert "OnChipSolve" in text
+        assert "priced steps:" in text
+        assert "total" in text
+
+    def test_custom_workload_shows_split_steps(self):
+        code, text = _run(["plan", "--workload", "1x65536"])
+        assert code == 0
+        assert "SplitBlock" in text
+
+    def test_distributed_program(self):
+        code, text = _run(
+            ["plan", "--workload", "1x2M", "--devices", "4", "--mode", "rows"]
+        )
+        assert code == 0
+        assert "dist program" in text
+        assert "Transfer" in text
+        assert "ReducedSolve" in text
+
+    def test_bad_workload_is_reported(self):
+        code, text = _run(["plan", "--workload", "banana"])
+        assert code == 2
+        assert "error:" in text
 
 
 class TestTune:

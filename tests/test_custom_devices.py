@@ -6,7 +6,6 @@ tests build hypothetical devices and check that the tuned switch points
 move the way the architecture says they should.
 """
 
-import numpy as np
 import pytest
 
 from repro.algorithms import max_residual

@@ -1,6 +1,5 @@
 """Tests for the hybrid GPU/CPU dispatcher (the Figure-8 boundary)."""
 
-import numpy as np
 import pytest
 
 from repro.algorithms import max_residual

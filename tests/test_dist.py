@@ -10,11 +10,10 @@ import numpy as np
 import pytest
 from hypothesis import assume, given, settings, strategies as st
 
-from repro.core import MultiStageSolver, solve
+from repro.core import solve
 from repro.core.dispatch import HybridDispatcher
 from repro.core.tuning import TuningCache
 from repro.dist import (
-    DistPlan,
     DistributedSolver,
     get_link,
     make_device_group,

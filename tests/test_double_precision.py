@@ -6,7 +6,6 @@ the same capacities (the register file, not storage, binds the on-chip
 sizes). These tests pin that the structural results hold in f64 too.
 """
 
-import numpy as np
 import pytest
 
 from repro.algorithms import max_residual

@@ -102,7 +102,6 @@ class TestConditioning:
 class TestResourceExhaustion:
     def test_workload_exceeding_global_memory(self):
         dev = make_device("8800gtx")
-        solver = MultiStageSolver(dev, "default")
         # Fabricate a batch object whose nbytes exceeds 768 MB without
         # allocating it: 8800's check runs before any kernel work.
         class FakeBatch:

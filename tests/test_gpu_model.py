@@ -4,7 +4,6 @@ import pytest
 
 from repro.gpu import (
     GEFORCE_8800_GTX,
-    GEFORCE_GTX_280,
     GEFORCE_GTX_470,
     ComputePhase,
     KernelCost,

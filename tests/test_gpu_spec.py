@@ -9,7 +9,6 @@ from repro.gpu import (
     GEFORCE_GTX_280,
     GEFORCE_GTX_470,
     PAPER_DEVICES,
-    DeviceSpec,
     device_names,
     get_device_spec,
     query_device,

@@ -123,10 +123,6 @@ class TestConfiguration:
 
     def test_oversized_workload_rejected(self):
         dev = make_device("8800gtx")  # 768 MiB of global memory
-        batch = generators.random_dominant(4, 8, rng=0)
-        huge = type(batch)(
-            batch.a, batch.b, batch.c, batch.d
-        )  # real batch, fake the size check by calling directly
         with pytest.raises(DeviceError):
             dev.check_fits_global(10**10)
 

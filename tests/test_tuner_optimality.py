@@ -10,7 +10,7 @@ caught instead of silently degrading the tuner.
 
 import pytest
 
-from repro.core import SelfTuner, SwitchPoints, simulate_plan
+from repro.core import SelfTuner, simulate_plan
 from repro.core.pricing import price_base_kernel
 from repro.core.tuning import exhaustive_min, pow2_range
 from repro.gpu import make_device

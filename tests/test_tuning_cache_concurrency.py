@@ -10,7 +10,6 @@ one agreed-upon result per key, and a consistent on-disk file.
 
 import threading
 
-import pytest
 
 from repro.core import SwitchPoints
 from repro.core.tuning import MachineQueryTuner, TuningCache
