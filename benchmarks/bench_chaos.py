@@ -1,0 +1,144 @@
+"""Chaos campaign benchmark: recovery overhead under seeded faults.
+
+Runs the two-phase fault-injection campaign (service under transient
+faults, stalls, deadlines, and poisoned requests; distributed solver
+losing one device mid-run) across several seeds and reports, per seed:
+
+- the outcome audit — solved / typed errors / expired / shed, with the
+  headline guarantee checked (zero silently wrong answers, zero untyped
+  errors),
+- the recovery bill — retries, bisections, worker stalls, and the
+  failover's priced makespan overhead.
+
+Runs both as a pytest bench (``pytest benchmarks/bench_chaos.py``) and
+as a script (``python benchmarks/bench_chaos.py [--smoke]``); either way
+the campaign reports are persisted to
+``benchmarks/results/chaos_campaign.json``.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+import warnings
+
+from repro.analysis import ascii_table
+from repro.faults import run_sweep
+
+SEEDS = (0, 1, 2)
+REQUESTS = 200
+TRANSIENT_P = 0.02
+DIST_DEVICES = 4
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def run_chaos(seeds=SEEDS, requests=REQUESTS):
+    """The full campaign sweep; returns (payload, rendered text)."""
+    with warnings.catch_warnings():
+        # Poisoned (singular) requests legitimately produce NaNs inside
+        # the kernels before verification rejects them.
+        warnings.simplefilter("ignore", RuntimeWarning)
+        reports = run_sweep(
+            seeds,
+            requests=requests,
+            transient_p=TRANSIENT_P,
+            dist_devices=DIST_DEVICES,
+        )
+    rows = [
+        [
+            r.seed,
+            r.requests,
+            r.solved,
+            r.typed_errors,
+            r.deadline_expired,
+            r.shed,
+            r.retries,
+            r.bisections,
+            f"{r.failover['recovery_overhead_ms']:.3f}",
+            "CLEAN" if r.clean else "VIOLATED",
+        ]
+        for r in reports
+    ]
+    text = ascii_table(
+        [
+            "seed",
+            "requests",
+            "solved",
+            "typed",
+            "expired",
+            "shed",
+            "retries",
+            "bisect",
+            "failover ms",
+            "verdict",
+        ],
+        rows,
+        title=(
+            f"Chaos campaign ({requests} requests/seed, transient p="
+            f"{TRANSIENT_P}, kill 1 of {DIST_DEVICES} devices)"
+        ),
+    )
+    text += "\n\n" + "\n".join(r.describe() for r in reports)
+    payload = {
+        "seeds": list(seeds),
+        "requests_per_seed": requests,
+        "transient_p": TRANSIENT_P,
+        "dist_devices": DIST_DEVICES,
+        "clean": all(r.clean for r in reports),
+        "campaigns": [r.as_dict() for r in reports],
+    }
+    return payload, text
+
+
+def write_results(payload, results_dir=RESULTS_DIR):
+    results_dir.mkdir(exist_ok=True)
+    path = results_dir / "chaos_campaign.json"
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return path
+
+
+def test_chaos_campaign(benchmark, emit, results_dir):
+    payload, text = benchmark.pedantic(run_chaos, rounds=1, iterations=1)
+    emit("chaos_campaign", text)
+    write_results(payload, results_dir)
+
+    # The acceptance bar: across >= 3 seeds and >= 200 requests each,
+    # every request returned a verified solution or a typed error.
+    assert payload["clean"], "chaos campaign produced a silent wrong answer"
+    for campaign in payload["campaigns"]:
+        assert campaign["silent_wrong"] == 0
+        assert campaign["untyped_errors"] == 0
+        # The failover phase solved everything on the survivors, and
+        # the recovery overhead was priced (non-zero wasted makespan).
+        fo = campaign["failover"]
+        assert fo["solved"] == fo["solves"]
+        assert fo["failovers"] >= 1
+        assert fo["recovery_overhead_ms"] > 0.0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Seeded chaos campaign with recovery auditing"
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="single seed, fewer requests, for CI smoke runs",
+    )
+    args = parser.parse_args(argv)
+    seeds = (0,) if args.smoke else SEEDS
+    requests = 60 if args.smoke else REQUESTS
+    payload, text = run_chaos(seeds, requests)
+    print(text)
+    path = write_results(payload)
+    print(f"wrote {path}")
+    if not payload["clean"]:
+        print("FAIL: a request returned a silently wrong answer")
+        return 1
+    print(f"OK: {len(seeds)} seed(s) clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -20,6 +20,10 @@ Commands
 ``dist-bench``
     Strong/weak scaling of the multi-device distributed solver, with a
     per-device pipeline timeline.
+``chaos``
+    Run a seeded fault-injection campaign over the service and the
+    distributed solver and audit the headline guarantee: a verified
+    solution or a typed error, never a silently wrong answer.
 """
 
 from __future__ import annotations
@@ -227,6 +231,42 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         dest="json_out",
         help="also write the sweep as JSON to this path",
+    )
+
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="seeded fault-injection campaign with recovery auditing",
+    )
+    p_chaos.add_argument(
+        "--seeds",
+        default="0",
+        help="comma-separated campaign seeds (default 0)",
+    )
+    p_chaos.add_argument(
+        "--requests",
+        type=int,
+        default=200,
+        help="service-phase requests per seed (default 200)",
+    )
+    p_chaos.add_argument(
+        "--transient-p",
+        type=float,
+        default=0.02,
+        dest="transient_p",
+        help="per-instruction transient fault probability (default 0.02)",
+    )
+    p_chaos.add_argument(
+        "--dist-devices",
+        type=int,
+        default=4,
+        dest="dist_devices",
+        help="device count for the failover phase (default 4)",
+    )
+    p_chaos.add_argument(
+        "--json",
+        default=None,
+        dest="json_out",
+        help="also write the campaign reports as JSON to this path",
     )
     return parser
 
@@ -522,6 +562,48 @@ def _cmd_dist_bench(args, out) -> int:
     return 0
 
 
+def _cmd_chaos(args, out) -> int:
+    import json
+
+    from .faults import run_sweep
+
+    try:
+        seeds = [int(s) for s in args.seeds.split(",") if s.strip()]
+    except ValueError:
+        raise ReproError(
+            f"--seeds must be comma-separated integers, got {args.seeds!r}"
+        ) from None
+    if not seeds:
+        raise ReproError("--seeds named no seeds")
+    reports = run_sweep(
+        seeds,
+        requests=args.requests,
+        transient_p=args.transient_p,
+        dist_devices=args.dist_devices,
+    )
+    for report in reports:
+        out.write(report.describe() + "\n")
+    clean = all(r.clean for r in reports)
+    out.write(
+        f"verdict: {'CLEAN' if clean else 'VIOLATED'} across "
+        f"{len(reports)} seed(s) — every request returned a verified "
+        "solution or a typed error\n"
+    )
+    if args.json_out:
+        payload = {
+            "requests_per_seed": args.requests,
+            "transient_p": args.transient_p,
+            "dist_devices": args.dist_devices,
+            "clean": clean,
+            "campaigns": [r.as_dict() for r in reports],
+        }
+        os.makedirs(os.path.dirname(args.json_out) or ".", exist_ok=True)
+        with open(args.json_out, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2)
+        out.write(f"wrote {args.json_out}\n")
+    return 0 if clean else 1
+
+
 def _cmd_figures(args, out) -> int:
     os.makedirs(args.out, exist_ok=True)
 
@@ -642,6 +724,8 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
             return _cmd_serve_bench(args, out)
         if args.command == "dist-bench":
             return _cmd_dist_bench(args, out)
+        if args.command == "chaos":
+            return _cmd_chaos(args, out)
         if args.command == "verify":
             from .analysis import render_scorecard, reproduction_scorecard
 

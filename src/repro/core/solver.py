@@ -60,10 +60,21 @@ class MultiStageSolver:
         tuning: Union[SwitchPoints, str, "object", None] = "default",
         *,
         verify: bool = False,
+        faults=None,
     ):
         self.device = make_device(device)
         self.verify = verify
         self._engine = Engine.for_device(self.device)
+        # Optional chaos testing: a FaultInjector (or a view of one), or
+        # a bare FaultPlan which gets its own injector. The engine
+        # consults it before every costed instruction; None is the
+        # fault-free happy path.
+        if faults is not None and not hasattr(faults, "before_step"):
+            from ..faults import FaultInjector
+
+            faults = FaultInjector(faults)
+        self.faults = faults
+        self._engine.injector = faults
         self._tuner = None
         self._switch: Optional[SwitchPoints] = None
         if tuning is None:

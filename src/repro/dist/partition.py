@@ -37,6 +37,7 @@ __all__ = [
     "solve_reduced_system",
     "spike_rhs",
     "split_chunks",
+    "surviving_indices",
 ]
 
 
@@ -51,3 +52,17 @@ def batch_shares(num_systems: int, num_devices: int) -> Tuple[int, ...]:
     active = min(num_devices, num_systems)
     base, extra = divmod(num_systems, active)
     return tuple(base + (1 if i < extra else 0) for i in range(active))
+
+
+def surviving_indices(num_devices: int, dead) -> Tuple[int, ...]:
+    """Group member indices left after ``dead`` members failed.
+
+    The failover re-partition runs over exactly these members, in
+    order, so chunk/share assignments stay deterministic.
+    """
+    survivors = tuple(i for i in range(num_devices) if i not in set(dead))
+    if not survivors:
+        raise ConfigurationError(
+            f"all {num_devices} devices have failed; nothing to fail over to"
+        )
+    return survivors

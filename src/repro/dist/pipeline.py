@@ -59,6 +59,7 @@ __all__ = [
     "schedule_batch",
     "single_device_report",
     "render_dist_timeline",
+    "failover_report",
 ]
 
 
@@ -439,6 +440,42 @@ def schedule_batch(
             )
         )
     return _price(interconnect, device_names, steps, "pipelined", group_label)
+
+
+def failover_report(
+    aborted: DistReport,
+    recovery: DistReport,
+    survivor_ids: Sequence[int] = None,
+) -> DistReport:
+    """Splice a recovery run's timelines after an aborted run.
+
+    When a device dies mid-solve the work already scheduled is wasted:
+    the aborted run's events stand as-is, and the recovery run — the
+    re-partitioned solve on the survivors — replays starting at the
+    aborted makespan. ``survivor_ids`` maps recovery device ``j`` back
+    to its index in the original group (identity when omitted), so the
+    combined report keeps the original group's device numbering and its
+    ``total_ms`` prices the failure's true end-to-end cost: wasted
+    attempt plus full replay.
+    """
+    offset = aborted.total_ms
+    merged = {t.index: list(t.events) for t in aborted.timelines}
+    names = {t.index: t.device_name for t in aborted.timelines}
+    for j, timeline in enumerate(recovery.timelines):
+        target = survivor_ids[j] if survivor_ids is not None else timeline.index
+        merged.setdefault(target, []).extend(
+            TimelineEvent(e.kind, e.label, e.start_ms + offset, e.end_ms + offset)
+            for e in timeline.events
+        )
+        names.setdefault(target, timeline.device_name)
+    timelines = tuple(
+        DeviceTimeline(i, names[i], tuple(merged[i])) for i in sorted(merged)
+    )
+    return DistReport(
+        group_label=aborted.group_label,
+        schedule=f"failover:{recovery.schedule}",
+        timelines=timelines,
+    )
 
 
 def single_device_report(

@@ -43,15 +43,21 @@ from ..gpu.executor import SimReport
 from ..ir.engine import Engine
 from ..kernels import dtype_size
 from ..systems.tridiagonal import TridiagonalBatch
-from ..util.errors import ConfigurationError, PlanError, ReproError
+from ..util.errors import (
+    ConfigurationError,
+    DeviceLostError,
+    PlanError,
+    ReproError,
+)
 from .partition import (
     partition_bounds,
     reconstruct_chunk,
     solve_reduced_system,
     spike_rhs,
     split_chunks,
+    surviving_indices,
 )
-from .pipeline import DistReport
+from .pipeline import DistReport, failover_report
 from .plan import DistPlan, batch_shares
 from .topology import DeviceGroup, make_device_group
 
@@ -96,6 +102,13 @@ class DistributedSolver:
     schedule:
         Rows-mode exchange schedule: ``"fused"``, ``"split"``, or
         ``"auto"`` (price both, keep the faster).
+    faults:
+        Optional :class:`~repro.faults.FaultInjector` (or a bare
+        :class:`~repro.faults.FaultPlan`). Local solves then run under
+        injection, and a :class:`DeviceLostError` mid-solve triggers
+        failover: the workload re-partitions onto the surviving
+        devices and replays from the last completed barrier, with the
+        wasted makespan priced into the combined report.
     """
 
     def __init__(
@@ -110,6 +123,7 @@ class DistributedSolver:
         schedule: str = "auto",
         cache: Union[TuningCache, str, None] = None,
         verify: bool = False,
+        faults=None,
     ):
         if group is None:
             group = make_device_group(device, 4, link, topology)
@@ -125,7 +139,16 @@ class DistributedSolver:
         self.verify = verify
         self.cache = cache if isinstance(cache, TuningCache) else TuningCache(cache)
         self._tuning = tuning
+        if faults is not None and not hasattr(faults, "before_step"):
+            from ..faults import FaultInjector
+
+            faults = FaultInjector(faults)
+        self.faults = faults
         self._engine = Engine.for_group(group)
+        # The shared engine only *prices* dist programs; pricing runs
+        # paused (planning must not consume faults) but still sees
+        # environmental slowdowns (clock skew, link degradation).
+        self._engine.injector = faults
         self._lock = threading.Lock()
         self._switch: Dict[int, SwitchPoints] = {}
         self._solvers: Dict[Tuple[int, int], MultiStageSolver] = {}
@@ -168,7 +191,13 @@ class DistributedSolver:
             solver = self._solvers.get(key)
         if solver is not None:
             return solver
-        solver = MultiStageSolver(self.group[index], self.switch_points_for(dsize))
+        solver = MultiStageSolver(
+            self.group[index],
+            self.switch_points_for(dsize),
+            faults=(
+                None if self.faults is None else self.faults.for_device(index)
+            ),
+        )
         with self._lock:
             return self._solvers.setdefault(key, solver)
 
@@ -187,6 +216,9 @@ class DistributedSolver:
 
     def _report_for(self, plan: DistPlan, dsize: int) -> DistReport:
         """Price ``plan``'s program on the shared engine."""
+        if self.faults is not None:
+            with self.faults.paused():
+                return self._engine.price(self.lower(plan, dsize)).report
         return self._engine.price(self.lower(plan, dsize)).report
 
     # -- planning & pricing ----------------------------------------------
@@ -365,13 +397,80 @@ class DistributedSolver:
             )
         dsize = dtype_size(batch.dtype)
         switch = self.switch_points_for(dsize)
-        if plan.mode == "rows":
-            result = self._execute_rows(batch, plan, dsize, switch)
-        else:
-            result = self._execute_batch(batch, plan, dsize, switch)
+        try:
+            if plan.mode == "rows":
+                result = self._execute_rows(batch, plan, dsize, switch)
+            else:
+                result = self._execute_batch(batch, plan, dsize, switch)
+        except DeviceLostError as exc:
+            result = self._failover(batch, plan, dsize, switch, exc)
         if self.verify:
             assert_solution(batch, result.x, context="distributed solve")
         return result
+
+    def _failover(
+        self,
+        batch: TridiagonalBatch,
+        plan: DistPlan,
+        dsize: int,
+        switch: SwitchPoints,
+        exc: DeviceLostError,
+    ) -> DistSolveResult:
+        """Re-partition onto the survivors and replay ``batch``.
+
+        Local solves run whole between barriers, so nothing partial is
+        salvageable when a device dies mid-run: the workload replays in
+        full from the last completed barrier (the start of the aborted
+        plan) on a sub-solver over the surviving members. The aborted
+        plan's fault-free makespan is charged as wasted recovery cost —
+        in the same simulated-milliseconds currency as kernel time —
+        and the combined report splices the recovery timelines after
+        the aborted ones, so ``total_ms`` prices the failure end to
+        end. A second death during recovery nests another failover; the
+        chain ends with :class:`ConfigurationError` once no device
+        survives.
+        """
+        inj = self.faults
+        if inj is None:
+            raise exc
+        p = len(self.group)
+        dead = inj.dead_devices()
+        local_dead = {i for i in range(p) if inj.global_id(i) in dead}
+        survivors = surviving_indices(p, local_dead)
+        aborted_report = self._report_for(plan, dsize)
+        inj.note(
+            "device_lost",
+            "failed_over",
+            label=f"dist:{plan.mode}",
+            device=exc.device if exc.device is not None else -1,
+            penalty_ms=aborted_report.total_ms,
+            detail=(
+                f"re-partitioned {plan.num_systems}x{plan.system_size} "
+                f"onto {len(survivors)} of {p} devices, replaying from "
+                "last completed barrier"
+            ),
+        )
+        subgroup = DeviceGroup(
+            tuple(self.group[i] for i in survivors), self.group.interconnect
+        )
+        sub = DistributedSolver(
+            subgroup,
+            switch,
+            mode="auto",
+            schedule=self.schedule,
+            cache=self.cache,
+            faults=inj.for_survivors(survivors),
+        )
+        recovery = sub.solve(batch)
+        return DistSolveResult(
+            x=recovery.x,
+            plan=recovery.plan,
+            switch_points=switch,
+            report=failover_report(
+                aborted_report, recovery.report, survivors
+            ),
+            local_reports=recovery.local_reports,
+        )
 
     def _execute_rows(
         self,
@@ -405,6 +504,10 @@ class DistributedSolver:
         vs: List[np.ndarray] = []
         local_reports: List[SimReport] = []
         for i, chunk in enumerate(chunks):
+            if self.faults is not None:
+                # Chunk data crosses the interconnect to member i; a
+                # partitioned link makes that member unreachable.
+                self.faults.check_link(0, i, label="dist:rows")
             local = self._solver(i, dsize).execute_plan(
                 spike_rhs(chunk), plan.local_plans[i], switch
             )
@@ -449,6 +552,8 @@ class DistributedSolver:
         for i, share in enumerate(shares):
             rows = slice(offset, offset + share)
             offset += share
+            if self.faults is not None:
+                self.faults.check_link(0, i, label="dist:batch")
             sub = TridiagonalBatch(
                 batch.a[rows], batch.b[rows], batch.c[rows], batch.d[rows]
             )

@@ -1,0 +1,48 @@
+"""Fault injection and recovery: chaos testing for the solver stack.
+
+The layer has three pieces:
+
+- :mod:`~repro.faults.plan` — seeded, deterministic fault *scripts*
+  (:class:`FaultPlan` and its spec dataclasses).
+- :mod:`~repro.faults.injector` — the stateful :class:`FaultInjector`
+  that interprets a plan against live executions (the IR engine hook,
+  device health, worker stalls).
+- :mod:`~repro.faults.log` — the structured :class:`FaultLog` audit
+  trail every injection and recovery action lands in.
+
+:mod:`~repro.faults.chaos` builds on all three: seeded campaigns that
+hammer the batched service and the distributed solver with mixed
+faults and verify the headline guarantee — a bit-correct solution or a
+typed error, never a silently wrong answer.
+"""
+
+from .chaos import ChaosReport, run_campaign, run_sweep
+from .injector import FaultInjector
+from .log import FaultEvent, FaultLog
+from .plan import (
+    ClockSkew,
+    DeviceFailure,
+    FaultPlan,
+    LinkDegradation,
+    LinkPartition,
+    RetryPolicy,
+    TransientKernelFault,
+    WorkerStall,
+)
+
+__all__ = [
+    "ChaosReport",
+    "ClockSkew",
+    "DeviceFailure",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultLog",
+    "FaultPlan",
+    "LinkDegradation",
+    "LinkPartition",
+    "RetryPolicy",
+    "TransientKernelFault",
+    "WorkerStall",
+    "run_campaign",
+    "run_sweep",
+]

@@ -1,0 +1,307 @@
+"""Seeded chaos campaigns over the service and the distributed solver.
+
+A campaign is the fault layer's acceptance harness: hammer the system
+with a seeded mix of transient kernel faults, worker stalls, tight
+deadlines, poisoned (singular) requests, and a mid-run permanent device
+failure, then audit every single outcome against the headline
+guarantee —
+
+    **a bit-correct solution (verified residual) or a typed error,
+    never a silently wrong answer.**
+
+Two phases:
+
+- **service phase** — ``requests`` mixed-shape solves (with singular
+  systems sprinkled in) through a verifying
+  :class:`~repro.service.BatchSolveService` under transient faults,
+  stalls, deadlines, and a circuit breaker. Every returned solution is
+  re-checked against its own request's residual tolerance; every
+  failure must be a typed :class:`~repro.util.errors.ReproError`.
+- **failover phase** — a :class:`~repro.dist.DistributedSolver` over
+  ``dist_devices`` simulated devices loses one device permanently
+  mid-run; every workload must still solve exactly on the survivors,
+  with the recovery overhead priced into the reports.
+
+Everything is deterministic in the seed; :func:`run_sweep` repeats the
+campaign across seeds for the nightly tier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..algorithms.verify import default_tolerance, max_residual
+from ..dist.solver import DistributedSolver
+from ..service.queue import CircuitBreaker
+from ..service.workers import BatchSolveService
+from ..systems.generators import mixed_requests, random_dominant, singular
+from ..util.errors import ReproError, ServiceOverloadedError
+from .injector import FaultInjector
+from .log import FaultLog
+from .plan import (
+    DeviceFailure,
+    FaultPlan,
+    RetryPolicy,
+    TransientKernelFault,
+    WorkerStall,
+)
+
+__all__ = ["ChaosReport", "run_campaign", "run_sweep"]
+
+# Every POISON_EVERY-th service request is a singular system; every
+# TIGHT_DEADLINE_EVERY-th carries an already-expired deadline.
+POISON_EVERY = 17
+TIGHT_DEADLINE_EVERY = 13
+
+
+@dataclass(frozen=True)
+class ChaosReport:
+    """The audited outcome of one seeded campaign."""
+
+    seed: int
+    requests: int
+    solved: int
+    typed_errors: int  # poisoned requests failing with a ReproError
+    deadline_expired: int
+    shed: int
+    untyped_errors: int  # must be zero: every failure is typed
+    silent_wrong: int  # must be zero: every answer verifies
+    worst_residual_ratio: float  # max over solved of residual/tolerance
+    retries: int
+    stalls: int
+    bisections: int
+    failover: Dict = field(default_factory=dict)
+    fault_summary: Dict = field(default_factory=dict)
+
+    @property
+    def clean(self) -> bool:
+        """The headline guarantee held for every request."""
+        return (
+            self.silent_wrong == 0
+            and self.untyped_errors == 0
+            and self.solved
+            + self.typed_errors
+            + self.deadline_expired
+            + self.shed
+            == self.requests
+            and self.failover.get("silent_wrong", 0) == 0
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "requests": self.requests,
+            "solved": self.solved,
+            "typed_errors": self.typed_errors,
+            "deadline_expired": self.deadline_expired,
+            "shed": self.shed,
+            "untyped_errors": self.untyped_errors,
+            "silent_wrong": self.silent_wrong,
+            "worst_residual_ratio": self.worst_residual_ratio,
+            "retries": self.retries,
+            "stalls": self.stalls,
+            "bisections": self.bisections,
+            "clean": self.clean,
+            "failover": self.failover,
+            "fault_summary": self.fault_summary,
+        }
+
+    def describe(self) -> str:
+        fo = self.failover
+        lines = [
+            f"chaos campaign (seed {self.seed}): "
+            f"{'CLEAN' if self.clean else 'VIOLATED'}",
+            f"  service : {self.requests} requests -> {self.solved} solved, "
+            f"{self.typed_errors} typed errors, "
+            f"{self.deadline_expired} expired, {self.shed} shed",
+            f"  audit   : {self.silent_wrong} silently wrong, "
+            f"{self.untyped_errors} untyped errors, "
+            f"worst residual at {self.worst_residual_ratio:.2f}x tolerance",
+            f"  recovery: {self.retries} retries, {self.stalls} stalls, "
+            f"{self.bisections} bisections",
+        ]
+        if fo:
+            lines.append(
+                f"  failover: {fo['solves']} dist solves with device "
+                f"{fo['killed_device']} dead, {fo['failovers']} failovers, "
+                f"{fo['recovery_overhead_ms']:.3f} ms overhead priced"
+            )
+        return "\n".join(lines)
+
+
+def _service_requests(seed: int, count: int) -> List:
+    """The seeded request mix: mixed shapes plus sprinkled poison."""
+    rng = np.random.default_rng(seed)
+    requests = mixed_requests(count, rng=rng)
+    for i in range(POISON_EVERY - 1, count, POISON_EVERY):
+        bad = requests[i]
+        requests[i] = singular(
+            bad.num_systems, bad.system_size, dtype=bad.dtype
+        )
+    return requests
+
+
+def _run_service_phase(
+    seed: int, count: int, transient_p: float, log: FaultLog
+) -> dict:
+    plan = FaultPlan(
+        seed=seed,
+        faults=(
+            TransientKernelFault(probability=transient_p),
+            WorkerStall(probability=0.05, stall_ms=0.5),
+        ),
+        retry=RetryPolicy(max_attempts=4, budget=64),
+    )
+    injector = FaultInjector(plan, log)
+    service = BatchSolveService(
+        verify=True,
+        max_workers=4,
+        auto_flush=16,
+        faults=injector,
+        breaker=CircuitBreaker(failure_threshold=25, cooldown_s=0.02),
+    )
+    requests = _service_requests(seed, count)
+    futures = []
+    shed = 0
+    with service:
+        for i, batch in enumerate(requests):
+            expired = (i + 1) % TIGHT_DEADLINE_EVERY == 0
+            try:
+                futures.append(
+                    (
+                        batch,
+                        service.submit(
+                            batch,
+                            deadline_ms=0.0 if expired else 60_000.0,
+                        ),
+                    )
+                )
+            except ServiceOverloadedError:
+                shed += 1
+        service.flush()
+        service.drain()
+
+    solved = typed = expired_n = untyped = silent = 0
+    worst_ratio = 0.0
+    for batch, fut in futures:
+        exc = fut.exception()
+        if exc is None:
+            residual = max_residual(batch, fut.result().x)
+            ratio = residual / default_tolerance(batch)
+            worst_ratio = max(worst_ratio, ratio)
+            if ratio > 1.0:
+                silent += 1
+            else:
+                solved += 1
+        elif isinstance(exc, ReproError):
+            if type(exc).__name__ == "DeadlineExceededError":
+                expired_n += 1
+            else:
+                typed += 1
+        else:
+            untyped += 1
+    snap = service.stats.snapshot()
+    return {
+        "requests": count,
+        "solved": solved,
+        "typed_errors": typed,
+        "deadline_expired": expired_n,
+        "shed": shed,
+        "untyped_errors": untyped,
+        "silent_wrong": silent,
+        "worst_residual_ratio": worst_ratio,
+        "bisections": snap["group_bisections"],
+    }
+
+
+def _run_failover_phase(
+    seed: int, devices: int, solves: int, log: FaultLog
+) -> dict:
+    """Kill one device mid-run; every workload must still solve."""
+    killed = devices // 2
+    plan = FaultPlan(
+        seed=seed, faults=(DeviceFailure(device=killed, at_instruction=1),)
+    )
+    injector = FaultInjector(plan, log)
+    solver = DistributedSolver(devices, verify=True, faults=injector)
+    solved = silent = 0
+    worst_ratio = 0.0
+    rng = np.random.default_rng(seed + 1)
+    for i in range(solves):
+        batch = random_dominant(4, 4096, rng=rng)
+        result = solver.solve(batch)
+        ratio = max_residual(batch, result.x) / default_tolerance(batch)
+        worst_ratio = max(worst_ratio, ratio)
+        if ratio > 1.0:
+            silent += 1
+        else:
+            solved += 1
+    return {
+        "solves": solves,
+        "solved": solved,
+        "silent_wrong": silent,
+        "worst_residual_ratio": worst_ratio,
+        "killed_device": killed,
+        "dead_devices": sorted(injector.dead_devices()),
+        "failovers": log.count("device_lost", "failed_over"),
+        "recovery_overhead_ms": sum(
+            e.penalty_ms
+            for e in log.events()
+            if e.kind == "device_lost" and e.action == "failed_over"
+        ),
+    }
+
+
+def run_campaign(
+    seed: int = 0,
+    *,
+    requests: int = 200,
+    transient_p: float = 0.02,
+    dist_devices: int = 4,
+    failover_solves: int = 3,
+) -> ChaosReport:
+    """One full two-phase campaign; deterministic in ``seed``."""
+    log = FaultLog()
+    service = _run_service_phase(seed, requests, transient_p, log)
+    failover = _run_failover_phase(seed, dist_devices, failover_solves, log)
+    summary = log.summary()
+    return ChaosReport(
+        seed=seed,
+        requests=service["requests"],
+        solved=service["solved"],
+        typed_errors=service["typed_errors"],
+        deadline_expired=service["deadline_expired"],
+        shed=service["shed"],
+        untyped_errors=service["untyped_errors"],
+        silent_wrong=service["silent_wrong"],
+        worst_residual_ratio=max(
+            service["worst_residual_ratio"], failover["worst_residual_ratio"]
+        ),
+        retries=summary["counts"].get("transient:retried", 0),
+        stalls=summary["counts"].get("stall:injected", 0),
+        bisections=service["bisections"],
+        failover=failover,
+        fault_summary=summary,
+    )
+
+
+def run_sweep(
+    seeds: Sequence[int] = (0, 1, 2),
+    *,
+    requests: int = 200,
+    transient_p: float = 0.02,
+    dist_devices: int = 4,
+) -> Tuple[ChaosReport, ...]:
+    """The campaign across several seeds (the nightly configuration)."""
+    return tuple(
+        run_campaign(
+            seed,
+            requests=requests,
+            transient_p=transient_p,
+            dist_devices=dist_devices,
+        )
+        for seed in seeds
+    )

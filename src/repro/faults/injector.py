@@ -1,0 +1,366 @@
+"""The runtime that interprets a :class:`~repro.faults.FaultPlan`.
+
+A :class:`FaultInjector` is the single stateful object threaded through
+the execution stack: the IR :class:`~repro.ir.Engine` consults it before
+every costed instruction (execute *and* price mode — decisions are
+deterministic functions of the plan seed and the instruction, so both
+modes see identical faults), the distributed solver consults it to
+learn which devices are dead, and the batched service consults it for
+worker stalls.
+
+Device identity
+---------------
+Local solve programs always place work on device index 0, but in a
+distributed run that "device 0" is really group member *i*. Injector
+*views* solve this: :meth:`FaultInjector.for_device` binds a view to one
+group member, :meth:`FaultInjector.for_survivors` to a post-failover
+subgroup. Views translate local step indices to stable *global* device
+ids and share one runtime (health, counters, log), so a device that
+died stays dead across re-partitions and a fault spec targeting member
+2 fires no matter which engine interprets member 2's instructions.
+
+Pausing
+-------
+Planning and internal report pricing must not consume faults — a solver
+comparing candidate schedules is not "running" anything. Wrap such
+regions in :meth:`paused`; injection and counters are disabled for the
+current thread inside the block.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, FrozenSet, Optional, Tuple
+
+from ..util.errors import DeviceLostError, FaultInjectionError
+from .log import FaultEvent, FaultLog
+from .plan import FaultPlan, RetryPolicy
+
+__all__ = ["FaultInjector"]
+
+
+class _Runtime:
+    """Mutable state shared by every view of one injector."""
+
+    def __init__(self, plan: FaultPlan, log: Optional[FaultLog]):
+        self.plan = plan
+        self.log = log if log is not None else FaultLog()
+        self.lock = threading.Lock()
+        self.dead: set = set()  # global device ids
+        self.instr_count: Dict[int, int] = {}  # costed instructions per id
+        self.spec_fired: Dict[int, int] = {}  # transient spec -> fire count
+        self.stall_seq = 0
+        self._paused = threading.local()
+
+    @property
+    def paused(self) -> bool:
+        return getattr(self._paused, "depth", 0) > 0
+
+    def push_pause(self) -> None:
+        self._paused.depth = getattr(self._paused, "depth", 0) + 1
+
+    def pop_pause(self) -> None:
+        self._paused.depth = getattr(self._paused, "depth", 0) - 1
+
+
+class _Paused:
+    def __init__(self, rt: _Runtime):
+        self._rt = rt
+
+    def __enter__(self) -> None:
+        self._rt.push_pause()
+
+    def __exit__(self, *exc_info) -> None:
+        self._rt.pop_pause()
+
+
+class FaultInjector:
+    """Interprets a :class:`FaultPlan` against live executions.
+
+    ``ids`` maps local device indices (as seen by one engine) to global
+    device ids; ``None`` is the identity view of the root group.
+    """
+
+    def __init__(
+        self,
+        plan: FaultPlan,
+        log: Optional[FaultLog] = None,
+        *,
+        _runtime: Optional[_Runtime] = None,
+        _ids: Optional[Tuple[int, ...]] = None,
+    ):
+        self._rt = _runtime if _runtime is not None else _Runtime(plan, log)
+        self._ids = _ids
+
+    # -- plumbing ----------------------------------------------------------
+
+    @property
+    def plan(self) -> FaultPlan:
+        return self._rt.plan
+
+    @property
+    def log(self) -> FaultLog:
+        return self._rt.log
+
+    @property
+    def retry(self) -> RetryPolicy:
+        return self._rt.plan.retry
+
+    def for_device(self, device_id: int) -> "FaultInjector":
+        """A view binding an engine's device 0 to group member
+        ``device_id`` (local solve fragments of a distributed run).
+        ``device_id`` is resolved through the current view, so views
+        compose: a survivors view's member 1 maps to the global id of
+        the second survivor."""
+        return FaultInjector(
+            self._rt.plan,
+            _runtime=self._rt,
+            _ids=(self.global_id(device_id),),
+        )
+
+    def for_survivors(self, device_ids: Tuple[int, ...]) -> "FaultInjector":
+        """A view over a surviving subgroup, in subgroup order.
+
+        ``device_ids`` are member indices of the *current* view, so
+        repeated failovers nest: each re-partition narrows the mapping
+        while global ids stay stable.
+        """
+        return FaultInjector(
+            self._rt.plan,
+            _runtime=self._rt,
+            _ids=tuple(self.global_id(i) for i in device_ids),
+        )
+
+    def paused(self) -> _Paused:
+        """Context manager: no injection/counting on this thread inside."""
+        return _Paused(self._rt)
+
+    def global_id(self, local_index: int) -> int:
+        """The stable device id behind a local step index."""
+        if self._ids is None:
+            return local_index
+        if local_index >= len(self._ids):
+            return local_index  # defensive; programs validate placement
+        return self._ids[local_index]
+
+    def dead_devices(self) -> FrozenSet[int]:
+        """Global ids of devices that have failed so far."""
+        with self._rt.lock:
+            return frozenset(self._rt.dead)
+
+    def note(self, kind: str, action: str, **fields) -> None:
+        """Record one fault/recovery event."""
+        self._rt.log.record(FaultEvent(kind=kind, action=action, **fields))
+
+    # -- explicit faults ---------------------------------------------------
+
+    def fail_device(self, device_id: int, detail: str = "") -> None:
+        """Kill a device now (tests and scripted chaos scenarios)."""
+        with self._rt.lock:
+            already = device_id in self._rt.dead
+            self._rt.dead.add(device_id)
+        if not already:
+            self.note(
+                "device_lost",
+                "injected",
+                device=device_id,
+                detail=detail or "explicit kill",
+            )
+
+    def check_link(self, src: int, dst: int, label: str = "") -> None:
+        """Raise if the link between two group members is partitioned.
+
+        The distributed solver calls this where data would cross the
+        interconnect during *execution* (dist programs are priced, not
+        run step-by-step on data, so the engine's Transfer hook cannot
+        fire there). The unreachable peer is marked dead so the
+        failover re-partition excludes it.
+        """
+        rt = self._rt
+        if rt.paused:
+            return
+        src_gid = self.global_id(src)
+        dst_gid = self.global_id(dst)
+        if src_gid == dst_gid or not rt.plan.partitioned(src_gid, dst_gid):
+            return
+        with rt.lock:
+            already = dst_gid in rt.dead
+            rt.dead.add(dst_gid)
+        if not already:
+            self.note(
+                "link_partition",
+                "injected",
+                label=label,
+                device=dst_gid,
+                detail=f"link {src_gid}<->{dst_gid} partitioned",
+            )
+        raise DeviceLostError(
+            f"link {src_gid}<->{dst_gid} is partitioned; device {dst_gid} "
+            "unreachable",
+            device=dst_gid,
+        )
+
+    # -- the engine hook ---------------------------------------------------
+
+    def before_step(self, program, index: int, step, attempt: int) -> None:
+        """Decide the fate of one instruction interpretation.
+
+        Raises :class:`FaultInjectionError` for a transient fault (the
+        engine retries) or :class:`DeviceLostError` for a permanent one
+        (the caller fails over). Marker steps are never faulted — they
+        cost nothing and model host bookkeeping.
+        """
+        rt = self._rt
+        if rt.paused or step.is_marker:
+            return
+        plan = rt.plan
+        gid = self.global_id(step.device)
+        op_name = type(step.op).__name__
+
+        # Link partition: the destination of a transfer across a cut
+        # link is unreachable — model it as losing that peer.
+        if op_name == "Transfer":
+            src = self.global_id(step.op.src)
+            dst = self.global_id(step.op.dst)
+            if src != dst and plan.partitioned(src, dst):
+                with rt.lock:
+                    already = dst in rt.dead
+                    rt.dead.add(dst)
+                if not already:
+                    self.note(
+                        "link_partition",
+                        "injected",
+                        label=program.label,
+                        step=index,
+                        op=op_name,
+                        device=dst,
+                        detail=f"link {src}<->{dst} partitioned",
+                    )
+                raise DeviceLostError(
+                    f"link {src}<->{dst} is partitioned; device {dst} "
+                    "unreachable",
+                    device=dst,
+                )
+
+        # Permanent device health: dead devices stay dead, and scripted
+        # failures fire once their instruction count comes up. Retries
+        # of one instruction advance the count only once.
+        with rt.lock:
+            if gid in rt.dead:
+                dead_now = True
+                fired = False
+            else:
+                dead_now = False
+                fired = False
+                if attempt == 0:
+                    count = rt.instr_count.get(gid, 0)
+                    rt.instr_count[gid] = count + 1
+                else:
+                    count = rt.instr_count.get(gid, 1) - 1
+                for spec in plan.device_failures():
+                    if spec.device == gid and count >= spec.at_instruction:
+                        rt.dead.add(gid)
+                        dead_now = True
+                        fired = True
+                        break
+        if dead_now:
+            if fired:
+                self.note(
+                    "device_lost",
+                    "injected",
+                    label=program.label,
+                    step=index,
+                    op=op_name,
+                    device=gid,
+                    detail="scripted device failure",
+                )
+            raise DeviceLostError(
+                f"device {gid} failed permanently "
+                f"(step {index}: {op_name})",
+                device=gid,
+            )
+
+        # Transient kernel faults: deterministic per (program shape,
+        # instruction, attempt), so price and execute agree.
+        for spec_idx, spec in enumerate(plan.transient_specs()):
+            if spec.device is not None and spec.device != gid:
+                continue
+            if spec.stage is not None and spec.stage != step.stage:
+                continue
+            if spec.probability <= 0.0:
+                continue
+            draw = plan.draw(
+                "transient",
+                spec_idx,
+                program.kind,
+                program.num_systems,
+                program.system_size,
+                index,
+                attempt,
+            )
+            if draw >= spec.probability:
+                continue
+            with rt.lock:
+                fired = rt.spec_fired.get(spec_idx, 0)
+                if (
+                    spec.max_failures is not None
+                    and fired >= spec.max_failures
+                ):
+                    continue
+                rt.spec_fired[spec_idx] = fired + 1
+            self.note(
+                "transient",
+                "injected",
+                label=program.label,
+                step=index,
+                op=op_name,
+                device=gid,
+                attempt=attempt,
+            )
+            raise FaultInjectionError(
+                f"transient kernel fault (attempt {attempt})"
+            )
+
+    def adjust_duration_ms(self, step, duration_ms: float) -> float:
+        """Environmental slowdowns for one priced step: clock skew on
+        compute spans, link degradation on transfers.
+
+        Applies even while :meth:`paused` — these factors are pure
+        functions of the plan (nothing is consumed or logged), and the
+        planner *should* see the degraded world when comparing
+        candidate schedules.
+        """
+        rt = self._rt
+        if type(step.op).__name__ == "Transfer":
+            return duration_ms * rt.plan.link_factor()
+        if step.engine == "compute":
+            return duration_ms * rt.plan.skew_factor(
+                self.global_id(step.device)
+            )
+        return duration_ms
+
+    # -- service hooks -----------------------------------------------------
+
+    def maybe_stall(self, label: str = "") -> float:
+        """Stall the calling worker per the plan; returns stalled ms."""
+        rt = self._rt
+        if rt.paused:
+            return 0.0
+        specs = rt.plan.stall_specs()
+        if not specs:
+            return 0.0
+        with rt.lock:
+            seq = rt.stall_seq
+            rt.stall_seq = seq + 1
+        total = 0.0
+        for spec_idx, spec in enumerate(specs):
+            if rt.plan.draw("stall", spec_idx, seq) < spec.probability:
+                total += spec.stall_ms
+        if total > 0.0:
+            time.sleep(total / 1e3)
+            self.note(
+                "stall", "injected", label=label, penalty_ms=total,
+                detail="worker stall (wall-clock ms)",
+            )
+        return total

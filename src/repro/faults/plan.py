@@ -1,0 +1,222 @@
+"""Seeded, deterministic fault plans.
+
+A :class:`FaultPlan` is the chaos campaign's *script*: a frozen set of
+fault specifications plus a seed. Every injection decision is a pure
+function of ``(seed, what is being interpreted, attempt)`` — no global
+RNG state — so the same plan produces the same faults run after run,
+and pricing a program sees exactly the transient faults executing it
+sees. Randomness comes from hashing the decision key with SHA-256, so
+decisions are stable across processes and Python versions (``hash()``
+is salted; it is never used here).
+
+Fault kinds
+-----------
+- :class:`TransientKernelFault` — an instruction fails with probability
+  ``p`` per attempt; the engine retries under a :class:`RetryPolicy`.
+- :class:`DeviceFailure` — a device dies permanently once it has
+  interpreted ``at_instruction`` costed instructions.
+- :class:`LinkDegradation` — transfers run ``factor`` times slower.
+- :class:`LinkPartition` — transfers between ``src`` and ``dst`` fail;
+  the destination is unreachable and treated as lost for that run.
+- :class:`WorkerStall` — a service worker sleeps ``stall_ms`` of real
+  wall time before a merged solve with probability ``p`` (the
+  straggler model; pushes requests toward their deadlines).
+- :class:`ClockSkew` — one device's timeline runs ``factor`` times
+  slower in priced schedules (a thermally-throttled straggler).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from ..util.errors import ConfigurationError
+
+__all__ = [
+    "TransientKernelFault",
+    "DeviceFailure",
+    "LinkDegradation",
+    "LinkPartition",
+    "WorkerStall",
+    "ClockSkew",
+    "RetryPolicy",
+    "FaultPlan",
+]
+
+
+@dataclass(frozen=True)
+class TransientKernelFault:
+    """An instruction fails with probability ``probability`` per attempt.
+
+    ``device``/``stage`` restrict the fault to one group member or one
+    pipeline stage (``None`` matches everything). ``max_failures``
+    caps the total number of injections this spec ever fires — handy
+    for tests that want "fail exactly twice, then succeed".
+    """
+
+    probability: float
+    device: Optional[int] = None
+    stage: Optional[str] = None
+    max_failures: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.probability <= 1.0):
+            raise ConfigurationError(
+                f"fault probability must be in [0, 1], got {self.probability}"
+            )
+
+
+@dataclass(frozen=True)
+class DeviceFailure:
+    """Device ``device`` dies permanently at its ``at_instruction``-th
+    costed instruction (counted across the injector's lifetime)."""
+
+    device: int
+    at_instruction: int = 0
+
+
+@dataclass(frozen=True)
+class LinkDegradation:
+    """All transfers run ``factor`` times slower (priced schedules)."""
+
+    factor: float
+
+    def __post_init__(self) -> None:
+        if self.factor < 1.0:
+            raise ConfigurationError(
+                f"degradation factor must be >= 1, got {self.factor}"
+            )
+
+
+@dataclass(frozen=True)
+class LinkPartition:
+    """Transfers between ``src`` and ``dst`` (either direction) fail."""
+
+    src: int
+    dst: int
+
+
+@dataclass(frozen=True)
+class WorkerStall:
+    """A worker sleeps ``stall_ms`` of wall time before a merged solve
+    with probability ``probability`` (drawn per merged solve)."""
+
+    probability: float
+    stall_ms: float = 2.0
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.probability <= 1.0):
+            raise ConfigurationError(
+                f"stall probability must be in [0, 1], got {self.probability}"
+            )
+        if self.stall_ms < 0:
+            raise ConfigurationError("stall_ms must be non-negative")
+
+
+@dataclass(frozen=True)
+class ClockSkew:
+    """Device ``device``'s compute spans run ``factor`` times slower."""
+
+    device: int
+    factor: float
+
+    def __post_init__(self) -> None:
+        if self.factor <= 0:
+            raise ConfigurationError(
+                f"skew factor must be positive, got {self.factor}"
+            )
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How transient faults are retried.
+
+    ``max_attempts`` bounds attempts per instruction (the first try
+    counts); ``budget`` bounds total retries per program interpretation;
+    backoff is exponential from ``base_backoff_ms`` capped at
+    ``backoff_cap_ms`` — all in simulated milliseconds, the same
+    currency as kernel costs, so recovery overhead composes with solve
+    time.
+    """
+
+    max_attempts: int = 3
+    budget: int = 16
+    base_backoff_ms: float = 0.05
+    backoff_cap_ms: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError("max_attempts must be >= 1")
+        if self.budget < 0:
+            raise ConfigurationError("budget must be >= 0")
+
+    def backoff_ms(self, attempt: int) -> float:
+        """Backoff charged before retry ``attempt`` (0-based), capped."""
+        return min(self.backoff_cap_ms, self.base_backoff_ms * (2.0 ** attempt))
+
+
+def _draw(seed: int, key: Tuple) -> float:
+    """A deterministic uniform draw in [0, 1) for one decision key."""
+    text = f"{seed}|{key!r}".encode()
+    digest = hashlib.sha256(text).digest()
+    return int.from_bytes(digest[:8], "big") / float(1 << 64)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, deterministic description of what goes wrong.
+
+    The plan is pure data: all runtime state (device health, per-spec
+    fire counts, the retry budget) lives in the
+    :class:`~repro.faults.FaultInjector` interpreting it.
+    """
+
+    seed: int = 0
+    faults: Tuple = ()
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+
+    def draw(self, *key) -> float:
+        """The deterministic uniform draw for one decision key."""
+        return _draw(self.seed, key)
+
+    # -- spec accessors ----------------------------------------------------
+
+    def transient_specs(self) -> Tuple[TransientKernelFault, ...]:
+        return tuple(
+            f for f in self.faults if isinstance(f, TransientKernelFault)
+        )
+
+    def device_failures(self) -> Tuple[DeviceFailure, ...]:
+        return tuple(f for f in self.faults if isinstance(f, DeviceFailure))
+
+    def stall_specs(self) -> Tuple[WorkerStall, ...]:
+        return tuple(f for f in self.faults if isinstance(f, WorkerStall))
+
+    def link_factor(self) -> float:
+        """Combined slowdown factor of every degradation spec."""
+        factor = 1.0
+        for f in self.faults:
+            if isinstance(f, LinkDegradation):
+                factor *= f.factor
+        return factor
+
+    def partitioned(self, src: int, dst: int) -> bool:
+        """Whether the ``src``-``dst`` link is partitioned (symmetric)."""
+        for f in self.faults:
+            if isinstance(f, LinkPartition) and {f.src, f.dst} == {src, dst}:
+                return True
+        return False
+
+    def skew_factor(self, device: int) -> float:
+        """Combined compute slowdown for one device."""
+        factor = 1.0
+        for f in self.faults:
+            if isinstance(f, ClockSkew) and f.device == device:
+                factor *= f.factor
+        return factor
+
+    def describe(self) -> str:
+        """One-line summary for logs and CLI output."""
+        kinds = ", ".join(type(f).__name__ for f in self.faults) or "none"
+        return f"FaultPlan(seed={self.seed}, faults=[{kinds}])"

@@ -20,6 +20,21 @@ in two modes:
 Both modes thread a per-instruction :class:`StepTrace` (stage, device,
 span) so every path gets uniform observability from one bookkeeping
 mechanism.
+
+Fault injection
+---------------
+An optional :class:`~repro.faults.FaultInjector` hooks every costed
+instruction in *both* modes — injection decisions are deterministic in
+the plan seed and the instruction, so pricing a program sees exactly
+the transient faults executing it sees. Transient faults are retried
+with capped exponential backoff under the injector's
+:class:`~repro.faults.RetryPolicy` and a per-program retry budget; the
+wasted attempts and backoffs are priced with the same kernel cost model
+as the work itself and recorded in the injector's
+:class:`~repro.faults.FaultLog`. Any :class:`ReproError` escaping a step
+is annotated with the failing instruction — ``exc.instruction`` is
+``(index, opcode, device)`` and the message names all three — so
+mid-program failures are attributable.
 """
 
 from __future__ import annotations
@@ -32,7 +47,7 @@ import numpy as np
 from ..gpu.cost import kernel_time_ms
 from ..gpu.executor import Device
 from ..kernels.base import KernelContext
-from ..util.errors import PlanError
+from ..util.errors import FaultInjectionError, PlanError, ReproError
 from .instructions import Fixed, Program, Step, Transfer
 
 
@@ -95,10 +110,11 @@ class Engine:
     need real devices for the cost model.
     """
 
-    def __init__(self, devices, interconnect=None, label: str = ""):
+    def __init__(self, devices, interconnect=None, label: str = "", injector=None):
         self.devices = tuple(devices)
         self.interconnect = interconnect
         self.label = label
+        self.injector = injector  # optional FaultInjector; mutable
         self._price_ctx: Dict[int, KernelContext] = {}
 
     @classmethod
@@ -142,6 +158,69 @@ class Engine:
             self._price_ctx[index] = ctx
         return ctx
 
+    # -- fault plumbing ----------------------------------------------------
+
+    @staticmethod
+    def _annotate(exc: ReproError, i: int, step: Step) -> ReproError:
+        """Attach the failing instruction to an escaping error (once)."""
+        if getattr(exc, "instruction", None) is None:
+            op = type(step.op).__name__
+            exc.instruction = (i, op, step.device)
+            where = f"[step {i}: {op} on dev{step.device}]"
+            if exc.args and isinstance(exc.args[0], str):
+                exc.args = (f"{exc.args[0]} {where}",) + exc.args[1:]
+            else:
+                exc.args = (where,) + exc.args
+        return exc
+
+    def _interpret(self, program, i, step, budget, body, duration_ms=None):
+        """Run one step's ``body`` under fault injection and retry.
+
+        Transient faults retry with backoff while per-step attempts and
+        the per-program ``budget`` allow; each wasted attempt is charged
+        at the step's priced duration plus the backoff and logged.
+        Every escaping :class:`ReproError` is annotated with the
+        instruction context.
+        """
+        inj = self.injector
+        if inj is None:
+            try:
+                return body()
+            except ReproError as exc:
+                raise self._annotate(exc, i, step)
+        retry = inj.retry
+        attempt = 0
+        while True:
+            try:
+                inj.before_step(program, i, step, attempt)
+                return body()
+            except FaultInjectionError as exc:
+                wasted = (
+                    duration_ms
+                    if duration_ms is not None
+                    else self._step_duration(step, program)
+                )
+                penalty = wasted + retry.backoff_ms(attempt)
+                fields = dict(
+                    label=program.label,
+                    step=i,
+                    op=type(step.op).__name__,
+                    device=inj.global_id(step.device),
+                    attempt=attempt,
+                    penalty_ms=penalty,
+                )
+                if attempt + 1 >= retry.max_attempts or not budget.consume():
+                    inj.note("transient", "exhausted", **fields)
+                    raise self._annotate(exc, i, step)
+                inj.note("transient", "retried", **fields)
+                attempt += 1
+            except ReproError as exc:
+                raise self._annotate(exc, i, step)
+
+    def _budget(self) -> "_RetryBudget":
+        inj = self.injector
+        return _RetryBudget(inj.retry.budget if inj is not None else 0)
+
     # -- execute mode ------------------------------------------------------
 
     def execute(self, program: Program, batch) -> EngineRun:
@@ -155,10 +234,14 @@ class Engine:
         session = device.session()
         ctx = KernelContext(session)
         state = handlers.ExecState.for_batch(batch)
+        budget = self._budget()
         trace: List[StepTrace] = []
         for i, step in enumerate(program.steps):
             start = session.elapsed_ms
-            handlers.execute_step(step, ctx, state)
+            self._interpret(
+                program, i, step, budget,
+                lambda step=step: handlers.execute_step(step, ctx, state),
+            )
             trace.append(self._trace(i, step, start, session.elapsed_ms))
         return EngineRun(
             program=program,
@@ -180,11 +263,18 @@ class Engine:
         device = self._require_device(0)
         session = device.session()
         ctx = KernelContext(session)
+        budget = self._budget()
         trace: List[StepTrace] = []
-        for i, step in enumerate(program.steps):
-            start = session.elapsed_ms
+
+        def submit(step: Step) -> None:
             for cost in handlers.price_costs(step, ctx, program.dtype_size):
                 session.submit(cost, stage=step.stage)
+
+        for i, step in enumerate(program.steps):
+            start = session.elapsed_ms
+            self._interpret(
+                program, i, step, budget, lambda step=step: submit(step)
+            )
             trace.append(self._trace(i, step, start, session.elapsed_ms))
         return EngineRun(
             program=program, report=session.report(), trace=tuple(trace)
@@ -197,6 +287,7 @@ class Engine:
         events: List[List[TimelineEvent]] = [[] for _ in range(p)]
         end_of: List[float] = [0.0] * len(program.steps)
         free: Dict[str, float] = {}
+        budget = self._budget()
         trace: List[StepTrace] = []
         for i, step in enumerate(program.steps):
             ready = max((end_of[d] for d in step.deps), default=0.0)
@@ -207,6 +298,11 @@ class Engine:
                 trace.append(self._trace(i, step, ready, ready))
                 continue
             duration = self._step_duration(step, program)
+            if self.injector is not None:
+                duration = self.injector.adjust_duration_ms(step, duration)
+            self._interpret(
+                program, i, step, budget, lambda: None, duration_ms=duration
+            )
             start = max(ready, free.get(step.resource_key, 0.0))
             end = start + duration
             free[step.resource_key] = end
@@ -263,3 +359,17 @@ class Engine:
             start_ms=start,
             end_ms=end,
         )
+
+
+class _RetryBudget:
+    """Per-program-run allowance of transient-fault retries."""
+
+    def __init__(self, remaining: int):
+        self.remaining = remaining
+
+    def consume(self) -> bool:
+        """Take one retry from the budget; False when it is spent."""
+        if self.remaining <= 0:
+            return False
+        self.remaining -= 1
+        return True

@@ -3,7 +3,9 @@
 The package turns the library's one-shot :func:`repro.core.solve` into a
 throughput-oriented service:
 
-- :mod:`.queue` — bounded request queue with block/reject backpressure;
+- :mod:`.queue` — bounded request queue with block/reject backpressure,
+  plus the :class:`CircuitBreaker` that sheds load while the backend
+  is failing;
 - :mod:`.batcher` — deterministic plan-signature grouping of requests
   into merged solves;
 - :mod:`.workers` — :class:`BatchSolveService`, the worker pool that
@@ -12,7 +14,7 @@ throughput-oriented service:
 """
 
 from .batcher import GroupKey, ServiceRequest, SolveGroup, group_requests
-from .queue import OVERFLOW_POLICIES, BoundedRequestQueue
+from .queue import OVERFLOW_POLICIES, BoundedRequestQueue, CircuitBreaker
 from .stats import GroupStats, ServiceStats
 from .workers import BatchSolveService, ServiceResult
 
@@ -20,6 +22,7 @@ __all__ = [
     "BatchSolveService",
     "ServiceResult",
     "BoundedRequestQueue",
+    "CircuitBreaker",
     "OVERFLOW_POLICIES",
     "GroupKey",
     "ServiceRequest",

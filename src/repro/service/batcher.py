@@ -47,13 +47,21 @@ class GroupKey:
 
 @dataclass
 class ServiceRequest:
-    """One submitted solve, queued for grouping."""
+    """One submitted solve, queued for grouping.
+
+    ``deadline`` is an absolute ``time.monotonic()`` timestamp (seconds)
+    or ``None``. The worker checks it immediately before and after the
+    merged solve; an expired request fails with
+    :class:`~repro.util.errors.DeadlineExceededError` without poisoning
+    the rest of its group.
+    """
 
     seq: int  # submission order; ties grouping determinism down
     batch: TridiagonalBatch
     device: str
     key: GroupKey
     plan: "object"  # the per-request SolvePlan (what a standalone solve runs)
+    deadline: Optional[float] = None
     future: Future = field(default_factory=Future)
 
 

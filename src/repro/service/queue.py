@@ -15,12 +15,13 @@ bound and one of two overflow policies:
 from __future__ import annotations
 
 import threading
+import time
 from collections import deque
 from typing import Deque, Generic, List, Optional, TypeVar
 
 from ..util.errors import ConfigurationError, ServiceOverloadedError
 
-__all__ = ["BoundedRequestQueue", "OVERFLOW_POLICIES"]
+__all__ = ["BoundedRequestQueue", "CircuitBreaker", "OVERFLOW_POLICIES"]
 
 T = TypeVar("T")
 
@@ -86,3 +87,81 @@ class BoundedRequestQueue(Generic[T]):
 
     def __len__(self) -> int:
         return self.pending
+
+
+class CircuitBreaker:
+    """Shed load while the backend is failing, probe for recovery.
+
+    The classic three-state breaker, sized for the solve service:
+
+    - **closed** — requests flow; ``failure_threshold`` *consecutive*
+      merged-solve failures trip it open.
+    - **open** — :meth:`allow` refuses everything (the service raises
+      :class:`~repro.util.errors.ServiceOverloadedError`) until
+      ``cooldown_s`` has elapsed.
+    - **half-open** — after the cooldown, requests probe the backend:
+      one success closes the breaker, one failure re-opens it and the
+      cooldown restarts.
+
+    ``clock`` is injectable so tests control time.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        cooldown_s: float = 1.0,
+        clock=time.monotonic,
+    ):
+        if failure_threshold < 1:
+            raise ConfigurationError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if cooldown_s < 0:
+            raise ConfigurationError("cooldown_s must be non-negative")
+        self.failure_threshold = failure_threshold
+        self.cooldown_s = cooldown_s
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._consecutive = 0
+        self._state = "closed"
+        self._opened_at = 0.0
+        self.times_opened = 0
+
+    def _state_locked(self) -> str:
+        if (
+            self._state == "open"
+            and self._clock() - self._opened_at >= self.cooldown_s
+        ):
+            self._state = "half_open"
+        return self._state
+
+    @property
+    def state(self) -> str:
+        """``"closed"``, ``"open"``, or ``"half_open"`` (cooldown lapsed)."""
+        with self._lock:
+            return self._state_locked()
+
+    def allow(self) -> bool:
+        """Whether a request may proceed right now."""
+        with self._lock:
+            return self._state_locked() != "open"
+
+    def record_success(self) -> None:
+        """A merged solve finished: reset the failure streak, close."""
+        with self._lock:
+            self._consecutive = 0
+            self._state = "closed"
+
+    def record_failure(self) -> None:
+        """A merged solve failed: extend the streak, maybe trip open."""
+        with self._lock:
+            self._consecutive += 1
+            tripped = (
+                self._state_locked() == "half_open"
+                or self._consecutive >= self.failure_threshold
+            )
+            if tripped:
+                if self._state != "open":
+                    self.times_opened += 1
+                self._state = "open"
+                self._opened_at = self._clock()

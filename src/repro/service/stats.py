@@ -49,6 +49,9 @@ class ServiceStats:
     requests_completed: int = 0
     requests_failed: int = 0
     requests_rejected: int = 0
+    requests_deadline_expired: int = 0
+    requests_shed: int = 0
+    group_bisections: int = 0
     groups_executed: int = 0
     systems_solved: int = 0
     simulated_ms: float = 0.0
@@ -58,11 +61,17 @@ class ServiceStats:
         default_factory=threading.Lock, repr=False, compare=False
     )
     _tuning_cache: object = field(default=None, repr=False, compare=False)
+    _fault_log: object = field(default=None, repr=False, compare=False)
 
     def attach_cache(self, cache) -> None:
         """Expose a :class:`TuningCache`'s hit/miss counters in snapshots."""
         with self._lock:
             self._tuning_cache = cache
+
+    def attach_fault_log(self, log) -> None:
+        """Expose a :class:`~repro.faults.FaultLog`'s roll-up in snapshots."""
+        with self._lock:
+            self._fault_log = log
 
     # -- recording (called by the service) --------------------------------
 
@@ -101,20 +110,39 @@ class ServiceStats:
         with self._lock:
             self.requests_failed += count
 
+    def record_deadline_expired(self, count: int = 1) -> None:
+        with self._lock:
+            self.requests_deadline_expired += count
+
+    def record_shed(self, count: int = 1) -> None:
+        with self._lock:
+            self.requests_shed += count
+
+    def record_bisection(self) -> None:
+        with self._lock:
+            self.group_bisections += 1
+
     # -- reading ------------------------------------------------------------
 
     def snapshot(self) -> dict:
         """A consistent point-in-time copy of every counter."""
         with self._lock:
             cache = self._tuning_cache
+            fault_log = self._fault_log
             return {
                 "tuning_cache": (
                     cache.counters() if cache is not None else None
+                ),
+                "faults": (
+                    fault_log.summary() if fault_log is not None else None
                 ),
                 "requests_submitted": self.requests_submitted,
                 "requests_completed": self.requests_completed,
                 "requests_failed": self.requests_failed,
                 "requests_rejected": self.requests_rejected,
+                "requests_deadline_expired": self.requests_deadline_expired,
+                "requests_shed": self.requests_shed,
+                "group_bisections": self.group_bisections,
                 "groups_executed": self.groups_executed,
                 "systems_solved": self.systems_solved,
                 "simulated_ms": self.simulated_ms,
@@ -137,12 +165,25 @@ class ServiceStats:
             f"requests : {snap['requests_submitted']} submitted, "
             f"{snap['requests_completed']} completed, "
             f"{snap['requests_failed']} failed, "
-            f"{snap['requests_rejected']} rejected",
+            f"{snap['requests_rejected']} rejected, "
+            f"{snap['requests_deadline_expired']} expired, "
+            f"{snap['requests_shed']} shed",
             f"groups   : {snap['groups_executed']} merged solves "
             f"({snap['mean_group_requests']:.1f} requests/group, "
             f"{snap['systems_solved']} systems)",
             f"simulated: {snap['simulated_ms']:.3f} ms on-device",
         ]
+        if snap["group_bisections"]:
+            lines.append(
+                f"bisection: {snap['group_bisections']} group splits "
+                "isolating poisoned requests"
+            )
+        faults = snap.get("faults")
+        if faults is not None:
+            lines.append(
+                f"faults   : {faults['events']} events, "
+                f"{faults['overhead_ms']:.3f} ms recovery overhead"
+            )
         cache = snap.get("tuning_cache")
         if cache is not None:
             total = cache["hits"] + cache["misses"]

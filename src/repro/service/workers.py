@@ -41,9 +41,15 @@ from ..dist.solver import DistributedSolver, working_set_nbytes
 from ..gpu.executor import Device, SimReport, make_device
 from ..kernels import dtype_size
 from ..systems.tridiagonal import TridiagonalBatch
-from ..util.errors import ConfigurationError, ServiceError
+from ..util.errors import (
+    ConfigurationError,
+    DeadlineExceededError,
+    ReproError,
+    ServiceError,
+    ServiceOverloadedError,
+)
 from .batcher import GroupKey, ServiceRequest, SolveGroup, group_requests
-from .queue import BoundedRequestQueue
+from .queue import BoundedRequestQueue, CircuitBreaker
 from .stats import ServiceStats
 
 __all__ = ["ServiceResult", "BatchSolveService"]
@@ -103,6 +109,25 @@ class BatchSolveService:
         planned with a :class:`~repro.dist.DistPlan` and grouped by its
         signature, so plan-compatible oversized requests still merge
         into one distributed solve.
+    faults:
+        Optional :class:`~repro.faults.FaultInjector` (or a bare
+        :class:`~repro.faults.FaultPlan`) threaded through every solver
+        the service builds. Workers honour its
+        :class:`~repro.faults.WorkerStall` specs, and its
+        :class:`~repro.faults.FaultLog` is surfaced in
+        :meth:`ServiceStats.snapshot` under ``"faults"``.
+    breaker:
+        Optional :class:`~repro.service.queue.CircuitBreaker`. While it
+        is open, :meth:`submit` sheds load with
+        :class:`~repro.util.errors.ServiceOverloadedError`.
+
+    When a merged solve raises a typed :class:`ReproError` (a poisoned
+    request — e.g. a singular system failing verification), the group is
+    *bisected*: each half retries separately until the bad request fails
+    alone and every healthy neighbour still gets its answer.
+    Per-request deadlines (``submit(..., deadline_ms=...)``) are
+    enforced immediately before and after the merged solve with
+    :class:`~repro.util.errors.DeadlineExceededError`.
     """
 
     def __init__(
@@ -119,12 +144,20 @@ class BatchSolveService:
         max_group_systems: Optional[int] = None,
         verify: bool = False,
         dist=None,
+        faults=None,
+        breaker: Optional[CircuitBreaker] = None,
     ):
         if max_workers < 1:
             raise ConfigurationError(f"max_workers must be >= 1, got {max_workers}")
         self.default_device = make_device(device)
         self.cache = cache if isinstance(cache, TuningCache) else TuningCache(cache)
         self.verify = verify
+        if faults is not None and not hasattr(faults, "before_step"):
+            from ..faults import FaultInjector
+
+            faults = FaultInjector(faults)
+        self.faults = faults
+        self.breaker = breaker
         self.max_group_systems = max_group_systems
         self.auto_flush = auto_flush
         self.submit_timeout = submit_timeout
@@ -148,6 +181,8 @@ class BatchSolveService:
         self._dist_config = dist
         self._dist_solver: Optional[DistributedSolver] = None
         self.stats.attach_cache(self.cache)
+        if self.faults is not None:
+            self.stats.attach_fault_log(self.faults.log)
 
     @property
     def dist_solver(self) -> Optional[DistributedSolver]:
@@ -167,6 +202,7 @@ class BatchSolveService:
                 device=self.default_device,
                 cache=self.cache,
                 verify=self.verify,
+                faults=self.faults,
             )
         with self._lock:
             if self._dist_solver is None:
@@ -232,7 +268,9 @@ class BatchSolveService:
         if solver is not None:
             return solver
         switch = self.switch_points_for(dev, dtype)
-        solver = MultiStageSolver(dev, switch, verify=self.verify)
+        solver = MultiStageSolver(
+            dev, switch, verify=self.verify, faults=self.faults
+        )
         with self._lock:
             return self._solvers.setdefault(key, solver)
 
@@ -279,14 +317,27 @@ class BatchSolveService:
         device: Union[Device, str, None] = None,
         *,
         timeout: Optional[float] = None,
+        deadline_ms: Optional[float] = None,
     ) -> "Future[ServiceResult]":
         """Queue one solve request; returns a future for its result.
 
         Applies the backpressure policy; a rejected request raises
         :class:`ServiceOverloadedError` and is counted in the stats.
+        ``deadline_ms`` is a wall-clock budget from now: the request
+        fails with :class:`DeadlineExceededError` instead of returning
+        a result the caller stopped waiting for.
         """
         if self._closed:
             raise ServiceError("service is closed")
+        if self.breaker is not None and not self.breaker.allow():
+            self.stats.record_shed()
+            if self.faults is not None:
+                self.faults.note(
+                    "overload", "shed", detail="circuit breaker open"
+                )
+            raise ServiceOverloadedError(
+                "circuit breaker is open (backend failing); request shed"
+            )
         dev = self._device(device)
         dsize = dtype_size(batch.dtype)
         if self._routes_to_dist(batch, dev):
@@ -319,7 +370,19 @@ class BatchSolveService:
         with self._lock:
             seq = self._seq
             self._seq += 1
-        request = ServiceRequest(seq=seq, batch=batch, device=dev.name, key=key, plan=plan)
+        deadline = (
+            None
+            if deadline_ms is None
+            else time.monotonic() + deadline_ms / 1e3
+        )
+        request = ServiceRequest(
+            seq=seq,
+            batch=batch,
+            device=dev.name,
+            key=key,
+            plan=plan,
+            deadline=deadline,
+        )
         try:
             self._queue.put(
                 request,
@@ -352,6 +415,33 @@ class BatchSolveService:
 
     def _run_group(self, group: SolveGroup) -> None:
         """Worker body: one merged solve, fanned back out to futures."""
+        if self.faults is not None:
+            self.faults.maybe_stall(group.key.describe())
+        self._execute_group(group)
+
+    def _expire(self, req: ServiceRequest, when: str) -> bool:
+        """Fail ``req`` if its deadline has passed; True when expired."""
+        if req.deadline is None or time.monotonic() <= req.deadline:
+            return False
+        req.future.set_exception(
+            DeadlineExceededError(
+                f"request deadline passed {when} the merged solve"
+            )
+        )
+        self.stats.record_deadline_expired()
+        if self.faults is not None:
+            self.faults.note(
+                "deadline", "expired", label=req.key.describe(), detail=when
+            )
+        return True
+
+    def _execute_group(self, group: SolveGroup) -> None:
+        """One merged solve; bisect on typed errors, enforce deadlines."""
+        live = [r for r in group.requests if not self._expire(r, "before")]
+        if not live:
+            return
+        if len(live) != len(group.requests):
+            group = SolveGroup(key=group.key, requests=live)
         t0 = time.perf_counter()
         try:
             merged = group.merged_batch()
@@ -366,14 +456,48 @@ class BatchSolveService:
                 result = solver.execute_plan(
                     merged, first.plan.with_num_systems(merged.num_systems), switch
                 )
+        except ReproError as exc:
+            if len(live) > 1:
+                # A typed failure in a merged batch: one member may be
+                # poisoned (singular system, verification failure).
+                # Retry each half separately so the bad request fails
+                # alone and its neighbours still get answers.
+                self.stats.record_bisection()
+                if self.faults is not None:
+                    self.faults.note(
+                        "service",
+                        "bisected",
+                        label=group.key.describe(),
+                        detail=(
+                            f"{len(live)} requests split after "
+                            f"{type(exc).__name__}"
+                        ),
+                    )
+                mid = len(live) // 2
+                self._execute_group(SolveGroup(group.key, live[:mid]))
+                self._execute_group(SolveGroup(group.key, live[mid:]))
+                return
+            live[0].future.set_exception(exc)
+            self.stats.record_failed(1)
+            if self.breaker is not None:
+                self.breaker.record_failure()
+            return
         except Exception as exc:
-            for req in group.requests:
+            # Untyped failures are infrastructure, not data: bisection
+            # would retry the same breakage; fail the whole group.
+            for req in live:
                 req.future.set_exception(exc)
-            self.stats.record_failed(group.num_requests)
+            self.stats.record_failed(len(live))
+            if self.breaker is not None:
+                self.breaker.record_failure()
             return
         wall_ms = (time.perf_counter() - t0) * 1e3
+        delivered = 0
         for req, offset in zip(group.requests, group.offsets()):
             rows = slice(offset, offset + req.batch.num_systems)
+            if self._expire(req, "after"):
+                continue
+            delivered += 1
             req.future.set_result(
                 ServiceResult(
                     x=np.ascontiguousarray(result.x[rows]),
@@ -386,9 +510,11 @@ class BatchSolveService:
                     wall_ms=wall_ms,
                 )
             )
+        if self.breaker is not None:
+            self.breaker.record_success()
         self.stats.record_group(
             group.key.describe(),
-            requests=group.num_requests,
+            requests=delivered,
             systems=merged.num_systems,
             simulated_ms=result.report.total_ms,
             wall_ms=wall_ms,

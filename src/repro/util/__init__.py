@@ -2,7 +2,10 @@
 
 from .errors import (
     ConfigurationError,
+    DeadlineExceededError,
     DeviceError,
+    DeviceLostError,
+    FaultInjectionError,
     NumericsError,
     PlanError,
     ReproError,
@@ -32,6 +35,9 @@ __all__ = [
     "ResourceExhaustedError",
     "TuningError",
     "PlanError",
+    "FaultInjectionError",
+    "DeviceLostError",
+    "DeadlineExceededError",
     "require",
     "check_positive_int",
     "check_power_of_two",

@@ -3,6 +3,22 @@
 All errors raised by the library derive from :class:`ReproError` so callers
 can catch library failures with a single ``except`` clause while still
 distinguishing configuration mistakes from numerical breakdowns.
+
+The fault-injection and recovery layer (:mod:`repro.faults`) adds three
+members, all still under the single :class:`ReproError` root:
+
+- :class:`FaultInjectionError` — a *transient* injected kernel fault; the
+  engine retries these with capped exponential backoff before giving up.
+- :class:`DeviceLostError` — a *permanent* simulated device failure; the
+  distributed solver reacts by re-partitioning onto the survivors.
+- :class:`DeadlineExceededError` — a service request missed its deadline;
+  the request fails typed rather than returning a late (or worse, stale)
+  answer.
+
+Errors raised while the instruction engine interprets a program carry an
+``instruction`` attribute — ``(index, opcode, device)`` of the failing
+step — so mid-program failures are attributable (see
+:meth:`repro.ir.Engine`).
 """
 
 from __future__ import annotations
@@ -19,6 +35,9 @@ __all__ = [
     "PlanError",
     "ServiceError",
     "ServiceOverloadedError",
+    "FaultInjectionError",
+    "DeviceLostError",
+    "DeadlineExceededError",
 ]
 
 
@@ -72,9 +91,45 @@ class ServiceError(ReproError):
 
 
 class ServiceOverloadedError(ServiceError):
-    """The service's pending-request queue is full (backpressure).
+    """The service is shedding load instead of accepting the request.
 
-    Raised by the ``reject`` overflow policy, or by the ``block`` policy
-    when the configured wait times out.
+    Raised by the ``reject`` overflow policy when the pending queue is
+    full, by the ``block`` policy when the configured wait times out,
+    and by an *open* :class:`~repro.service.CircuitBreaker` that is
+    failing fast after repeated solve failures.
+    """
+
+
+class FaultInjectionError(ReproError):
+    """A transient injected fault (simulated kernel failure).
+
+    Raised by a :class:`~repro.faults.FaultInjector` when a
+    :class:`~repro.faults.TransientKernelFault` fires on an instruction.
+    The engine retries the instruction under its
+    :class:`~repro.faults.RetryPolicy`; callers only see this error once
+    the per-step attempts or the per-program retry budget are exhausted.
+    """
+
+
+class DeviceLostError(DeviceError):
+    """A simulated device failed permanently mid-run.
+
+    ``device`` is the failed device's index within the executing group
+    (when known). The distributed solver treats this as a failover
+    trigger: re-partition the workload onto the surviving devices and
+    replay from the last completed barrier.
+    """
+
+    def __init__(self, message: str, device: int | None = None):
+        super().__init__(message)
+        self.device = device
+
+
+class DeadlineExceededError(ServiceError):
+    """A service request's deadline expired before its result was ready.
+
+    Raised for the individual request (other requests in the same merged
+    solve are unaffected); counted separately from queue rejections in
+    :class:`~repro.service.ServiceStats`.
     """
 

@@ -1,0 +1,65 @@
+"""Seeded chaos campaigns: the end-to-end recovery guarantee.
+
+A campaign hammers the batched service with mixed requests under
+transient kernel faults, worker stalls, tight deadlines, and poisoned
+(singular) systems, then runs the distributed solver while one of its
+devices dies mid-run. The guarantee under audit: every request returns
+a residual-verified solution or a typed error — never a silently wrong
+answer — and the failover still solves everything on the survivors
+with its overhead priced.
+
+The fast tier runs one small seeded campaign (``-m chaos`` selects it
+on its own); the multi-seed acceptance sweep at full size is marked
+``slow`` and runs nightly alongside ``benchmarks/bench_chaos.py``.
+"""
+
+import pytest
+
+from repro.faults import run_campaign, run_sweep
+
+pytestmark = [
+    pytest.mark.chaos,
+    pytest.mark.filterwarnings("ignore::RuntimeWarning"),
+]
+
+
+def _audit(report):
+    assert report.clean, f"campaign violated the guarantee: {report.describe()}"
+    assert report.silent_wrong == 0
+    assert report.untyped_errors == 0
+    # Every request is accounted for by exactly one typed outcome.
+    assert (
+        report.solved
+        + report.typed_errors
+        + report.deadline_expired
+        + report.shed
+        == report.requests
+    )
+    # The failover phase lost a device and still solved everything.
+    assert report.failover["solved"] == report.failover["solves"]
+    assert report.failover["failovers"] >= 1
+    assert report.failover["recovery_overhead_ms"] > 0.0
+
+
+def test_small_seeded_campaign_is_clean():
+    """Fast-tier smoke: one seed, 60 requests, full fault mix."""
+    report = run_campaign(0, requests=60)
+    _audit(report)
+    assert report.requests == 60
+    # The mix actually exercised the recovery paths.
+    assert report.typed_errors > 0
+    assert report.deadline_expired > 0
+    assert report.fault_summary["counts"]
+
+
+def test_campaigns_are_deterministic_per_seed():
+    first = run_campaign(3, requests=40)
+    second = run_campaign(3, requests=40)
+    assert first.as_dict() == second.as_dict()
+
+
+@pytest.mark.slow
+def test_acceptance_sweep_multi_seed_full_size():
+    """Nightly acceptance bar: >= 3 seeds x >= 200 requests, all clean."""
+    for report in run_sweep((0, 1, 2), requests=200):
+        _audit(report)

@@ -8,6 +8,8 @@ that request alone. Grouping, merging, and worker concurrency must be
 invisible in the numbers.
 """
 
+import threading
+
 import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
@@ -15,6 +17,7 @@ from hypothesis import given, settings, strategies as st
 from repro.core import MultiStageSolver, SwitchPoints
 from repro.service import BatchSolveService
 from repro.systems import generators
+from repro.util.errors import ServiceOverloadedError
 
 COMMON = dict(max_examples=20, deadline=None)
 
@@ -115,6 +118,52 @@ def test_group_cap_does_not_change_answers(batches, cap):
         uncapped = svc.solve_many(batches)
     for lhs, rhs in zip(capped, uncapped):
         np.testing.assert_array_equal(lhs.x, rhs.x)
+
+
+def test_concurrent_overload_rejects_cleanly_without_deadlock():
+    """Concurrent producers racing a tiny reject-mode queue: every
+    submission either lands a future that later resolves bit-correctly
+    or raises :class:`ServiceOverloadedError` immediately — none hang,
+    none are lost, and the drain completes."""
+    producers, per_producer, max_pending = 8, 6, 4
+    lock = threading.Lock()
+    accepted, rejected = [], [0]
+
+    with BatchSolveService(
+        DEVICE, SWITCH, max_workers=2, max_pending=max_pending, overflow="reject"
+    ) as svc:
+
+        def produce(worker):
+            for i in range(per_producer):
+                batch = generators.random_dominant(1, 64, rng=worker * 100 + i)
+                try:
+                    fut = svc.submit(batch)
+                except ServiceOverloadedError:
+                    with lock:
+                        rejected[0] += 1
+                else:
+                    with lock:
+                        accepted.append((batch, fut))
+
+        threads = [
+            threading.Thread(target=produce, args=(w,)) for w in range(producers)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert not any(t.is_alive() for t in threads), "a producer deadlocked"
+
+        # Nothing drained while producing, so the queue's capacity is
+        # exactly what got through; the rest were shed, not dropped.
+        assert len(accepted) == max_pending
+        assert len(accepted) + rejected[0] == producers * per_producer
+        assert svc.stats.snapshot()["requests_rejected"] == rejected[0]
+
+        svc.flush()
+        for batch, fut in accepted:
+            res = fut.result(timeout=30)
+            np.testing.assert_array_equal(_direct(batch).x, res.x)
 
 
 @pytest.mark.parametrize("dtype", [np.float32, np.float64])
