@@ -14,15 +14,17 @@ The package is organised bottom-up:
 - :mod:`repro.core` — the multi-stage solver, planner, and the three
   tuning strategies;
 - :mod:`repro.baselines` — the CPU (MKL-class) and prior-GPU comparators;
-- :mod:`repro.analysis` — figure/table regeneration for the evaluation.
+- :mod:`repro.analysis` — figure/table regeneration for the evaluation;
+- :mod:`repro.obs` — structured tracing, metrics, and trace export.
 
 The most common entry points are re-exported here.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-from . import algorithms, analysis, baselines, core, dist, gpu, kernels, service, systems, util  # noqa: F401
+from . import algorithms, analysis, baselines, core, dist, gpu, kernels, obs, service, systems, util  # noqa: F401
 from .core import MultiStageSolver, SelfTuner, SolveResult, SwitchPoints, solve  # noqa: F401
+from .obs import MetricsRegistry, Tracer  # noqa: F401
 from .dist import DeviceGroup, DistributedSolver, make_device_group  # noqa: F401
 from .service import BatchSolveService, ServiceResult  # noqa: F401
 from .gpu import Device, DeviceSpec, make_device  # noqa: F401
@@ -37,10 +39,13 @@ __all__ = [
     "dist",
     "gpu",
     "kernels",
+    "obs",
     "service",
     "systems",
     "util",
     "solve",
+    "MetricsRegistry",
+    "Tracer",
     "BatchSolveService",
     "ServiceResult",
     "MultiStageSolver",

@@ -32,7 +32,7 @@ from .report import ascii_table, format_value, section
 from .scaling import count_scaling, size_scaling
 from .scorecard import Check, render_scorecard, reproduction_scorecard
 from .tables import table1, table2
-from .timeline import render_timeline
+from .timeline import render_spans, render_timeline
 
 __all__ = [
     "figure5_to_csv",
@@ -52,6 +52,7 @@ __all__ = [
     "ascii_table",
     "format_value",
     "section",
+    "render_spans",
     "render_timeline",
     "count_scaling",
     "size_scaling",

@@ -1,21 +1,66 @@
-"""ASCII timeline (Gantt) rendering of a solve's launch records.
+"""ASCII timeline (Gantt) rendering of a solve's kernel spans.
 
-``SimReport`` already carries per-launch breakdowns; this module draws
-them as a proportional timeline so the stage structure of a solve —
-where the milliseconds go — is visible at a glance in a terminal:
+The renderer consumes :class:`~repro.obs.Span` sequences — the shared
+observability currency — and draws them as a proportional timeline so
+the stage structure of a solve — where the milliseconds go — is visible
+at a glance in a terminal:
 
     stage1_coop_pcr     |####                |  4.21 ms
     stage2_global_pcr   |    ##########      | 11.80 ms
     stage3_pcr_thomas   |              ###   |  2.51 ms
+
+:func:`render_timeline` keeps its historical ``SimReport`` signature by
+lifting the report's launch records into kernel spans first
+(:func:`~repro.obs.spans_from_report`); :func:`render_spans` is the
+span-native entry point, and accepts the kernel leaves of any traced
+engine run.
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Sequence
 
 from ..gpu.executor import SimReport
+from ..obs.trace import Span, spans_from_report
 
-__all__ = ["render_timeline"]
+__all__ = ["render_timeline", "render_spans"]
+
+
+def render_spans(
+    spans: Sequence[Span], *, title: str = "", width: int = 60
+) -> str:
+    """Render kernel spans as a proportional ASCII timeline.
+
+    Each row is one span (labelled by its ``stage`` attribute and name),
+    positioned and sized by its share of the end-to-end simulated time.
+    """
+    total = max((s.end_ms for s in spans), default=0.0)
+    if total <= 0 or not spans:
+        return f"{title}: (no launches)"
+
+    def label_of(span: Span) -> str:
+        stage = span.attr("stage", "")
+        return f"{stage} {span.name}" if stage else span.name
+
+    label_width = max((len(label_of(s)) for s in spans), default=8)
+    label_width = min(label_width, 44)
+
+    lines: List[str] = [
+        f"{title}: {total:.3f} ms over {len(spans)} launches"
+    ]
+    for span in spans:
+        begin = int(round(width * span.start_ms / total))
+        end = max(begin + 1, int(round(width * span.end_ms / total)))
+        end = min(end, width)
+        bar = " " * begin + "#" * (end - begin) + " " * (width - end)
+        label = label_of(span)[:label_width]
+        bound = span.attr("bound")
+        suffix = f" ({bound}-bound)" if bound else ""
+        lines.append(
+            f"{label:<{label_width}} |{bar}| {span.duration_ms:8.3f} ms"
+            f"{suffix}"
+        )
+    return "\n".join(lines)
 
 
 def render_timeline(report: SimReport, *, width: int = 60) -> str:
@@ -24,31 +69,6 @@ def render_timeline(report: SimReport, *, width: int = 60) -> str:
     Each row is one launch (labelled by stage and kernel), positioned and
     sized by its share of the end-to-end simulated time.
     """
-    total = report.total_ms
-    if total <= 0 or not report.records:
-        return f"{report.device_name}: (no launches)"
-
-    label_width = max(
-        (len(f"{r.stage} {r.breakdown.name}") for r in report.records),
-        default=8,
+    return render_spans(
+        spans_from_report(report), title=report.device_name, width=width
     )
-    label_width = min(label_width, 44)
-
-    lines: List[str] = [
-        f"{report.device_name}: {total:.3f} ms over "
-        f"{report.num_launches} launches"
-    ]
-    elapsed = 0.0
-    for rec in report.records:
-        start = elapsed
-        elapsed += rec.total_ms
-        begin = int(round(width * start / total))
-        end = max(begin + 1, int(round(width * elapsed / total)))
-        end = min(end, width)
-        bar = " " * begin + "#" * (end - begin) + " " * (width - end)
-        label = f"{rec.stage} {rec.breakdown.name}"[:label_width]
-        lines.append(
-            f"{label:<{label_width}} |{bar}| {rec.total_ms:8.3f} ms "
-            f"({rec.breakdown.bound}-bound)"
-        )
-    return "\n".join(lines)

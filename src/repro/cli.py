@@ -20,6 +20,9 @@ Commands
 ``dist-bench``
     Strong/weak scaling of the multi-device distributed solver, with a
     per-device pipeline timeline.
+``trace``
+    Run a workload with tracing on and export a Chrome trace-event JSON
+    (loadable in Perfetto) plus a plaintext metrics dump.
 ``chaos``
     Run a seeded fault-injection campaign over the service and the
     distributed solver and audit the headline guarantee: a verified
@@ -233,6 +236,55 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the sweep as JSON to this path",
     )
 
+    p_trace = sub.add_parser(
+        "trace",
+        help="run a workload traced and export a Chrome trace-event "
+        "JSON (Perfetto) plus a plaintext metrics dump",
+    )
+    p_trace.add_argument("--device", default="gtx470")
+    p_trace.add_argument(
+        "--n",
+        default="2**20",
+        help="system size; accepts 2**20 / 1<<20 / plain integers "
+        "(default 2**20)",
+    )
+    p_trace.add_argument(
+        "--systems",
+        default="1",
+        help="system count (same syntax as --n; default 1)",
+    )
+    p_trace.add_argument(
+        "--devices",
+        type=int,
+        default=1,
+        help="device count: 1 traces a single-device solve, more traces "
+        "a distributed one (default 1)",
+    )
+    p_trace.add_argument(
+        "--link", default="pcie3", help="interconnect preset (default pcie3)"
+    )
+    p_trace.add_argument(
+        "--topology", default="all_to_all", choices=["all_to_all", "ring"]
+    )
+    p_trace.add_argument(
+        "--mode", default="auto", choices=["auto", "rows", "batch"]
+    )
+    p_trace.add_argument(
+        "--tuning",
+        default="static",
+        choices=["default", "static", "dynamic"],
+        help="switch-point strategy (default static)",
+    )
+    p_trace.add_argument(
+        "--dtype-size", type=int, default=8, choices=[4, 8], dest="dtype_size"
+    )
+    p_trace.add_argument(
+        "--out",
+        default="results/trace",
+        help="output prefix: writes <out>.trace.json and <out>.metrics.txt "
+        "(default results/trace)",
+    )
+
     p_chaos = sub.add_parser(
         "chaos",
         help="seeded fault-injection campaign with recovery auditing",
@@ -419,7 +471,7 @@ def _cmd_serve_bench(args, out) -> int:
         t0 = time.perf_counter()
         results = service.solve_many(requests)
         service_wall_s = time.perf_counter() - t0
-        batched_ms = service.stats.simulated_ms
+        batched_ms = service.stats.snapshot()["simulated_ms"]
 
         # The one-shot baseline: same switch points, one solve per request.
         solvers = {}
@@ -460,6 +512,12 @@ def _cmd_serve_bench(args, out) -> int:
             f"tuning    : {cache['hits']} cache hits / {lookups} lookups "
             f"({rate:.0%} hit rate, {cache['entries']} entries)\n"
         )
+    out.write("metrics   :\n")
+    for line in service.metrics.render().splitlines():
+        # The full histogram bucket series is for machines; the summary
+        # lines tell the story.
+        if not line.startswith("#") and "_bucket" not in line:
+            out.write(f"  {line}\n")
     return 0
 
 
@@ -559,6 +617,99 @@ def _cmd_dist_bench(args, out) -> int:
         with open(args.json_out, "w", encoding="utf-8") as fh:
             json.dump(payload, fh, indent=2)
         out.write(f"wrote {args.json_out}\n")
+    return 0
+
+
+def _parse_count(text: str) -> int:
+    """Parse a size argument: plain int, ``a**b``, ``a<<b``, or ``a*b``."""
+    t = str(text).strip().replace(" ", "")
+    try:
+        if "**" in t:
+            a, b = t.split("**", 1)
+            return int(a) ** int(b)
+        if "<<" in t:
+            a, b = t.split("<<", 1)
+            return int(a) << int(b)
+        if "*" in t:
+            a, b = t.split("*", 1)
+            return int(a) * int(b)
+        return int(t)
+    except ValueError:
+        raise ReproError(
+            f"expected an integer (or a**b / a<<b / a*b), got {text!r}"
+        ) from None
+
+
+def _cmd_trace(args, out) -> int:
+    from .obs import (
+        MetricsRegistry,
+        Tracer,
+        chrome_trace_json,
+        spans_to_trace_events,
+        write_metrics,
+    )
+
+    n = _parse_count(args.n)
+    m = _parse_count(args.systems)
+    tracer = Tracer()
+    registry = MetricsRegistry()
+
+    if args.devices > 1:
+        from .dist import DistributedSolver
+        from .ir import Engine
+
+        solver = DistributedSolver(
+            args.devices,
+            args.tuning,
+            device=args.device,
+            link=args.link,
+            topology=args.topology,
+            mode=args.mode,
+            metrics=registry,
+        )
+        solver.cache.attach_metrics(registry)
+        plan, _ = solver.price(m, n, args.dtype_size)
+        program = solver.lower(plan, args.dtype_size)
+        engine = Engine.for_group(solver.group)
+        engine.tracer = tracer
+        run = engine.price(program)
+        solver.record_metrics(plan, run.report, args.dtype_size)
+        names = program.device_names
+        target = solver.group.describe()
+    else:
+        from .core import simulate_plan
+        from .ir import Engine
+
+        device = make_device(args.device)
+        solver = MultiStageSolver(device, args.tuning)
+        solver.device.check_fits_global(5 * m * n * args.dtype_size)
+        switch = solver.switch_points_for(m, n, args.dtype_size)
+        plan, _ = simulate_plan(device, m, n, args.dtype_size, switch)
+        program = plan.lower(device, args.dtype_size)
+        engine = Engine.for_device(device)
+        engine.tracer = tracer
+        run = engine.price(program)
+        names = program.device_names or (device.name,)
+        target = device.name
+
+    spans = tracer.spans()
+    events = spans_to_trace_events(spans, names)
+    trace_path = f"{args.out}.trace.json"
+    metrics_path = f"{args.out}.metrics.txt"
+    os.makedirs(os.path.dirname(trace_path) or ".", exist_ok=True)
+    with open(trace_path, "w", encoding="utf-8") as fh:
+        fh.write(chrome_trace_json(events))
+    write_metrics(metrics_path, registry)
+
+    num_spans = sum(1 for root in spans for _ in root.walk())
+    out.write(f"target   : {target}\n")
+    out.write(f"workload : {m} x {n} (dtype {args.dtype_size}B)\n")
+    out.write(
+        f"trace    : {num_spans} spans, {len(events)} trace events, "
+        f"{run.report.total_ms:.4f} ms simulated\n"
+    )
+    out.write(f"wrote {trace_path} (open in https://ui.perfetto.dev)\n")
+    out.write(f"wrote {metrics_path}\n")
     return 0
 
 
@@ -724,6 +875,8 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
             return _cmd_serve_bench(args, out)
         if args.command == "dist-bench":
             return _cmd_dist_bench(args, out)
+        if args.command == "trace":
+            return _cmd_trace(args, out)
         if args.command == "chaos":
             return _cmd_chaos(args, out)
         if args.command == "verify":

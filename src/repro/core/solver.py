@@ -21,6 +21,7 @@ import numpy as np
 from ..algorithms.verify import assert_solution
 from ..gpu.executor import Device, SimReport, make_device
 from ..ir.engine import Engine
+from ..ir.instructions import signature_text
 from ..kernels import dtype_size
 from ..systems.tridiagonal import TridiagonalBatch
 from ..util.errors import ConfigurationError
@@ -61,10 +62,16 @@ class MultiStageSolver:
         *,
         verify: bool = False,
         faults=None,
+        tracer=None,
     ):
         self.device = make_device(device)
         self.verify = verify
         self._engine = Engine.for_device(self.device)
+        # Optional observability: an obs.Tracer records a solve span per
+        # execute_plan with the engine's program/instruction/kernel spans
+        # nested inside. None costs nothing.
+        self.tracer = tracer
+        self._engine.tracer = tracer
         # Optional chaos testing: a FaultInjector (or a view of one), or
         # a bare FaultPlan which gets its own injector. The engine
         # consults it before every costed instruction; None is the
@@ -148,7 +155,24 @@ class MultiStageSolver:
         """
         self.device.check_fits_global(batch.nbytes + batch.d.nbytes)
         program = plan.lower(self.device, dtype_size(batch.dtype))
-        run = self._engine.execute(program, batch)
+        tracer = self.tracer
+        if tracer is not None:
+            token = tracer.begin(
+                f"solve {batch.num_systems}x{batch.system_size}",
+                "solve",
+                0.0,
+                device=0,
+                device_name=self.device.name,
+                signature=signature_text(program.signature),
+            )
+            try:
+                run = self._engine.execute(program, batch)
+            except Exception as exc:
+                tracer.abort_to(token, 0.0, error=type(exc).__name__)
+                raise
+            tracer.end(run.report.total_ms)
+        else:
+            run = self._engine.execute(program, batch)
 
         if self.verify:
             assert_solution(batch, run.x, context="multi-stage solve")

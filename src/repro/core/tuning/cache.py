@@ -42,8 +42,24 @@ class TuningCache:
         self._lock = threading.RLock()
         self._hits = 0
         self._misses = 0
+        self._metric = None
         if self.path is not None and os.path.exists(self.path):
             self._load()
+
+    def attach_metrics(self, registry) -> None:
+        """Mirror lookups into an :class:`~repro.obs.MetricsRegistry` as
+        ``repro_tuning_cache_lookups_total{result=hit|miss}``. Lookups
+        counted before attachment are replayed."""
+        counter = registry.counter(
+            "repro_tuning_cache_lookups_total",
+            "Tuning-cache lookups, by result.",
+        )
+        with self._lock:
+            self._metric = counter
+            if self._hits:
+                counter.inc(self._hits, result="hit")
+            if self._misses:
+                counter.inc(self._misses, result="miss")
 
     @staticmethod
     def key(
@@ -94,6 +110,9 @@ class TuningCache:
                 self._misses += 1
             else:
                 self._hits += 1
+            metric = self._metric
+        if metric is not None:
+            metric.inc(result="hit" if found is not None else "miss")
         return found
 
     def put(

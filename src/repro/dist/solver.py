@@ -124,6 +124,8 @@ class DistributedSolver:
         cache: Union[TuningCache, str, None] = None,
         verify: bool = False,
         faults=None,
+        metrics=None,
+        tracer=None,
     ):
         if group is None:
             group = make_device_group(device, 4, link, topology)
@@ -149,6 +151,15 @@ class DistributedSolver:
         # paused (planning must not consume faults) but still sees
         # environmental slowdowns (clock skew, link degradation).
         self._engine.injector = faults
+        # Observability. The pricing engine deliberately gets NO tracer —
+        # planning prices many candidate programs and would flood the
+        # trace; executed local programs are traced via the member
+        # solvers' engines instead. Metrics land in a shared registry
+        # (or a private one when the caller does not provide any).
+        from ..obs import MetricsRegistry
+
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = tracer
         self._lock = threading.Lock()
         self._switch: Dict[int, SwitchPoints] = {}
         self._solvers: Dict[Tuple[int, int], MultiStageSolver] = {}
@@ -198,6 +209,9 @@ class DistributedSolver:
                 None if self.faults is None else self.faults.for_device(index)
             ),
         )
+        # Trace local programs directly under the distributed solve span
+        # (no per-chunk solve wrapper — the dist solve is the solve).
+        solver._engine.tracer = self.tracer
         with self._lock:
             return self._solvers.setdefault(key, solver)
 
@@ -397,16 +411,69 @@ class DistributedSolver:
             )
         dsize = dtype_size(batch.dtype)
         switch = self.switch_points_for(dsize)
+        tracer = self.tracer
+        token = None
+        if tracer is not None:
+            token = tracer.begin(
+                f"dist {batch.num_systems}x{batch.system_size}",
+                "solve",
+                0.0,
+                device=0,
+                devices=plan.num_devices,
+                mode=plan.mode,
+                schedule=plan.schedule,
+            )
         try:
-            if plan.mode == "rows":
-                result = self._execute_rows(batch, plan, dsize, switch)
+            try:
+                if plan.mode == "rows":
+                    result = self._execute_rows(batch, plan, dsize, switch)
+                else:
+                    result = self._execute_batch(batch, plan, dsize, switch)
+            except DeviceLostError as exc:
+                result = self._failover(batch, plan, dsize, switch, exc)
             else:
-                result = self._execute_batch(batch, plan, dsize, switch)
-        except DeviceLostError as exc:
-            result = self._failover(batch, plan, dsize, switch, exc)
+                self.record_metrics(plan, result.report, dsize)
+        except Exception as exc:
+            if tracer is not None:
+                tracer.abort_to(token, 0.0, error=type(exc).__name__)
+            raise
+        if tracer is not None:
+            tracer.end(result.report.total_ms)
         if self.verify:
             assert_solution(batch, result.x, context="distributed solve")
         return result
+
+    def record_metrics(self, plan: DistPlan, report: DistReport, dsize: int) -> None:
+        """Land one solve's plan/report pair in the metric catalogue.
+
+        Called automatically after every executed solve; ``repro trace``
+        also calls it for priced runs so the exported dump carries the
+        makespan and transfer-volume gauges."""
+        from ..ir.instructions import Transfer
+
+        reg = self.metrics
+        reg.counter(
+            "repro_dist_solves_total", "Distributed solves executed, by mode."
+        ).inc(mode=plan.mode)
+        makespan = reg.gauge(
+            "repro_dist_makespan_ms",
+            "Per-device end time of the last priced distributed solve.",
+        )
+        for tl in report.timelines:
+            makespan.set(tl.end_ms, device=tl.index)
+        nbytes = 0
+        program = self.lower(plan, dsize)
+        for step in program.steps:
+            if isinstance(step.op, Transfer):
+                nbytes += (
+                    step.op.values_per_system
+                    * step.shape[0]
+                    * program.dtype_size
+                )
+        reg.counter(
+            "repro_dist_transfer_bytes_total",
+            "Bytes moved over the simulated interconnect.",
+        ).inc(nbytes)
 
     def _failover(
         self,
@@ -453,6 +520,10 @@ class DistributedSolver:
         subgroup = DeviceGroup(
             tuple(self.group[i] for i in survivors), self.group.interconnect
         )
+        self.metrics.counter(
+            "repro_dist_failovers_total",
+            "Device-loss failovers (re-partition onto survivors).",
+        ).inc()
         sub = DistributedSolver(
             subgroup,
             switch,
@@ -460,6 +531,8 @@ class DistributedSolver:
             schedule=self.schedule,
             cache=self.cache,
             faults=inj.for_survivors(survivors),
+            metrics=self.metrics,
+            tracer=self.tracer,
         )
         recovery = sub.solve(batch)
         return DistSolveResult(

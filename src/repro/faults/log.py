@@ -62,11 +62,28 @@ class FaultLog:
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._events: List[FaultEvent] = []
+        self._metric = None
+
+    def attach_metrics(self, registry) -> None:
+        """Mirror every recorded event into an
+        :class:`~repro.obs.MetricsRegistry` as
+        ``repro_fault_events_total{kind,action}``. Already-recorded
+        events are replayed so attach order does not matter."""
+        counter = registry.counter(
+            "repro_fault_events_total",
+            "Fault and recovery events, by kind and action.",
+        )
+        with self._lock:
+            self._metric = counter
+            for event in self._events:
+                counter.inc(kind=event.kind, action=event.action)
 
     def record(self, event: FaultEvent) -> None:
         """Append one event (workers and engines log concurrently)."""
         with self._lock:
             self._events.append(event)
+            if self._metric is not None:
+                self._metric.inc(kind=event.kind, action=event.action)
 
     def events(self) -> Tuple[FaultEvent, ...]:
         """A consistent copy of everything recorded so far."""

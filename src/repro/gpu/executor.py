@@ -147,6 +147,19 @@ class SimSession:
         """Simulated time so far (accumulated, not re-summed)."""
         return self._total_ms
 
+    @property
+    def num_records(self) -> int:
+        """Launches recorded so far."""
+        return len(self._records)
+
+    def records_since(self, index: int) -> tuple:
+        """Launch records appended after position ``index``.
+
+        Lets per-step consumers (the engine's kernel spans) slice their
+        window without copying the whole record list each step.
+        """
+        return tuple(self._records[index:])
+
     def snapshot(self) -> SimReport:
         """A report of everything recorded so far, without closing.
 

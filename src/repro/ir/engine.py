@@ -48,7 +48,7 @@ from ..gpu.cost import kernel_time_ms
 from ..gpu.executor import Device
 from ..kernels.base import KernelContext
 from ..util.errors import FaultInjectionError, PlanError, ReproError
-from .instructions import Fixed, Program, Step, Transfer
+from .instructions import Fixed, Program, Step, Transfer, signature_text
 
 
 def _handlers():
@@ -110,11 +110,15 @@ class Engine:
     need real devices for the cost model.
     """
 
-    def __init__(self, devices, interconnect=None, label: str = "", injector=None):
+    def __init__(
+        self, devices, interconnect=None, label: str = "", injector=None,
+        tracer=None,
+    ):
         self.devices = tuple(devices)
         self.interconnect = interconnect
         self.label = label
         self.injector = injector  # optional FaultInjector; mutable
+        self.tracer = tracer  # optional obs.Tracer; mutable
         self._price_ctx: Dict[int, KernelContext] = {}
 
     @classmethod
@@ -181,11 +185,17 @@ class Engine:
         at the step's priced duration plus the backoff and logged.
         Every escaping :class:`ReproError` is annotated with the
         instruction context.
+
+        Returns the number of *retries* the step needed (0 for a clean
+        run) — the injector draws deterministically per instruction, so
+        the count is identical in execute and price mode and feeds the
+        tracer's ``retries`` span attribute.
         """
         inj = self.injector
         if inj is None:
             try:
-                return body()
+                body()
+                return 0
             except ReproError as exc:
                 raise self._annotate(exc, i, step)
         retry = inj.retry
@@ -193,7 +203,8 @@ class Engine:
         while True:
             try:
                 inj.before_step(program, i, step, attempt)
-                return body()
+                body()
+                return attempt
             except FaultInjectionError as exc:
                 wasted = (
                     duration_ms
@@ -235,14 +246,28 @@ class Engine:
         ctx = KernelContext(session)
         state = handlers.ExecState.for_batch(batch)
         budget = self._budget()
+        tracer = self.tracer
+        token = self._begin_program(program, 0.0)
         trace: List[StepTrace] = []
-        for i, step in enumerate(program.steps):
-            start = session.elapsed_ms
-            self._interpret(
-                program, i, step, budget,
-                lambda step=step: handlers.execute_step(step, ctx, state),
-            )
-            trace.append(self._trace(i, step, start, session.elapsed_ms))
+        try:
+            for i, step in enumerate(program.steps):
+                start = session.elapsed_ms
+                mark = session.num_records
+                retries = self._interpret(
+                    program, i, step, budget,
+                    lambda step=step: handlers.execute_step(step, ctx, state),
+                )
+                end = session.elapsed_ms
+                trace.append(self._trace(i, step, start, end))
+                if tracer is not None:
+                    self._span_step(
+                        i, step, start, end, retries,
+                        kernels=self._kernel_spans(session, mark, step.device),
+                    )
+        except ReproError as exc:
+            self._abort_program(token, session.elapsed_ms, exc)
+            raise
+        self._end_program(token, session.elapsed_ms)
         return EngineRun(
             program=program,
             report=session.report(),
@@ -270,12 +295,26 @@ class Engine:
             for cost in handlers.price_costs(step, ctx, program.dtype_size):
                 session.submit(cost, stage=step.stage)
 
-        for i, step in enumerate(program.steps):
-            start = session.elapsed_ms
-            self._interpret(
-                program, i, step, budget, lambda step=step: submit(step)
-            )
-            trace.append(self._trace(i, step, start, session.elapsed_ms))
+        tracer = self.tracer
+        token = self._begin_program(program, 0.0)
+        try:
+            for i, step in enumerate(program.steps):
+                start = session.elapsed_ms
+                mark = session.num_records
+                retries = self._interpret(
+                    program, i, step, budget, lambda step=step: submit(step)
+                )
+                end = session.elapsed_ms
+                trace.append(self._trace(i, step, start, end))
+                if tracer is not None:
+                    self._span_step(
+                        i, step, start, end, retries,
+                        kernels=self._kernel_spans(session, mark, step.device),
+                    )
+        except ReproError as exc:
+            self._abort_program(token, session.elapsed_ms, exc)
+            raise
+        self._end_program(token, session.elapsed_ms)
         return EngineRun(
             program=program, report=session.report(), trace=tuple(trace)
         )
@@ -288,35 +327,46 @@ class Engine:
         end_of: List[float] = [0.0] * len(program.steps)
         free: Dict[str, float] = {}
         budget = self._budget()
+        tracer = self.tracer
+        token = self._begin_program(program, 0.0)
         trace: List[StepTrace] = []
-        for i, step in enumerate(program.steps):
-            ready = max((end_of[d] for d in step.deps), default=0.0)
-            if step.is_marker:
-                # Free bookkeeping: passes dependencies through without
-                # occupying any engine.
-                end_of[i] = ready
-                trace.append(self._trace(i, step, ready, ready))
-                continue
-            duration = self._step_duration(step, program)
-            if self.injector is not None:
-                duration = self.injector.adjust_duration_ms(step, duration)
-            self._interpret(
-                program, i, step, budget, lambda: None, duration_ms=duration
-            )
-            start = max(ready, free.get(step.resource_key, 0.0))
-            end = start + duration
-            free[step.resource_key] = end
-            end_of[i] = end
-            kind = "compute" if step.engine == "compute" else "xfer"
-            # Compute spans always land on the timeline (even
-            # zero-duration ones); transfers only when data moved — a
-            # free local hop occupies the link for no time and draws
-            # nothing.
-            if kind == "compute" or duration > 0:
-                events[step.device].append(
-                    TimelineEvent(kind, step.stage, start, end)
+        try:
+            for i, step in enumerate(program.steps):
+                ready = max((end_of[d] for d in step.deps), default=0.0)
+                if step.is_marker:
+                    # Free bookkeeping: passes dependencies through without
+                    # occupying any engine.
+                    end_of[i] = ready
+                    trace.append(self._trace(i, step, ready, ready))
+                    if tracer is not None:
+                        self._span_step(i, step, ready, ready, 0)
+                    continue
+                duration = self._step_duration(step, program)
+                if self.injector is not None:
+                    duration = self.injector.adjust_duration_ms(step, duration)
+                retries = self._interpret(
+                    program, i, step, budget, lambda: None, duration_ms=duration
                 )
-            trace.append(self._trace(i, step, start, end))
+                start = max(ready, free.get(step.resource_key, 0.0))
+                end = start + duration
+                free[step.resource_key] = end
+                end_of[i] = end
+                kind = "compute" if step.engine == "compute" else "xfer"
+                # Compute spans always land on the timeline (even
+                # zero-duration ones); transfers only when data moved — a
+                # free local hop occupies the link for no time and draws
+                # nothing.
+                if kind == "compute" or duration > 0:
+                    events[step.device].append(
+                        TimelineEvent(kind, step.stage, start, end)
+                    )
+                trace.append(self._trace(i, step, start, end))
+                if tracer is not None:
+                    self._span_step(i, step, start, end, retries)
+        except ReproError as exc:
+            self._abort_program(token, max(end_of, default=0.0), exc)
+            raise
+        self._end_program(token, max(end_of, default=0.0))
         timelines = tuple(
             DeviceTimeline(i, program.device_names[i], tuple(events[i]))
             for i in range(p)
@@ -347,6 +397,66 @@ class Engine:
         for cost in _handlers().price_costs(step, ctx, program.dtype_size):
             total += kernel_time_ms(ctx.spec, cost).total_ms
         return total
+
+    # -- tracer plumbing ---------------------------------------------------
+    #
+    # Spans are built from the same quantities in execute and price mode
+    # (step bounds off the session clock, kernel spans off the identical
+    # launch records, retry counts off the deterministic injector), so
+    # the two modes emit equal trees — pinned by tests/test_obs.py.
+
+    def _begin_program(self, program: Program, start_ms: float):
+        if self.tracer is None:
+            return None
+        return self.tracer.begin(
+            program.label or "program",
+            "program",
+            start_ms,
+            device=0,
+            kind=program.kind,
+            num_systems=program.num_systems,
+            signature=signature_text(program.signature),
+            steps=len(program.steps),
+            system_size=program.system_size,
+        )
+
+    def _end_program(self, token, end_ms: float) -> None:
+        if self.tracer is not None:
+            self.tracer.end(end_ms)
+
+    def _abort_program(self, token, end_ms: float, exc: Exception) -> None:
+        if self.tracer is not None:
+            self.tracer.abort_to(token, end_ms, error=type(exc).__name__)
+
+    def _span_step(self, i, step, start, end, retries, kernels=()):
+        attrs = dict(op=type(step.op).__name__, stage=step.stage)
+        if retries:
+            attrs["retries"] = retries
+        self.tracer.leaf(
+            f"[{i}] {type(step.op).__name__}",
+            "instruction",
+            start,
+            end,
+            device=step.device,
+            children=kernels,
+            **attrs,
+        )
+
+    @staticmethod
+    def _kernel_spans(session, mark: int, device: int) -> tuple:
+        from ..obs.trace import Span
+
+        return tuple(
+            Span(
+                name=rec.breakdown.name,
+                category="kernel",
+                start_ms=rec.start_ms,
+                end_ms=rec.end_ms,
+                device=device,
+                attrs=(("bound", rec.breakdown.bound), ("stage", rec.stage)),
+            )
+            for rec in session.records_since(mark)
+        )
 
     @staticmethod
     def _trace(i: int, step: Step, start: float, end: float) -> StepTrace:

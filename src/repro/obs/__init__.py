@@ -1,0 +1,57 @@
+"""Observability: structured tracing, metrics, and trace export.
+
+The layer has three pieces:
+
+- :mod:`~repro.obs.trace` — the hierarchical :class:`Span` model
+  (solve → program → instruction → kernel) and the :class:`Tracer`
+  the IR engine and solvers record into; execute and price mode emit
+  *equal* span trees for the same program.
+- :mod:`~repro.obs.metrics` — the :class:`MetricsRegistry` of labelled
+  counters, gauges, and fixed-bucket histograms threaded through the
+  service, the distributed solver, the tuning cache, and the fault log;
+  its plaintext dump is byte-deterministic.
+- :mod:`~repro.obs.export` — exporters: Chrome ``trace_event`` JSON
+  (one track per simulated device, loadable in Perfetto) and the
+  metrics dump, both behind the ``repro trace`` CLI subcommand.
+
+Everything defaults to off: an uninstalled tracer costs one ``None``
+check per hook, and components build a private registry unless handed
+a shared one. ``docs/observability.md`` has the span model, the metric
+catalogue, and a worked Perfetto example.
+"""
+
+from .export import (
+    chrome_trace_events,
+    chrome_trace_json,
+    report_to_trace_events,
+    spans_to_trace_events,
+    write_chrome_trace,
+    write_metrics,
+)
+from .metrics import (
+    DEFAULT_MS_BUCKETS,
+    DEFAULT_SIZE_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from .trace import Span, Tracer, spans_from_report
+
+__all__ = [
+    "Counter",
+    "DEFAULT_MS_BUCKETS",
+    "DEFAULT_SIZE_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "Tracer",
+    "chrome_trace_events",
+    "chrome_trace_json",
+    "report_to_trace_events",
+    "spans_from_report",
+    "spans_to_trace_events",
+    "write_chrome_trace",
+    "write_metrics",
+]

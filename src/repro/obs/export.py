@@ -1,0 +1,164 @@
+"""Exporters: Chrome ``trace_event`` JSON and the plaintext metrics dump.
+
+The trace exporter emits the Trace Event Format that Perfetto and
+``chrome://tracing`` load: a ``traceEvents`` array of complete events
+(``ph: "X"``) with microsecond ``ts``/``dur``, plus ``"M"`` metadata
+events naming tracks. Simulated devices map to processes (``pid`` =
+device index) with two threads each — ``tid`` 0 for the compute engine,
+``tid`` 1 for the transfer engine — so a four-device solve renders as
+four labelled tracks, transfers overlapping compute exactly as the
+scheduler placed them.
+
+Both exporters are byte-deterministic for a deterministic run:
+``json.dumps`` with sorted keys and fixed separators, events in
+timeline order. The determinism tests diff two runs' files directly.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Sequence
+
+from .metrics import MetricsRegistry
+from .trace import Span
+
+__all__ = [
+    "chrome_trace_events",
+    "spans_to_trace_events",
+    "report_to_trace_events",
+    "chrome_trace_json",
+    "write_chrome_trace",
+    "write_metrics",
+]
+
+_MS_TO_US = 1000.0
+
+# Span categories render on the compute thread of their device; Transfer
+# instructions and timeline "xfer" events go to the transfer thread.
+_COMPUTE_TID = 0
+_XFER_TID = 1
+
+_THREAD_NAMES = {_COMPUTE_TID: "compute", _XFER_TID: "xfer"}
+
+
+def _metadata_events(pids: Dict[int, str]) -> List[dict]:
+    events: List[dict] = []
+    for pid in sorted(pids):
+        events.append(
+            {
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "name": "process_name",
+                "args": {"name": pids[pid]},
+            }
+        )
+        for tid, tname in sorted(_THREAD_NAMES.items()):
+            events.append(
+                {
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": tid,
+                    "name": "thread_name",
+                    "args": {"name": tname},
+                }
+            )
+    return events
+
+
+def _span_tid(span: Span) -> int:
+    if span.category == "instruction" and span.attr("op") == "Transfer":
+        return _XFER_TID
+    return _COMPUTE_TID
+
+
+def spans_to_trace_events(
+    spans: Sequence[Span], device_names: Sequence[str] = ()
+) -> List[dict]:
+    """Flatten span trees into complete events, one per span.
+
+    ``device_names[i]`` labels the process for device ``i``; unnamed
+    devices fall back to ``device <i>``.
+    """
+    pids: Dict[int, str] = {}
+    events: List[dict] = []
+    flat: List[Span] = []
+    for root in spans:
+        flat.extend(root.walk())
+    flat.sort(key=lambda s: (s.start_ms, -s.end_ms, s.device, s.category, s.name))
+    for span in flat:
+        pid = span.device
+        if pid not in pids:
+            pids[pid] = (
+                device_names[pid]
+                if pid < len(device_names)
+                else f"device {pid}"
+            )
+        events.append(
+            {
+                "ph": "X",
+                "pid": pid,
+                "tid": _span_tid(span),
+                "name": span.name,
+                "cat": span.category,
+                "ts": span.start_ms * _MS_TO_US,
+                "dur": span.duration_ms * _MS_TO_US,
+                "args": dict(span.attrs),
+            }
+        )
+    return _metadata_events(pids) + events
+
+
+def report_to_trace_events(report) -> List[dict]:
+    """Events from a :class:`~repro.dist.pipeline.DistReport`.
+
+    One process per device timeline; each :class:`TimelineEvent` becomes
+    a complete event on the compute or transfer thread by its ``kind``.
+    """
+    pids = {tl.index: tl.device_name for tl in report.timelines}
+    events: List[dict] = []
+    for tl in sorted(report.timelines, key=lambda t: t.index):
+        for ev in tl.events:
+            events.append(
+                {
+                    "ph": "X",
+                    "pid": tl.index,
+                    "tid": _COMPUTE_TID if ev.kind == "compute" else _XFER_TID,
+                    "name": ev.label,
+                    "cat": ev.kind,
+                    "ts": ev.start_ms * _MS_TO_US,
+                    "dur": ev.duration_ms * _MS_TO_US,
+                    "args": {},
+                }
+            )
+    events.sort(key=lambda e: (e["ts"], -e["dur"], e["pid"], e["tid"]))
+    return _metadata_events(pids) + events
+
+
+def chrome_trace_events(source, device_names: Sequence[str] = ()) -> List[dict]:
+    """Dispatch: span sequence or ``DistReport`` → trace events."""
+    if hasattr(source, "timelines"):
+        return report_to_trace_events(source)
+    return spans_to_trace_events(source, device_names)
+
+
+def chrome_trace_json(events: Iterable[dict]) -> str:
+    """Serialise events as a Trace Event Format document (JSON object form)."""
+    doc = {"traceEvents": list(events), "displayTimeUnit": "ms"}
+    return json.dumps(doc, sort_keys=True, separators=(",", ":")) + "\n"
+
+
+def write_chrome_trace(path, source, device_names: Sequence[str] = ()) -> str:
+    """Export ``source`` (spans or a DistReport) to ``path``; returns the JSON."""
+    text = chrome_trace_json(chrome_trace_events(source, device_names))
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(text)
+    return text
+
+
+def write_metrics(path, registry: MetricsRegistry) -> str:
+    """Dump the registry's plaintext exposition to ``path``; returns the text."""
+    text = registry.render()
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(text)
+    return text

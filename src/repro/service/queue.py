@@ -126,13 +126,30 @@ class CircuitBreaker:
         self._state = "closed"
         self._opened_at = 0.0
         self.times_opened = 0
+        self._metric = None
+
+    def attach_metrics(self, registry) -> None:
+        """Count state changes into an
+        :class:`~repro.obs.MetricsRegistry` as
+        ``repro_service_breaker_transitions_total{to}``."""
+        with self._lock:
+            self._metric = registry.counter(
+                "repro_service_breaker_transitions_total",
+                "Circuit-breaker state transitions, by target state.",
+            )
+
+    def _transition_locked(self, state: str) -> None:
+        if state != self._state:
+            self._state = state
+            if self._metric is not None:
+                self._metric.inc(to=state)
 
     def _state_locked(self) -> str:
         if (
             self._state == "open"
             and self._clock() - self._opened_at >= self.cooldown_s
         ):
-            self._state = "half_open"
+            self._transition_locked("half_open")
         return self._state
 
     @property
@@ -150,7 +167,7 @@ class CircuitBreaker:
         """A merged solve finished: reset the failure streak, close."""
         with self._lock:
             self._consecutive = 0
-            self._state = "closed"
+            self._transition_locked("closed")
 
     def record_failure(self) -> None:
         """A merged solve failed: extend the streak, maybe trip open."""
@@ -163,5 +180,5 @@ class CircuitBreaker:
             if tripped:
                 if self._state != "open":
                     self.times_opened += 1
-                self._state = "open"
+                self._transition_locked("open")
                 self._opened_at = self._clock()

@@ -62,6 +62,10 @@ class ServiceStats:
     )
     _tuning_cache: object = field(default=None, repr=False, compare=False)
     _fault_log: object = field(default=None, repr=False, compare=False)
+    _requests: object = field(default=None, repr=False, compare=False)
+    _groups: object = field(default=None, repr=False, compare=False)
+    _group_systems: object = field(default=None, repr=False, compare=False)
+    _group_sim_ms: object = field(default=None, repr=False, compare=False)
 
     def attach_cache(self, cache) -> None:
         """Expose a :class:`TuningCache`'s hit/miss counters in snapshots."""
@@ -73,15 +77,47 @@ class ServiceStats:
         with self._lock:
             self._fault_log = log
 
+    def attach_metrics(self, registry) -> None:
+        """Mirror every recorded event into an
+        :class:`~repro.obs.MetricsRegistry` (see ``docs/observability.md``
+        for the catalogue). Attach before traffic flows — earlier events
+        are not replayed."""
+        from ..obs.metrics import DEFAULT_SIZE_BUCKETS
+
+        with self._lock:
+            self._requests = registry.counter(
+                "repro_service_requests_total",
+                "Requests by terminal status.",
+            )
+            self._groups = registry.counter(
+                "repro_service_groups_total", "Merged solves executed."
+            )
+            self._group_systems = registry.histogram(
+                "repro_service_group_systems",
+                "Systems per merged solve (the batching win).",
+                buckets=DEFAULT_SIZE_BUCKETS,
+            )
+            self._group_sim_ms = registry.histogram(
+                "repro_service_group_simulated_ms",
+                "Simulated device time per merged solve.",
+            )
+
+    def _count(self, status: str, count: int) -> None:
+        # Callers hold self._lock.
+        if self._requests is not None:
+            self._requests.inc(count, status=status)
+
     # -- recording (called by the service) --------------------------------
 
     def record_submitted(self, count: int = 1) -> None:
         with self._lock:
             self.requests_submitted += count
+            self._count("submitted", count)
 
     def record_rejected(self, count: int = 1) -> None:
         with self._lock:
             self.requests_rejected += count
+            self._count("rejected", count)
 
     def record_group(
         self,
@@ -105,18 +141,26 @@ class ServiceStats:
             per.systems += systems
             per.simulated_ms += simulated_ms
             per.wall_ms += wall_ms
+            self._count("completed", requests)
+            if self._groups is not None:
+                self._groups.inc()
+                self._group_systems.observe(systems)
+                self._group_sim_ms.observe(simulated_ms)
 
     def record_failed(self, count: int = 1) -> None:
         with self._lock:
             self.requests_failed += count
+            self._count("failed", count)
 
     def record_deadline_expired(self, count: int = 1) -> None:
         with self._lock:
             self.requests_deadline_expired += count
+            self._count("deadline_expired", count)
 
     def record_shed(self, count: int = 1) -> None:
         with self._lock:
             self.requests_shed += count
+            self._count("shed", count)
 
     def record_bisection(self) -> None:
         with self._lock:
@@ -125,17 +169,19 @@ class ServiceStats:
     # -- reading ------------------------------------------------------------
 
     def snapshot(self) -> dict:
-        """A consistent point-in-time copy of every counter."""
+        """A consistent point-in-time copy of every counter.
+
+        Every counter is copied under the same lock the recording
+        methods take, so the snapshot is internally consistent even
+        while workers are mid-group. The attached cache/fault-log
+        roll-ups (which take their own locks) are read *outside* the
+        stats lock — holding two component locks at once invites
+        ordering deadlocks for no consistency gain.
+        """
         with self._lock:
             cache = self._tuning_cache
             fault_log = self._fault_log
-            return {
-                "tuning_cache": (
-                    cache.counters() if cache is not None else None
-                ),
-                "faults": (
-                    fault_log.summary() if fault_log is not None else None
-                ),
+            counters = {
                 "requests_submitted": self.requests_submitted,
                 "requests_completed": self.requests_completed,
                 "requests_failed": self.requests_failed,
@@ -157,6 +203,13 @@ class ServiceStats:
                     for label, stats in self.per_group.items()
                 },
             }
+        counters["tuning_cache"] = (
+            cache.counters() if cache is not None else None
+        )
+        counters["faults"] = (
+            fault_log.summary() if fault_log is not None else None
+        )
+        return counters
 
     def describe(self) -> str:
         """Multi-line human-readable summary."""

@@ -146,6 +146,8 @@ class BatchSolveService:
         dist=None,
         faults=None,
         breaker: Optional[CircuitBreaker] = None,
+        metrics=None,
+        tracer=None,
     ):
         if max_workers < 1:
             raise ConfigurationError(f"max_workers must be >= 1, got {max_workers}")
@@ -183,6 +185,24 @@ class BatchSolveService:
         self.stats.attach_cache(self.cache)
         if self.faults is not None:
             self.stats.attach_fault_log(self.faults.log)
+        # Observability: one shared registry (private unless provided)
+        # collects the whole catalogue — service counters, queue depth,
+        # breaker transitions, tuning-cache lookups, fault events — and
+        # an optional tracer threads through every solver the service
+        # builds. ``docs/observability.md`` documents the metric names.
+        from ..obs import MetricsRegistry
+
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = tracer
+        self.stats.attach_metrics(self.metrics)
+        self.cache.attach_metrics(self.metrics)
+        self._queue_depth = self.metrics.gauge(
+            "repro_service_queue_depth", "Requests waiting to be flushed."
+        )
+        if self.breaker is not None:
+            self.breaker.attach_metrics(self.metrics)
+        if self.faults is not None:
+            self.faults.log.attach_metrics(self.metrics)
 
     @property
     def dist_solver(self) -> Optional[DistributedSolver]:
@@ -203,6 +223,8 @@ class BatchSolveService:
                 cache=self.cache,
                 verify=self.verify,
                 faults=self.faults,
+                metrics=self.metrics,
+                tracer=self.tracer,
             )
         with self._lock:
             if self._dist_solver is None:
@@ -269,7 +291,8 @@ class BatchSolveService:
             return solver
         switch = self.switch_points_for(dev, dtype)
         solver = MultiStageSolver(
-            dev, switch, verify=self.verify, faults=self.faults
+            dev, switch, verify=self.verify, faults=self.faults,
+            tracer=self.tracer,
         )
         with self._lock:
             return self._solvers.setdefault(key, solver)
@@ -392,6 +415,7 @@ class BatchSolveService:
             self.stats.record_rejected()
             raise
         self.stats.record_submitted()
+        self._queue_depth.set(self._queue.pending)
         if self.auto_flush is not None and self._queue.pending >= self.auto_flush:
             self.flush()
         return request.future
@@ -402,6 +426,7 @@ class BatchSolveService:
         Returns the number of merged solves dispatched.
         """
         pending = self._queue.drain()
+        self._queue_depth.set(self._queue.pending)
         if not pending:
             return 0
         groups = group_requests(
@@ -492,12 +517,26 @@ class BatchSolveService:
                 self.breaker.record_failure()
             return
         wall_ms = (time.perf_counter() - t0) * 1e3
-        delivered = 0
+        deliveries = []
         for req, offset in zip(group.requests, group.offsets()):
             rows = slice(offset, offset + req.batch.num_systems)
             if self._expire(req, "after"):
                 continue
-            delivered += 1
+            deliveries.append((req, rows))
+        # Stats and breaker update BEFORE the futures resolve: a caller
+        # woken by future.result() may read service.stats immediately,
+        # and must see the group that produced its answer (the ordering
+        # regression test in tests/test_obs.py pins this).
+        if self.breaker is not None:
+            self.breaker.record_success()
+        self.stats.record_group(
+            group.key.describe(),
+            requests=len(deliveries),
+            systems=merged.num_systems,
+            simulated_ms=result.report.total_ms,
+            wall_ms=wall_ms,
+        )
+        for req, rows in deliveries:
             req.future.set_result(
                 ServiceResult(
                     x=np.ascontiguousarray(result.x[rows]),
@@ -510,15 +549,6 @@ class BatchSolveService:
                     wall_ms=wall_ms,
                 )
             )
-        if self.breaker is not None:
-            self.breaker.record_success()
-        self.stats.record_group(
-            group.key.describe(),
-            requests=delivered,
-            systems=merged.num_systems,
-            simulated_ms=result.report.total_ms,
-            wall_ms=wall_ms,
-        )
 
     def solve_many(
         self,

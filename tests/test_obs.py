@@ -1,0 +1,399 @@
+"""Tests for the observability layer: spans, metrics, and exporters.
+
+Pins the contracts ``docs/observability.md`` documents:
+
+- the tracer produces well-formed trees even when runs fail;
+- execute and price interpretations of one program emit *equal* span
+  trees (the observability analogue of the pricing contract);
+- the Chrome trace exporter is byte-deterministic for a seeded run,
+  fault plan included;
+- the service mirrors its counters into a shared registry, and stats
+  are recorded *before* request futures resolve.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core import MultiStageSolver
+from repro.faults import FaultInjector, FaultPlan, RetryPolicy, TransientKernelFault
+from repro.gpu import make_device
+from repro.kernels import dtype_size
+from repro.ir import Engine
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    chrome_trace_json,
+    spans_from_report,
+    spans_to_trace_events,
+)
+from repro.obs.trace import CATEGORIES, Span
+from repro.service import BatchSolveService
+from repro.systems import generators
+
+
+# ---------------------------------------------------------------------------
+# Tracer
+# ---------------------------------------------------------------------------
+
+
+class TestTracer:
+    def test_nesting_and_attrs(self):
+        tracer = Tracer()
+        tracer.begin("outer", "solve", 0.0, device=1, zebra=1, apple=2)
+        tracer.leaf("inner", "instruction", 1.0, 2.0, op="Pad")
+        tracer.end(5.0)
+
+        (root,) = tracer.spans()
+        assert root.name == "outer"
+        assert root.category == "solve"
+        assert root.device == 1
+        assert root.duration_ms == 5.0
+        # Attrs are stored sorted by key.
+        assert root.attrs == (("apple", 2), ("zebra", 1))
+        assert root.attr("zebra") == 1
+        assert root.attr("missing", 42) == 42
+        (child,) = root.children
+        assert child.attr("op") == "Pad"
+        assert [s.name for s in root.walk()] == ["outer", "inner"]
+
+    def test_abort_to_unwinds_and_annotates(self):
+        tracer = Tracer()
+        token = tracer.begin("outer", "solve", 0.0)
+        tracer.begin("middle", "program", 1.0)
+        tracer.begin("deep", "instruction", 9.0)
+        tracer.abort_to(token, 3.0, error="BoomError")
+
+        assert tracer.depth == 0
+        (root,) = tracer.spans()
+        assert root.attr("error") == "BoomError"
+        (middle,) = root.children
+        (deep,) = middle.children
+        # Spans never end before they start, even when the abort time
+        # predates a deeper span's open.
+        for span in root.walk():
+            assert span.end_ms >= span.start_ms
+        assert deep.end_ms == 9.0
+
+    def test_clear_drops_roots_only(self):
+        tracer = Tracer()
+        tracer.leaf("done", "solve", 0.0, 1.0)
+        tracer.begin("open", "solve", 0.0)
+        tracer.clear()
+        assert tracer.spans() == ()
+        assert tracer.depth == 1
+        tracer.end(2.0)
+        assert len(tracer.spans()) == 1
+
+
+# ---------------------------------------------------------------------------
+# Metrics
+# ---------------------------------------------------------------------------
+
+
+class TestMetrics:
+    def test_counter_labels(self):
+        reg = MetricsRegistry()
+        c = reg.counter("repro_test_total", "help")
+        c.inc(status="ok")
+        c.inc(2, status="ok")
+        c.inc(status="bad")
+        assert c.value(status="ok") == 3
+        assert c.value(status="bad") == 1
+        assert c.total() == 4
+
+    def test_gauge(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("repro_test_depth")
+        g.set(7)
+        g.add(-2)
+        assert g.value() == 5
+
+    def test_histogram_buckets(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("repro_test_ms", buckets=(1.0, 10.0, 100.0))
+        for v in (0.5, 5.0, 50.0, 500.0):
+            h.observe(v)
+        assert h.count() == 4
+        assert h.sum() == 555.5
+        text = reg.render()
+        # Cumulative buckets plus the implicit +Inf.
+        assert 'repro_test_ms_bucket{le="1"} 1' in text
+        assert 'repro_test_ms_bucket{le="10"} 2' in text
+        assert 'repro_test_ms_bucket{le="100"} 3' in text
+        assert 'repro_test_ms_bucket{le="+Inf"} 4' in text
+        assert "repro_test_ms_count 4" in text
+
+    def test_registration_idempotent_with_kind_check(self):
+        reg = MetricsRegistry()
+        a = reg.counter("repro_thing_total")
+        assert reg.counter("repro_thing_total") is a
+        with pytest.raises(ValueError):
+            reg.gauge("repro_thing_total")
+        assert reg.get("repro_thing_total") is a
+        assert reg.get("nope") is None
+
+    def test_render_deterministic(self):
+        def build():
+            reg = MetricsRegistry()
+            reg.counter("repro_b_total").inc(status="y")
+            reg.counter("repro_b_total").inc(status="x")
+            reg.gauge("repro_a_depth").set(3)
+            reg.histogram("repro_c_ms").observe(0.42)
+            return reg.render()
+
+        text = build()
+        assert text == build()
+        assert text.endswith("\n")
+        # Instruments render sorted by name, labels sorted by key.
+        assert text.index("repro_a_depth") < text.index("repro_b_total")
+        assert text.index('status="x"') < text.index('status="y"')
+
+
+# ---------------------------------------------------------------------------
+# Engine span trees
+# ---------------------------------------------------------------------------
+
+
+def traced_solve(batch, *, faults=None, device="gtx470"):
+    """One traced solve on a fresh solver; returns (tracer, result)."""
+    tracer = Tracer()
+    solver = MultiStageSolver(device, faults=faults, tracer=tracer)
+    result = solver.solve(batch)
+    return tracer, result
+
+
+class TestEngineSpans:
+    def test_solve_span_hierarchy(self, small_batch):
+        tracer, result = traced_solve(small_batch)
+        (root,) = tracer.spans()
+        assert root.category == "solve"
+        assert root.attr("device_name") == make_device("gtx470").name
+        assert root.end_ms == pytest.approx(result.report.total_ms)
+
+        (program,) = root.children
+        assert program.category == "program"
+        assert program.attr("steps") == len(program.children)
+        for cat in ("instruction", "kernel"):
+            assert any(s.category == cat for s in root.walk())
+        for span in root.walk():
+            assert span.category in CATEGORIES
+            assert span.end_ms >= span.start_ms
+
+        # Instruction spans tile the program interval in step order.
+        steps = program.children
+        assert all(s.category == "instruction" for s in steps)
+        starts = [s.start_ms for s in steps]
+        assert starts == sorted(starts)
+        assert steps[-1].end_ms <= program.end_ms
+
+    def test_execute_price_span_parity(self, pow2_batch):
+        tracer, result = traced_solve(pow2_batch)
+        (root,) = tracer.spans()
+        (executed,) = root.children
+
+        price_tracer = Tracer()
+        engine = Engine.for_device(make_device("gtx470"))
+        engine.tracer = price_tracer
+        program = result.plan.lower(engine.devices[0], dtype_size(pow2_batch.dtype))
+        engine.price(program)
+        (priced,) = price_tracer.spans()
+
+        # Frozen-dataclass equality: the whole trees match, kernels included.
+        assert priced == executed
+
+    def test_parity_holds_under_faults(self, pow2_batch):
+        plan = FaultPlan(
+            seed=2,
+            faults=(TransientKernelFault(probability=0.3),),
+            retry=RetryPolicy(max_attempts=6, budget=64),
+        )
+        tracer, result = traced_solve(pow2_batch, faults=plan)
+        (root,) = tracer.spans()
+        (executed,) = root.children
+        retried = [s for s in executed.children if s.attr("retries")]
+        assert retried, "fault plan should have injected at least one retry"
+
+        price_tracer = Tracer()
+        engine = Engine.for_device(make_device("gtx470"))
+        engine.injector = FaultInjector(plan)
+        engine.tracer = price_tracer
+        program = result.plan.lower(engine.devices[0], dtype_size(pow2_batch.dtype))
+        engine.price(program)
+        (priced,) = price_tracer.spans()
+        assert priced == executed
+
+
+# ---------------------------------------------------------------------------
+# Chrome trace export
+# ---------------------------------------------------------------------------
+
+
+def assert_valid_trace_events(events):
+    """Structural checks Perfetto relies on: ph/ts/dur/pid/tid."""
+    assert events, "expected at least one event"
+    for ev in events:
+        assert ev["ph"] in ("X", "M")
+        assert isinstance(ev["pid"], int)
+        assert isinstance(ev["tid"], int)
+        if ev["ph"] == "X":
+            assert ev["ts"] >= 0.0
+            assert ev["dur"] >= 0.0
+            assert isinstance(ev["name"], str) and ev["name"]
+
+
+class TestChromeExport:
+    def test_solve_trace_events(self, small_batch):
+        tracer, _ = traced_solve(small_batch)
+        events = spans_to_trace_events(tracer.spans(), ("gtx470",))
+        assert_valid_trace_events(events)
+        meta = [e for e in events if e["ph"] == "M"]
+        assert {"process_name", "thread_name"} <= {e["name"] for e in meta}
+        names = [e["args"]["name"] for e in meta if e["name"] == "process_name"]
+        assert names == ["gtx470"]
+
+        doc = json.loads(chrome_trace_json(events))
+        assert doc["displayTimeUnit"] == "ms"
+        assert len(doc["traceEvents"]) == len(events)
+
+    def test_transfer_spans_use_xfer_thread(self):
+        spans = (
+            Span("[0] Transfer", "instruction", 0.0, 1.0, attrs=(("op", "Transfer"),)),
+            Span("[1] Pad", "instruction", 1.0, 2.0, attrs=(("op", "Pad"),)),
+        )
+        events = [e for e in spans_to_trace_events(spans) if e["ph"] == "X"]
+        tids = {e["name"]: e["tid"] for e in events}
+        assert tids == {"[0] Transfer": 1, "[1] Pad": 0}
+
+    @pytest.mark.dist
+    def test_dist_trace_has_one_track_per_device(self):
+        from repro.dist import DistributedSolver, make_device_group
+
+        group = make_device_group(count=4)
+        solver = DistributedSolver(group, "static")
+        batch = generators.random_dominant(4, 1 << 15, rng=2)
+        result = solver.solve(batch)
+        from repro.obs import report_to_trace_events
+
+        events = report_to_trace_events(result.report)
+        assert_valid_trace_events(events)
+        pids = {e["pid"] for e in events}
+        assert pids == {0, 1, 2, 3}
+        # Metrics recorded one makespan gauge per device.
+        gauge = solver.metrics.get("repro_dist_makespan_ms")
+        assert gauge is not None
+        assert all(gauge.value(device=i) > 0 for i in range(4))
+
+
+class TestTraceDeterminism:
+    def test_byte_identical_across_runs_with_faults(self):
+        plan = FaultPlan(
+            seed=0,
+            faults=(TransientKernelFault(probability=0.25),),
+            retry=RetryPolicy(max_attempts=6, budget=64),
+        )
+
+        def run_once():
+            batch = generators.random_dominant(4, 256, rng=3)
+            tracer = Tracer()
+            solver = MultiStageSolver("gtx470", faults=plan, tracer=tracer)
+            solver.solve(batch)
+            events = spans_to_trace_events(tracer.spans(), ("gtx470",))
+            injected = solver.faults.log.summary()["events"]
+            return chrome_trace_json(events), injected
+
+        first, injected = run_once()
+        second, _ = run_once()
+        assert injected > 0, "fault plan should actually fire"
+        assert first == second
+
+
+# ---------------------------------------------------------------------------
+# Timeline rendering over spans
+# ---------------------------------------------------------------------------
+
+
+class TestTimelineSpans:
+    def test_render_timeline_matches_render_spans(self, small_batch):
+        from repro.analysis import render_spans, render_timeline
+
+        result = MultiStageSolver("gtx470").solve(small_batch)
+        by_report = render_timeline(result.report)
+        by_spans = render_spans(
+            spans_from_report(result.report), title=result.report.device_name
+        )
+        assert by_report == by_spans
+        assert result.report.device_name in by_report
+
+    def test_kernel_spans_carry_bound_and_stage(self, small_batch):
+        result = MultiStageSolver("gtx470").solve(small_batch)
+        spans = spans_from_report(result.report)
+        assert spans
+        for span in spans:
+            assert span.category == "kernel"
+            assert span.attr("bound") in ("compute", "memory", "latency")
+            assert span.attr("stage")
+
+
+# ---------------------------------------------------------------------------
+# Service metrics and stats ordering
+# ---------------------------------------------------------------------------
+
+
+class TestServiceObservability:
+    def test_metrics_mirror_stats(self, small_batch):
+        with BatchSolveService(max_workers=2) as svc:
+            futures = [svc.submit(small_batch) for _ in range(3)]
+            svc.flush()
+            for fut in futures:
+                fut.result(timeout=30)
+            snap = svc.stats.snapshot()
+
+        requests = svc.metrics.get("repro_service_requests_total")
+        assert requests.value(status="submitted") == snap["requests_submitted"] == 3
+        assert requests.value(status="completed") == snap["requests_completed"] == 3
+        groups = svc.metrics.get("repro_service_groups_total")
+        assert groups.total() == snap["groups_executed"]
+        hist = svc.metrics.get("repro_service_group_systems")
+        assert hist.count() == snap["groups_executed"]
+        lookups = svc.metrics.get("repro_tuning_cache_lookups_total")
+        assert lookups.total() == (
+            snap["tuning_cache"]["hits"] + snap["tuning_cache"]["misses"]
+        )
+        assert svc.metrics.get("repro_service_queue_depth").value() == 0
+
+        text = svc.metrics.render()
+        assert 'repro_service_requests_total{status="completed"} 3' in text
+
+    def test_stats_recorded_before_future_resolves(self, small_batch):
+        # Regression: record_group used to run after future.set_result, so
+        # a client could observe its answer while groups_executed still
+        # read 0. The service now records stats (and breaker state) before
+        # resolving futures — result() implies the snapshot includes it.
+        with BatchSolveService(max_workers=4) as svc:
+            for i in range(1, 11):
+                fut = svc.submit(small_batch)
+                svc.flush()
+                fut.result(timeout=30)
+                snap = svc.stats.snapshot()
+                assert snap["requests_completed"] >= i
+                assert snap["groups_executed"] >= i
+
+    def test_fault_metrics_replayed_on_attach(self, small_batch):
+        plan = FaultPlan(
+            seed=3,
+            faults=(TransientKernelFault(probability=0.3),),
+            retry=RetryPolicy(max_attempts=6, budget=64),
+        )
+        injector = FaultInjector(plan)
+        solver = MultiStageSolver("gtx470", faults=injector)
+        solver.solve(small_batch)
+        assert injector.log.summary()["events"] > 0
+
+        # Events recorded before attach are replayed into the registry.
+        reg = MetricsRegistry()
+        injector.log.attach_metrics(reg)
+        counter = reg.get("repro_fault_events_total")
+        assert counter.total() == injector.log.summary()["events"]
