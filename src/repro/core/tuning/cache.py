@@ -43,23 +43,30 @@ class TuningCache:
         self._hits = 0
         self._misses = 0
         self._metric = None
+        self._metric_labels: Dict[str, str] = {}
         if self.path is not None and os.path.exists(self.path):
             self._load()
 
-    def attach_metrics(self, registry) -> None:
+    def attach_metrics(self, registry, **labels) -> None:
         """Mirror lookups into an :class:`~repro.obs.MetricsRegistry` as
         ``repro_tuning_cache_lookups_total{result=hit|miss}``. Lookups
-        counted before attachment are replayed."""
+        counted before attachment are replayed.
+
+        Extra ``labels`` are attached to every sample — the sharded
+        serving cache uses this to key each shard's series
+        (``shard="3"``) on the one shared counter.
+        """
         counter = registry.counter(
             "repro_tuning_cache_lookups_total",
             "Tuning-cache lookups, by result.",
         )
         with self._lock:
             self._metric = counter
+            self._metric_labels = dict(labels)
             if self._hits:
-                counter.inc(self._hits, result="hit")
+                counter.inc(self._hits, result="hit", **labels)
             if self._misses:
-                counter.inc(self._misses, result="miss")
+                counter.inc(self._misses, result="miss", **labels)
 
     @staticmethod
     def key(
@@ -95,7 +102,13 @@ class TuningCache:
             )
         if entry is None:
             return None
-        return SwitchPoints(**entry)
+        try:
+            return SwitchPoints(**entry)
+        except TypeError:
+            # Persisted by a different SwitchPoints schema (field added
+            # or removed since): a stale entry is a miss, not a crash —
+            # the caller re-tunes and overwrites it.
+            return None
 
     def get(
         self,
@@ -111,8 +124,11 @@ class TuningCache:
             else:
                 self._hits += 1
             metric = self._metric
+            labels = self._metric_labels
         if metric is not None:
-            metric.inc(result="hit" if found is not None else "miss")
+            metric.inc(
+                result="hit" if found is not None else "miss", **labels
+            )
         return found
 
     def put(

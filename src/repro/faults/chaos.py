@@ -21,6 +21,15 @@ Two phases:
   ``dist_devices`` simulated devices loses one device permanently
   mid-run; every workload must still solve exactly on the survivors,
   with the recovery overhead priced into the reports.
+- **serve phase** — the same request mix through the async serving
+  tier (:class:`~repro.serve.AsyncSolveService`): sharded caches, a
+  deliberately tight :class:`~repro.serve.AdmissionController` (so
+  tenant quotas and priority watermarks actually shed), the autoscaler
+  resizing the fleet mid-chaos — all under the same transient faults
+  and stalls. Admission sheds must be *typed*
+  (:class:`~repro.util.errors.TenantQuotaExceededError` /
+  :class:`~repro.util.errors.PriorityShedError`); the guarantee reads
+  identically: verified solution or typed error, never silently wrong.
 
 Everything is deterministic in the seed; :func:`run_sweep` repeats the
 campaign across seeds for the nightly tier.
@@ -74,11 +83,21 @@ class ChaosReport:
     stalls: int
     bisections: int
     failover: Dict = field(default_factory=dict)
+    serve: Dict = field(default_factory=dict)
     fault_summary: Dict = field(default_factory=dict)
 
     @property
     def clean(self) -> bool:
         """The headline guarantee held for every request."""
+        serve_clean = not self.serve or (
+            self.serve["silent_wrong"] == 0
+            and self.serve["untyped_errors"] == 0
+            and self.serve["solved"]
+            + self.serve["typed_errors"]
+            + self.serve["deadline_expired"]
+            + self.serve["shed"]
+            == self.serve["requests"]
+        )
         return (
             self.silent_wrong == 0
             and self.untyped_errors == 0
@@ -88,6 +107,7 @@ class ChaosReport:
             + self.shed
             == self.requests
             and self.failover.get("silent_wrong", 0) == 0
+            and serve_clean
         )
 
     def as_dict(self) -> dict:
@@ -106,6 +126,7 @@ class ChaosReport:
             "bisections": self.bisections,
             "clean": self.clean,
             "failover": self.failover,
+            "serve": self.serve,
             "fault_summary": self.fault_summary,
         }
 
@@ -128,6 +149,19 @@ class ChaosReport:
                 f"  failover: {fo['solves']} dist solves with device "
                 f"{fo['killed_device']} dead, {fo['failovers']} failovers, "
                 f"{fo['recovery_overhead_ms']:.3f} ms overhead priced"
+            )
+        if self.serve:
+            sv = self.serve
+            sheds = ", ".join(
+                f"{reason}={count}"
+                for reason, count in sorted(sv["shed_reasons"].items())
+            )
+            lines.append(
+                f"  serve   : {sv['requests']} requests -> "
+                f"{sv['solved']} solved, {sv['typed_errors']} typed, "
+                f"{sv['deadline_expired']} expired, {sv['shed']} shed "
+                f"({sheds or 'none'}), fleet peaked at "
+                f"{sv['max_workers']} workers"
             )
         return "\n".join(lines)
 
@@ -217,6 +251,146 @@ def _run_service_phase(
     }
 
 
+def _run_serve_phase(
+    seed: int, count: int, transient_p: float, log: FaultLog
+) -> dict:
+    """The campaign's request mix through the async serving tier.
+
+    Quotas are deliberately tight — a "noisy" batch-class tenant with a
+    small pending cap and rate limit sends a third of the traffic — so
+    admission genuinely sheds, and the audit can insist every shed was
+    typed. The autoscaler runs too: fleet resizing mid-chaos must not
+    cost a single verified answer.
+    """
+    from ..serve import (
+        AdmissionController,
+        AsyncSolveService,
+        TenantQuota,
+    )
+    from ..util.errors import (
+        PriorityShedError,
+        TenantQuotaExceededError,
+    )
+
+    plan = FaultPlan(
+        seed=seed + 2,
+        faults=(
+            TransientKernelFault(probability=transient_p),
+            WorkerStall(probability=0.05, stall_ms=0.5),
+        ),
+        retry=RetryPolicy(max_attempts=4, budget=64),
+    )
+    injector = FaultInjector(plan, log)
+    # A deterministic admission clock (0.5 ms per reading): campaign
+    # reports must be bit-identical per seed, so neither the rate
+    # quota's refill nor anything else may read the wall clock.
+    sim_clock = {"s": 0.0}
+
+    def _tick() -> float:
+        sim_clock["s"] += 0.0005
+        return sim_clock["s"]
+
+    admission = AdmissionController(
+        capacity=32,
+        quotas={
+            "noisy": TenantQuota(
+                max_pending=4, rate_per_s=2000.0, burst=4, priority="batch"
+            )
+        },
+        default_quota=TenantQuota(max_pending=16, priority="standard"),
+        clock=_tick,
+    )
+    service = AsyncSolveService(
+        verify=True,
+        workers=2,
+        num_shards=4,
+        admission=admission,
+        autoscale=True,
+        faults=injector,
+    )
+    requests = _service_requests(seed + 2, count)
+    futures = []
+    shed = 0
+    shed_reasons: Dict[str, int] = {}
+    max_workers = service.fleet.size
+    with service:
+        for i, batch in enumerate(requests):
+            tenant = "noisy" if i % 3 == 0 else f"tenant{i % 2}"
+            priority = "interactive" if tenant == "tenant1" else None
+            expired = (i + 1) % TIGHT_DEADLINE_EVERY == 0
+            try:
+                futures.append(
+                    (
+                        batch,
+                        service.submit_sync(
+                            batch,
+                            tenant=tenant,
+                            priority=priority,
+                            deadline_ms=0.0 if expired else 60_000.0,
+                        ),
+                    )
+                )
+            except TenantQuotaExceededError as exc:
+                shed += 1
+                key = f"tenant_{exc.quota}"
+                shed_reasons[key] = shed_reasons.get(key, 0) + 1
+            except PriorityShedError as exc:
+                shed += 1
+                key = f"priority_{exc.priority}"
+                shed_reasons[key] = shed_reasons.get(key, 0) + 1
+            except ServiceOverloadedError:
+                # The audit wants *typed* sheds from admission; a bare
+                # overload here (queue/breaker) still counts as shed.
+                shed += 1
+                shed_reasons["overloaded"] = (
+                    shed_reasons.get("overloaded", 0) + 1
+                )
+            if (i + 1) % 32 == 0:
+                # Flush *and drain* each window: in-flight completions
+                # release admission tickets, so determinism requires
+                # every window's futures to settle before the next
+                # window's admission decisions.
+                service.flush()
+                service.drain()
+                max_workers = max(max_workers, service.fleet.size)
+        service.flush()
+        service.drain()
+        max_workers = max(max_workers, service.fleet.size)
+
+    solved = typed = expired_n = untyped = silent = 0
+    worst_ratio = 0.0
+    for batch, fut in futures:
+        exc = fut.exception()
+        if exc is None:
+            residual = max_residual(batch, fut.result().x)
+            ratio = residual / default_tolerance(batch)
+            worst_ratio = max(worst_ratio, ratio)
+            if ratio > 1.0:
+                silent += 1
+            else:
+                solved += 1
+        elif isinstance(exc, ReproError):
+            if type(exc).__name__ == "DeadlineExceededError":
+                expired_n += 1
+            else:
+                typed += 1
+        else:
+            untyped += 1
+    return {
+        "requests": count,
+        "solved": solved,
+        "typed_errors": typed,
+        "deadline_expired": expired_n,
+        "shed": shed,
+        "shed_reasons": shed_reasons,
+        "untyped_errors": untyped,
+        "silent_wrong": silent,
+        "worst_residual_ratio": worst_ratio,
+        "max_workers": max_workers,
+        "cache": service.cache.counters(),
+    }
+
+
 def _run_failover_phase(
     seed: int, devices: int, solves: int, log: FaultLog
 ) -> dict:
@@ -262,11 +436,21 @@ def run_campaign(
     transient_p: float = 0.02,
     dist_devices: int = 4,
     failover_solves: int = 3,
+    serve_requests: int = 120,
 ) -> ChaosReport:
-    """One full two-phase campaign; deterministic in ``seed``."""
+    """One full three-phase campaign; deterministic in ``seed``.
+
+    ``serve_requests=0`` skips the serving-tier phase (the report's
+    ``serve`` dict stays empty and ``clean`` ignores it).
+    """
     log = FaultLog()
     service = _run_service_phase(seed, requests, transient_p, log)
     failover = _run_failover_phase(seed, dist_devices, failover_solves, log)
+    serve = (
+        _run_serve_phase(seed, serve_requests, transient_p, log)
+        if serve_requests
+        else {}
+    )
     summary = log.summary()
     return ChaosReport(
         seed=seed,
@@ -284,6 +468,7 @@ def run_campaign(
         stalls=summary["counts"].get("stall:injected", 0),
         bisections=service["bisections"],
         failover=failover,
+        serve=serve,
         fault_summary=summary,
     )
 

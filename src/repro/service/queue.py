@@ -46,6 +46,24 @@ class BoundedRequestQueue(Generic[T]):
         self._items: Deque[T] = deque()
         self._lock = threading.Lock()
         self._not_full = threading.Condition(self._lock)
+        self._wait_ms = None
+        self._clock = time.monotonic
+
+    def attach_metrics(self, registry) -> None:
+        """Record per-request queue-wait time into an
+        :class:`~repro.obs.MetricsRegistry` histogram,
+        ``repro_service_queue_wait_ms``.
+
+        Every ``put`` observes how long it spent blocked on a full
+        queue (0 for the uncontended fast path), so a ``block``-policy
+        queue quietly absorbing latency shows up in the dump instead of
+        hiding in submit-side wall time.
+        """
+        with self._lock:
+            self._wait_ms = registry.histogram(
+                "repro_service_queue_wait_ms",
+                "Wall-clock time a put() spent waiting for queue space.",
+            )
 
     def put(self, item: T, timeout: Optional[float] = None) -> None:
         """Enqueue ``item``, applying the overflow policy when full.
@@ -54,6 +72,7 @@ class BoundedRequestQueue(Generic[T]):
         policy, or under ``block`` when ``timeout`` (seconds) elapses
         without space freeing up.
         """
+        t0 = self._clock()
         with self._not_full:
             if len(self._items) >= self.max_pending:
                 if self.policy == "reject":
@@ -65,11 +84,17 @@ class BoundedRequestQueue(Generic[T]):
                     lambda: len(self._items) < self.max_pending,
                     timeout=timeout,
                 ):
+                    self._observe_wait_locked(t0)
                     raise ServiceOverloadedError(
                         f"queue full ({self.max_pending} pending); gave up "
                         f"after {timeout}s"
                     )
             self._items.append(item)
+            self._observe_wait_locked(t0)
+
+    def _observe_wait_locked(self, t0: float) -> None:
+        if self._wait_ms is not None:
+            self._wait_ms.observe((self._clock() - t0) * 1e3)
 
     def drain(self) -> List[T]:
         """Atomically take every pending item (FIFO order) and free space."""
@@ -84,6 +109,15 @@ class BoundedRequestQueue(Generic[T]):
         """Number of items waiting to be drained."""
         with self._lock:
             return len(self._items)
+
+    def qsize(self) -> int:
+        """Current depth — the autoscaler's (and any poller's) input.
+
+        Same value as :attr:`pending`; the method form matches the
+        stdlib queue API so fleet controllers don't reach into
+        ``_items``.
+        """
+        return self.pending
 
     def __len__(self) -> int:
         return self.pending
@@ -100,8 +134,14 @@ class CircuitBreaker:
       :class:`~repro.util.errors.ServiceOverloadedError`) until
       ``cooldown_s`` has elapsed.
     - **half-open** — after the cooldown, requests probe the backend:
-      one success closes the breaker, one failure re-opens it and the
-      cooldown restarts.
+      ``half_open_probes`` consecutive successes close the breaker, one
+      failure re-opens it and the cooldown restarts.
+
+    ``half_open_probes`` tunes recovery caution: 1 (the default, the
+    classic breaker) closes on the first good solve, larger values
+    demand a streak before trusting the backend again. Probe outcomes
+    are counted as ``probe_ok``/``probe_fail`` in the metrics registry
+    so the trade-off is observable rather than guessed.
 
     ``clock`` is injectable so tests control time.
     """
@@ -111,6 +151,7 @@ class CircuitBreaker:
         failure_threshold: int = 5,
         cooldown_s: float = 1.0,
         clock=time.monotonic,
+        half_open_probes: int = 1,
     ):
         if failure_threshold < 1:
             raise ConfigurationError(
@@ -118,25 +159,53 @@ class CircuitBreaker:
             )
         if cooldown_s < 0:
             raise ConfigurationError("cooldown_s must be non-negative")
+        if half_open_probes < 1:
+            raise ConfigurationError(
+                f"half_open_probes must be >= 1, got {half_open_probes}"
+            )
         self.failure_threshold = failure_threshold
         self.cooldown_s = cooldown_s
+        self.half_open_probes = half_open_probes
         self._clock = clock
         self._lock = threading.Lock()
         self._consecutive = 0
+        self._probe_successes = 0
+        self.probe_ok = 0
+        self.probe_fail = 0
         self._state = "closed"
         self._opened_at = 0.0
         self.times_opened = 0
         self._metric = None
+        self._probe_metric = None
 
     def attach_metrics(self, registry) -> None:
         """Count state changes into an
         :class:`~repro.obs.MetricsRegistry` as
-        ``repro_service_breaker_transitions_total{to}``."""
+        ``repro_service_breaker_transitions_total{to}``, and half-open
+        probe outcomes as
+        ``repro_service_breaker_probes_total{outcome=probe_ok|probe_fail}``
+        (outcomes counted before attachment are replayed)."""
         with self._lock:
             self._metric = registry.counter(
                 "repro_service_breaker_transitions_total",
                 "Circuit-breaker state transitions, by target state.",
             )
+            self._probe_metric = registry.counter(
+                "repro_service_breaker_probes_total",
+                "Half-open probe outcomes (ok closes, fail re-opens).",
+            )
+            if self.probe_ok:
+                self._probe_metric.inc(self.probe_ok, outcome="probe_ok")
+            if self.probe_fail:
+                self._probe_metric.inc(self.probe_fail, outcome="probe_fail")
+
+    def _probe_locked(self, outcome: str) -> None:
+        if outcome == "probe_ok":
+            self.probe_ok += 1
+        else:
+            self.probe_fail += 1
+        if self._probe_metric is not None:
+            self._probe_metric.inc(outcome=outcome)
 
     def _transition_locked(self, state: str) -> None:
         if state != self._state:
@@ -164,20 +233,28 @@ class CircuitBreaker:
             return self._state_locked() != "open"
 
     def record_success(self) -> None:
-        """A merged solve finished: reset the failure streak, close."""
+        """A merged solve finished: reset the failure streak; a
+        half-open breaker counts the probe and closes once
+        ``half_open_probes`` consecutive probes succeeded."""
         with self._lock:
             self._consecutive = 0
+            if self._state_locked() == "half_open":
+                self._probe_locked("probe_ok")
+                self._probe_successes += 1
+                if self._probe_successes < self.half_open_probes:
+                    return  # stay half-open: more probes required
+            self._probe_successes = 0
             self._transition_locked("closed")
 
     def record_failure(self) -> None:
         """A merged solve failed: extend the streak, maybe trip open."""
         with self._lock:
             self._consecutive += 1
-            tripped = (
-                self._state_locked() == "half_open"
-                or self._consecutive >= self.failure_threshold
-            )
-            if tripped:
+            half_open = self._state_locked() == "half_open"
+            if half_open:
+                self._probe_locked("probe_fail")
+                self._probe_successes = 0
+            if half_open or self._consecutive >= self.failure_threshold:
                 if self._state != "open":
                     self.times_opened += 1
                 self._transition_locked("open")

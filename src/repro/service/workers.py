@@ -148,11 +148,18 @@ class BatchSolveService:
         breaker: Optional[CircuitBreaker] = None,
         metrics=None,
         tracer=None,
+        executor=None,
     ):
         if max_workers < 1:
             raise ConfigurationError(f"max_workers must be >= 1, got {max_workers}")
         self.default_device = make_device(device)
-        self.cache = cache if isinstance(cache, TuningCache) else TuningCache(cache)
+        # Accept a TuningCache, anything cache-shaped (the serving
+        # tier's sharded cache quacks the same), or a path/None.
+        self.cache = (
+            cache
+            if isinstance(cache, TuningCache) or hasattr(cache, "get_or_tune")
+            else TuningCache(cache)
+        )
         self.verify = verify
         if faults is not None and not hasattr(faults, "before_step"):
             from ..faults import FaultInjector
@@ -168,8 +175,17 @@ class BatchSolveService:
         self._queue: BoundedRequestQueue[ServiceRequest] = BoundedRequestQueue(
             max_pending=max_pending, policy=overflow
         )
-        self._pool = ThreadPoolExecutor(
-            max_workers=max_workers, thread_name_prefix="repro-solve"
+        # ``executor`` lets the serving tier supply its own worker fleet
+        # (e.g. the resizable one the autoscaler drives); anything with
+        # ``submit(fn, *args) -> Future`` and ``shutdown(wait=...)``
+        # works. The service owns whichever pool it ends up with —
+        # ``close`` shuts it down either way.
+        self._pool = (
+            executor
+            if executor is not None
+            else ThreadPoolExecutor(
+                max_workers=max_workers, thread_name_prefix="repro-solve"
+            )
         )
         self._lock = threading.Lock()
         self._seq = 0
@@ -199,6 +215,7 @@ class BatchSolveService:
         self._queue_depth = self.metrics.gauge(
             "repro_service_queue_depth", "Requests waiting to be flushed."
         )
+        self._queue.attach_metrics(self.metrics)
         if self.breaker is not None:
             self.breaker.attach_metrics(self.metrics)
         if self.faults is not None:

@@ -35,6 +35,8 @@ __all__ = [
     "PlanError",
     "ServiceError",
     "ServiceOverloadedError",
+    "TenantQuotaExceededError",
+    "PriorityShedError",
     "FaultInjectionError",
     "DeviceLostError",
     "DeadlineExceededError",
@@ -98,6 +100,35 @@ class ServiceOverloadedError(ServiceError):
     and by an *open* :class:`~repro.service.CircuitBreaker` that is
     failing fast after repeated solve failures.
     """
+
+
+class TenantQuotaExceededError(ServiceOverloadedError):
+    """A per-tenant admission quota rejected the request.
+
+    The message names the tenant and the exact quota that tripped
+    (``pending`` in-flight cap or ``rate`` token bucket); the same facts
+    are carried structured in :attr:`tenant` and :attr:`quota` so load
+    shedders and tests can dispatch on them without parsing text.
+    """
+
+    def __init__(self, message: str, tenant: str, quota: str):
+        super().__init__(message)
+        self.tenant = tenant
+        self.quota = quota  # "pending" or "rate"
+
+
+class PriorityShedError(ServiceOverloadedError):
+    """Admission shed a request because its priority class is over its
+    share of the tier's capacity.
+
+    Lower priority classes have lower occupancy watermarks, so under
+    saturation they shed first while ``interactive`` traffic keeps
+    flowing. :attr:`priority` is the class that was shed.
+    """
+
+    def __init__(self, message: str, priority: str):
+        super().__init__(message)
+        self.priority = priority
 
 
 class FaultInjectionError(ReproError):

@@ -188,6 +188,27 @@ class TestTuningCache:
         assert len(cache) == 0
         assert TuningCache(tmp_path / "t.json").get("d", 4) is None
 
+    def test_stale_schema_entry_is_a_miss_not_a_crash(self, tmp_path):
+        """An entry persisted by an older SwitchPoints schema (field
+        since removed) must read as a miss, so it gets re-tuned and
+        overwritten instead of raising an untyped TypeError."""
+        path = tmp_path / "stale.json"
+        path.write_text(
+            '{"version": 1, "entries": {"dev|dsize=4|generic": '
+            '{"thomas_switch": 64, "batch_fuse_systems": null}}}'
+        )
+        cache = TuningCache(path)
+        assert cache.get("dev", 4) is None
+        calls = []
+
+        def tune():
+            calls.append(1)
+            return SwitchPoints(thomas_switch=128)
+
+        assert cache.get_or_tune("dev", 4, tune).thomas_switch == 128
+        assert calls  # it really re-tuned
+        assert cache.get("dev", 4).thomas_switch == 128  # and overwrote
+
     def test_bad_version_rejected(self, tmp_path):
         path = tmp_path / "bad.json"
         path.write_text('{"version": 99, "entries": {}}')
