@@ -1,0 +1,43 @@
+"""Shared JSON artefact writer for the benchmark suite.
+
+Every bench that persists a machine-readable trajectory
+(``bench_dist``, ``bench_chaos``, ``bench_service``) routes it through
+:func:`write_results`, so the files under ``benchmarks/results/`` share
+one envelope: a ``schema`` tag, the ``benchmark`` name, and the bench's
+own payload keys at the top level. Writers stay deterministic — no
+timestamps — so re-running a bench on unchanged code reproduces the
+artefact byte for byte.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+# Bump when the envelope itself (not a bench's payload) changes shape.
+SCHEMA = "repro-bench/1"
+
+
+def write_results(name: str, payload: dict, results_dir=None) -> pathlib.Path:
+    """Persist one bench's payload as ``results/<name>.json``.
+
+    ``payload`` keys land at the top level next to the envelope fields;
+    a payload that tried to redefine ``schema``/``benchmark`` would be a
+    bug, so that is rejected loudly.
+    """
+    clash = {"schema", "benchmark"} & set(payload)
+    if clash:
+        raise ValueError(f"payload redefines envelope keys: {sorted(clash)}")
+    results_dir = (
+        RESULTS_DIR if results_dir is None else pathlib.Path(results_dir)
+    )
+    results_dir.mkdir(exist_ok=True)
+    document = {"schema": SCHEMA, "benchmark": name, **payload}
+    path = results_dir / f"{name}.json"
+    path.write_text(
+        json.dumps(document, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return path

@@ -17,10 +17,10 @@ the campaign reports are persisted to
 """
 
 import argparse
-import json
-import pathlib
 import sys
 import warnings
+
+from _results import write_results as _write_results
 
 from repro.analysis import ascii_table
 from repro.faults import run_sweep
@@ -29,8 +29,6 @@ SEEDS = (0, 1, 2)
 REQUESTS = 200
 TRANSIENT_P = 0.02
 DIST_DEVICES = 4
-
-RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
 def run_chaos(seeds=SEEDS, requests=REQUESTS):
@@ -91,11 +89,8 @@ def run_chaos(seeds=SEEDS, requests=REQUESTS):
     return payload, text
 
 
-def write_results(payload, results_dir=RESULTS_DIR):
-    results_dir.mkdir(exist_ok=True)
-    path = results_dir / "chaos_campaign.json"
-    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
-    return path
+def write_results(payload, results_dir=None):
+    return _write_results("chaos_campaign", payload, results_dir)
 
 
 def test_chaos_campaign(benchmark, emit, results_dir):

@@ -17,9 +17,9 @@ sweep is persisted to ``benchmarks/results/dist_scaling.json``.
 """
 
 import argparse
-import json
-import pathlib
 import sys
+
+from _results import write_results as _write_results
 
 from repro.analysis import ascii_table
 from repro.dist import DistributedSolver, make_device_group, render_dist_timeline
@@ -32,8 +32,6 @@ NUM_SYSTEMS = 1
 STRONG_SIZE = 1 << 22  # rows of the strong-scaling system
 WEAK_SIZE = 1 << 19  # rows per device for the weak-scaling sweep
 COUNTS = (1, 2, 4, 8, 16)
-
-RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
 def price_sweep(counts, shape_for):
@@ -118,11 +116,8 @@ def run_scaling(counts=COUNTS):
     return payload, text
 
 
-def write_results(payload, results_dir=RESULTS_DIR):
-    results_dir.mkdir(exist_ok=True)
-    path = results_dir / "dist_scaling.json"
-    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
-    return path
+def write_results(payload, results_dir=None):
+    return _write_results("dist_scaling", payload, results_dir)
 
 
 def test_dist_strong_scaling(benchmark, emit, results_dir):

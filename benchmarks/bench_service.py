@@ -16,9 +16,10 @@ Results land in ``benchmarks/results/serve_scaling.json`` (the nightly
 CLI run regenerates the same artefact at 100k requests).
 """
 
-import json
-
 import numpy as np
+import pytest
+
+from _results import write_results
 
 from repro.analysis import ascii_table
 from repro.core import MultiStageSolver
@@ -31,6 +32,13 @@ SEED = 2011  # the paper's year; any fixed seed works
 
 SERVE_REQUESTS = 20_000
 SERVE_RATE = 12_000.0
+
+# The fusion bench: split-heavy mixed traffic, where the interleaved
+# sweeps must beat even the merged-unfused path (on-chip-only shapes are
+# the auto mode's job — see test_service_fused_vs_unfused).
+FUSION_REQUESTS = 400
+FUSION_SIZES = (1024, 2048, 4096)
+FUSION_DEVICE = "gtx280"
 
 
 def test_service_throughput_vs_oneshot(benchmark, emit):
@@ -136,11 +144,7 @@ def test_serve_tier_holds_p99_where_threadpool_saturates(
         },
         "tiers": {tier: report.as_dict() for tier, report in tiers.items()},
     }
-    path = results_dir / "serve_scaling.json"
-    path.write_text(
-        json.dumps(payload, indent=2, sort_keys=True) + "\n",
-        encoding="utf-8",
-    )
+    write_results("serve_scaling", payload, results_dir)
 
     # The acceptance criterion: the thread-pool tier saturates (reject
     # storm at its queue bound) while the autoscaled async tier holds
@@ -149,3 +153,146 @@ def test_serve_tier_holds_p99_where_threadpool_saturates(
     assert ac.served == config.requests
     assert ac.latency_p99_ms * 10 < tp.latency_p99_ms
     assert ac.max_workers > config.workers
+
+
+@pytest.mark.fusion
+def test_service_fused_vs_unfused(benchmark, emit, results_dir):
+    """Batched fusion on the service's merged groups.
+
+    Split-heavy mixed traffic through three service configurations —
+    merged-unfused, merged-fused, and the default auto mode — against
+    the sequential one-shot baseline, with bit-identity checked across
+    all of them. The trajectory (plus a priced many-small concat sweep)
+    lands in ``benchmarks/results/batch_fusion.json``.
+    """
+    requests = generators.mixed_requests(
+        FUSION_REQUESTS, rng=SEED, sizes=FUSION_SIZES
+    )
+
+    def run_service(fuse):
+        service = BatchSolveService(
+            FUSION_DEVICE,
+            "static",
+            max_workers=8,
+            max_pending=FUSION_REQUESTS,
+            fuse=fuse,
+        )
+        with service:
+            results = service.solve_many(requests)
+        return service, results
+
+    service, fused_results = benchmark.pedantic(
+        lambda: run_service(True), rounds=1, iterations=1
+    )
+    fused_ms = service.stats.simulated_ms
+    unfused_service, unfused_results = run_service(False)
+    unfused_ms = unfused_service.stats.simulated_ms
+    auto_service, auto_results = run_service("auto")
+    auto_ms = auto_service.stats.simulated_ms
+
+    # Sequential one-shot unfused baseline with identical switch points;
+    # every path must reproduce it bit for bit.
+    solvers = {
+        dtype: MultiStageSolver(
+            FUSION_DEVICE, service.switch_points_for(dtype=np.dtype(dtype))
+        )
+        for dtype in ("float32", "float64")
+    }
+    sequential_ms = 0.0
+    for batch, fused, unfused, auto in zip(
+        requests, fused_results, unfused_results, auto_results
+    ):
+        direct = solvers[str(batch.dtype)].solve(batch)
+        sequential_ms += direct.report.total_ms
+        np.testing.assert_array_equal(direct.x, fused.x)
+        np.testing.assert_array_equal(direct.x, unfused.x)
+        np.testing.assert_array_equal(direct.x, auto.x)
+
+    # Priced many-small concat sweep: N single-system subprograms vs the
+    # one fused batched program the pass rewrites them into (data-free).
+    from repro.core import plan_solve
+    from repro.gpu import make_device
+    from repro.ir import Engine, concat_solve_programs, lower_solve_plan
+
+    dev = make_device(FUSION_DEVICE)
+    small_switch = service.switch_points_for(dtype=np.float64)
+    small_plan = plan_solve(dev, 1, 64, 8, small_switch)
+    single = lower_solve_plan(small_plan, dev, 8)
+    many_small = []
+    for count in (10, 100, 1000):
+        programs = [single] * count
+        u = Engine.for_device(dev).price(
+            concat_solve_programs(programs)
+        ).total_ms
+        f = Engine.for_device(dev).price(
+            concat_solve_programs(programs, fuse=True)
+        ).total_ms
+        many_small.append(
+            {
+                "count": count,
+                "system_size": 64,
+                "unfused_ms": u,
+                "fused_ms": f,
+                "speedup": u / f,
+            }
+        )
+
+    rows = [
+        ["sequential one-shot (unfused)", round(sequential_ms, 3), "1.0x"],
+        [
+            "merged service, unfused",
+            round(unfused_ms, 3),
+            f"{sequential_ms / unfused_ms:.1f}x",
+        ],
+        [
+            "merged service, fused (BatchedSolve)",
+            round(fused_ms, 3),
+            f"{sequential_ms / fused_ms:.1f}x",
+        ],
+        [
+            "merged service, auto (priced choice)",
+            round(auto_ms, 3),
+            f"{sequential_ms / auto_ms:.1f}x",
+        ],
+    ]
+    text = (
+        ascii_table(
+            ["path", "simulated ms", "speedup vs sequential"],
+            rows,
+            title=f"Batched fusion on {FUSION_REQUESTS} split-heavy mixed "
+            f"requests ({FUSION_DEVICE}, sizes {FUSION_SIZES})",
+        )
+        + f"\nfused vs merged-unfused speedup: {unfused_ms / fused_ms:.2f}x"
+    )
+    emit("service_fused_vs_unfused", text)
+
+    payload = {
+        "device": FUSION_DEVICE,
+        "seed": SEED,
+        "requests": FUSION_REQUESTS,
+        "sizes": list(FUSION_SIZES),
+        "mixed": {
+            "sequential_ms": sequential_ms,
+            "merged_unfused_ms": unfused_ms,
+            "merged_fused_ms": fused_ms,
+            "merged_auto_ms": auto_ms,
+            "fused_vs_sequential": sequential_ms / fused_ms,
+            "fused_vs_merged_unfused": unfused_ms / fused_ms,
+            "groups_executed": service.stats.snapshot()["groups_executed"],
+            "bit_identical": True,
+        },
+        "many_small": many_small,
+    }
+    write_results("batch_fusion", payload, results_dir)
+
+    # The acceptance criteria: fusion buys >= 2x simulated throughput on
+    # the mixed batches — over the already-merged unfused path, not just
+    # the sequential baseline — and auto mode never loses to either.
+    assert sequential_ms / fused_ms >= 2.0
+    assert unfused_ms / fused_ms >= 2.0, (
+        f"fusion only {unfused_ms / fused_ms:.2f}x over merged-unfused"
+    )
+    assert auto_ms <= unfused_ms * 1.001
+    assert auto_ms <= fused_ms * 1.001
+    for record in many_small:
+        assert record["speedup"] >= 2.0

@@ -133,6 +133,12 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["auto", "rows", "batch"],
         help="distributed decomposition mode for --devices > 1",
     )
+    p_plan.add_argument(
+        "--fuse",
+        action="store_true",
+        help="also run the batched-fusion pass and show the program "
+        "before/after as a per-instruction diff (single-device only)",
+    )
 
     p_tune = sub.add_parser("tune", help="run the self-tuner for a device")
     p_tune.add_argument("--device", default="gtx470")
@@ -416,6 +422,31 @@ def _cmd_solve(args, out) -> int:
     return 0
 
 
+def _program_diff(before, after) -> str:
+    """Per-instruction diff of two programs (``-`` removed, ``+`` added).
+
+    Steps are compared by their one-line rendering; the common
+    prefix/suffix (the ``Pad``/``Unpad`` brackets fusion keeps) stays
+    unmarked and everything between shows as removed-then-added.
+    """
+    old = [s.describe() for s in before.steps]
+    new = [s.describe() for s in after.steps]
+    prefix = 0
+    while prefix < min(len(old), len(new)) and old[prefix] == new[prefix]:
+        prefix += 1
+    suffix = 0
+    while (
+        suffix < min(len(old), len(new)) - prefix
+        and old[len(old) - 1 - suffix] == new[len(new) - 1 - suffix]
+    ):
+        suffix += 1
+    lines = [f"  {line}" for line in old[:prefix]]
+    lines += [f"- {line}" for line in old[prefix:len(old) - suffix]]
+    lines += [f"+ {line}" for line in new[prefix:len(new) - suffix]]
+    lines += [f"  {line}" for line in old[len(old) - suffix:]]
+    return "\n".join(lines)
+
+
 def _cmd_plan(args, out) -> int:
     from .systems import Workload, paper_workloads
 
@@ -425,6 +456,9 @@ def _cmd_plan(args, out) -> int:
     assert isinstance(workload, Workload)
     m, n = workload.shape
 
+    if args.fuse and args.devices > 1:
+        out.write("--fuse applies to single-device solve programs only\n")
+        return 2
     if args.devices > 1:
         from .dist import DistributedSolver
         from .ir import Engine
@@ -456,18 +490,35 @@ def _cmd_plan(args, out) -> int:
     out.write(f"workload : {m} x {n} (dtype {args.dtype_size}B)\n")
     out.write(plan.describe() + "\n\n")
     out.write(program.describe() + "\n\n")
-    out.write("priced steps:\n")
-    spans = {t.index: t for t in run.trace}
-    for i, step in enumerate(program.steps):
-        t = spans.get(i)
-        timing = (
-            f"{t.start_ms:10.4f} .. {t.end_ms:10.4f} ms"
-            f"  ({t.end_ms - t.start_ms:8.4f})"
-            if t is not None
-            else " " * 28 + "(free)"
-        )
-        out.write(f"  [{i:>2d}] {timing}  {step.describe()}\n")
+
+    def priced_steps(prog, prog_run) -> None:
+        out.write("priced steps:\n")
+        spans = {t.index: t for t in prog_run.trace}
+        for i, step in enumerate(prog.steps):
+            t = spans.get(i)
+            timing = (
+                f"{t.start_ms:10.4f} .. {t.end_ms:10.4f} ms"
+                f"  ({t.end_ms - t.start_ms:8.4f})"
+                if t is not None
+                else " " * 28 + "(free)"
+            )
+            out.write(f"  [{i:>2d}] {timing}  {step.describe()}\n")
+
+    priced_steps(program, run)
     out.write(f"total    : {run.report.total_ms:.4f} ms\n")
+    if args.fuse:
+        fused = plan.lower(device, args.dtype_size, fuse=True)
+        fused_run = Engine.for_device(device).price(fused)
+        out.write("\nbatched fusion diff (unfused -> fused):\n")
+        out.write(_program_diff(program, fused) + "\n\n")
+        priced_steps(fused, fused_run)
+        out.write(f"fused    : {fused_run.report.total_ms:.4f} ms")
+        if fused_run.report.total_ms > 0:
+            out.write(
+                f"  ({run.report.total_ms / fused_run.report.total_ms:.2f}x"
+                " vs unfused)"
+            )
+        out.write("\n")
     return 0
 
 

@@ -95,15 +95,19 @@ class SolvePlan:
         """
         return replace(self, num_systems=num_systems)
 
-    def lower(self, device, dtype_size: int):
+    def lower(self, device, dtype_size: int, *, fuse: bool = False):
         """Lower to a :class:`~repro.ir.Program` for ``device``.
+
+        ``fuse=True`` additionally runs the batched-fusion pass,
+        rewriting the staged chain into interleaved-layout sweeps with
+        bit-identical solutions.
 
         The program is what the :class:`~repro.ir.Engine` executes and
         prices; the plan stays the human-facing decision record.
         """
         from ..ir.lower import lower_solve_plan
 
-        return lower_solve_plan(self, device, dtype_size)
+        return lower_solve_plan(self, device, dtype_size, fuse=fuse)
 
     def describe(self) -> str:
         """Multi-line human-readable plan."""

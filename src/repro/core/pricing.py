@@ -32,12 +32,20 @@ def simulate_plan(
     system_size: int,
     dtype_size: int,
     switch: SwitchPoints,
+    *,
+    fuse: bool = False,
 ) -> Tuple[SolvePlan, SimReport]:
-    """Price the full multi-stage solve of an ``(m, n)`` workload."""
+    """Price the full multi-stage solve of an ``(m, n)`` workload.
+
+    ``fuse=True`` prices the batched-fusion lowering of the same plan
+    (interleaved sweeps instead of the staged chain).
+    """
     from ..ir.engine import Engine
 
     plan = plan_solve(device, num_systems, system_size, dtype_size, switch)
-    run = Engine.for_device(device).price(plan.lower(device, dtype_size))
+    run = Engine.for_device(device).price(
+        plan.lower(device, dtype_size, fuse=fuse)
+    )
     return plan, run.report
 
 

@@ -14,7 +14,7 @@ report; :func:`solve` is the one-call functional front door.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Union
+from typing import Dict, Optional, Tuple, Union
 
 import numpy as np
 
@@ -63,9 +63,22 @@ class MultiStageSolver:
         verify: bool = False,
         faults=None,
         tracer=None,
+        fuse: Union[bool, str] = False,
     ):
         self.device = make_device(device)
         self.verify = verify
+        # Lower plans through the batched-fusion pass: staged chains
+        # become interleaved-layout sweeps with bit-identical solutions.
+        # ``False`` never fuses, ``True`` always fuses, ``"auto"`` prices
+        # both lowerings and runs whichever the cost model says is
+        # cheaper (the interleave toll only pays for itself once split
+        # stages or large merges dominate).
+        if fuse not in (False, True, "auto"):
+            raise ConfigurationError(
+                f"fuse must be False, True, or 'auto'; got {fuse!r}"
+            )
+        self.fuse = fuse
+        self._fuse_choice: Dict[Tuple, bool] = {}
         self._engine = Engine.for_device(self.device)
         # Optional observability: an obs.Tracer records a solve span per
         # execute_plan with the engine's program/instruction/kernel spans
@@ -124,6 +137,32 @@ class MultiStageSolver:
 
     # -- execution -------------------------------------------------------------
 
+    def _program_for(self, plan: SolvePlan, dsize: int):
+        """The program :meth:`execute_plan` runs, honouring ``fuse``.
+
+        In ``"auto"`` mode both lowerings are priced on a bare engine
+        (no fault injector, no tracer — selection must not pollute the
+        fault log or the span tree) and the cheaper one runs; the
+        verdict is memoised per (signature, count, dtype). Fused and
+        unfused solutions are bit-identical, so the choice only moves
+        simulated time.
+        """
+        if self.fuse == "auto":
+            key = (plan.signature, plan.num_systems, dsize)
+            choice = self._fuse_choice.get(key)
+            if choice is None:
+                pricer = Engine.for_device(self.device)
+                unfused_ms = pricer.price(
+                    plan.lower(self.device, dsize)
+                ).total_ms
+                fused_ms = pricer.price(
+                    plan.lower(self.device, dsize, fuse=True)
+                ).total_ms
+                choice = fused_ms < unfused_ms
+                self._fuse_choice[key] = choice
+            return plan.lower(self.device, dsize, fuse=choice)
+        return plan.lower(self.device, dsize, fuse=bool(self.fuse))
+
     def solve(self, batch: TridiagonalBatch) -> SolveResult:
         """Solve ``batch``; returns solution, plan, and timing report."""
         dsize = dtype_size(batch.dtype)
@@ -154,7 +193,7 @@ class MultiStageSolver:
         program :func:`~repro.core.pricing.simulate_plan` prices.
         """
         self.device.check_fits_global(batch.nbytes + batch.d.nbytes)
-        program = plan.lower(self.device, dtype_size(batch.dtype))
+        program = self._program_for(plan, dtype_size(batch.dtype))
         tracer = self.tracer
         if tracer is not None:
             token = tracer.begin(

@@ -71,12 +71,23 @@ class KernelCost:
     # Stage-1 style kernels gather scattered segments; their sustained
     # bandwidth is a device-specific fraction of peak.
     bandwidth_efficiency: float = 1.0
+    # Batched interleaved (SoA) kernels exceed the row-major baseline's
+    # sustained bandwidth: every warp transaction is fully packed and
+    # aligned, where per-system streams waste segment granularity. The
+    # gain is a >= 1 multiplier on effective memory throughput
+    # (``DeviceSpec.interleaved_coalescing_gain`` for SoA sweeps); 1.0
+    # leaves the classic kernels' pricing untouched.
+    coalescing: float = 1.0
 
     def __post_init__(self) -> None:
         if self.grid_blocks < 1:
             raise ConfigurationError("grid_blocks must be >= 1")
         if self.launches < 1:
             raise ConfigurationError("launches must be >= 1")
+        if self.coalescing < 1.0:
+            raise ConfigurationError(
+                f"coalescing gain must be >= 1, got {self.coalescing}"
+            )
 
 
 @dataclass(frozen=True)
@@ -124,6 +135,11 @@ def kernel_time_ms(spec: DeviceSpec, cost: KernelCost) -> CostBreakdown:
     memory_ms = cost.traffic.time_ms(
         spec, concurrent_blocks, efficiency=cost.bandwidth_efficiency
     )
+    # The coalescing gain scales throughput, not traffic: interleaved
+    # SoA kernels move the same bytes through better-packed transactions
+    # (it cannot ride the efficiency parameter, which is capped at 1).
+    if cost.coalescing != 1.0:
+        memory_ms /= cost.coalescing
 
     overhead_ms = cost.launches * us_to_ms(
         spec.kernel_launch_overhead_us

@@ -104,6 +104,13 @@ class DeviceSpec:
     # at offset ±s break half-warp alignment). G80's rigid coalescer pays
     # dearly; GT200's segment coalescer less; Fermi's L1 almost nothing.
     misaligned_access_penalty: float = 1.0
+    # Sustained-bandwidth multiplier of fully interleaved (SoA) sweeps
+    # over the row-major per-system baseline: a warp advancing 32
+    # adjacent systems packs and aligns every transaction perfectly,
+    # where per-system streams waste segment granularity at system
+    # boundaries. Rigid early coalescers gain the most from the
+    # re-layout; Fermi's L1 narrows (but does not close) the gap.
+    interleaved_coalescing_gain: float = 2.0
     # Issue cost of one warp instruction, in SM cycles (32 / thread_processors
     # on real parts; kept explicit so tests can vary it independently).
     cycles_per_warp_instruction: float = 4.0
@@ -186,6 +193,7 @@ GEFORCE_8800_GTX = DeviceSpec(
     partition_camping_min_stride=16,
     uncoalesced_penalty_cap=16.0,  # G80: one transaction per thread
     misaligned_access_penalty=6.0,  # G80: misaligned = uncoalesced
+    interleaved_coalescing_gain=2.8,  # rigid coalescer: SoA pays off most
     cycles_per_warp_instruction=4.0,
 )
 
@@ -215,6 +223,7 @@ GEFORCE_GTX_280 = DeviceSpec(
     partition_camping_min_stride=16,
     uncoalesced_penalty_cap=8.0,  # GT200: 32-byte segment coalescer
     misaligned_access_penalty=4.0,  # GT200: 32-byte segment re-fetches
+    interleaved_coalescing_gain=2.2,  # segment coalescer still wastes refills
     cycles_per_warp_instruction=4.0,
 )
 
@@ -244,6 +253,7 @@ GEFORCE_GTX_470 = DeviceSpec(
     partition_camping_min_stride=16,
     uncoalesced_penalty_cap=4.0,  # Fermi: L1-cached 128-byte lines
     misaligned_access_penalty=1.3,  # Fermi: L1 absorbs most misalignment
+    interleaved_coalescing_gain=1.8,  # L1 narrows but keeps the SoA edge
     cycles_per_warp_instruction=1.0,
 )
 

@@ -9,7 +9,9 @@ solver, and the batched service all share one sequencing/pricing path.
 from .engine import Engine, EngineRun, StepTrace
 from .instructions import (
     Barrier,
+    BatchedSolve,
     Fixed,
+    Interleave,
     OnChipSolve,
     Pad,
     Program,
@@ -23,10 +25,11 @@ from .instructions import (
     Unsplit,
     signature_text,
 )
-from .lower import lower_dist_plan, lower_solve_plan
+from .lower import concat_solve_programs, lower_dist_plan, lower_solve_plan
 from .passes import (
     canonicalize,
     eliminate_dead_steps,
+    fuse_batched,
     run_default_passes,
     validate,
 )
@@ -40,6 +43,8 @@ __all__ = [
     "SplitBlock",
     "OnChipSolve",
     "Unsplit",
+    "Interleave",
+    "BatchedSolve",
     "ReducedSolve",
     "Reconstruct",
     "Transfer",
@@ -51,8 +56,10 @@ __all__ = [
     "StepTrace",
     "lower_solve_plan",
     "lower_dist_plan",
+    "concat_solve_programs",
     "eliminate_dead_steps",
     "canonicalize",
+    "fuse_batched",
     "validate",
     "run_default_passes",
 ]

@@ -31,6 +31,8 @@ __all__ = [
     "SplitBlock",
     "OnChipSolve",
     "Unsplit",
+    "Interleave",
+    "BatchedSolve",
     "ReducedSolve",
     "Reconstruct",
     "Transfer",
@@ -94,6 +96,39 @@ class Unsplit:
     gather; free)."""
 
     steps: int
+
+
+@dataclass(frozen=True)
+class Interleave:
+    """Layout conversion between row-major and interleaved (SoA) batches.
+
+    ``direction="in"`` transposes the ``(m, n)`` coefficient batch into
+    the :class:`~repro.systems.batched.BatchedTridiagonal` layout (four
+    arrays); ``direction="out"`` transposes the solution back (one
+    array). A real tiled-transpose pass on the device, so it is costed,
+    not a marker — fusion only wins when the sweeps it enables buy back
+    this toll.
+    """
+
+    direction: str = "in"
+
+
+@dataclass(frozen=True)
+class BatchedSolve:
+    """The fused interleaved-batch sweep (stages 1-4 in SoA layout).
+
+    Replaces a ``SplitCoop``/``SplitBlock``/``OnChipSolve``/``Unsplit``
+    chain: ``stage1_steps + stage2_steps`` coalesced global split passes
+    over the interleaved batch, the hybrid smem PCR-Thomas solve, and
+    the inverse gathers, all as single NumPy sweeps per pass. Emitted
+    only by the fusion pass (:func:`repro.ir.passes.fuse_batched`);
+    numerics are bit-identical to the chain it replaces.
+    """
+
+    stage1_steps: int
+    stage2_steps: int
+    thomas_switch: int
+    variant: str
 
 
 @dataclass(frozen=True)

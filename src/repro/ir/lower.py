@@ -35,7 +35,7 @@ from .instructions import (
 )
 from .passes import run_default_passes
 
-__all__ = ["lower_solve_plan", "lower_dist_plan"]
+__all__ = ["lower_solve_plan", "lower_dist_plan", "concat_solve_programs"]
 
 _SOLVE_STAGES = ("stage1_coop_pcr", "stage2_global_pcr", "stage3_pcr_thomas")
 
@@ -95,8 +95,13 @@ def _solve_steps(
     return steps
 
 
-def lower_solve_plan(plan, device, dtype_size: int) -> Program:
-    """Lower a single-device :class:`SolvePlan` to a ``solve`` program."""
+def lower_solve_plan(plan, device, dtype_size: int, *, fuse: bool = False) -> Program:
+    """Lower a single-device :class:`SolvePlan` to a ``solve`` program.
+
+    With ``fuse=True`` the batched-fusion pass rewrites the staged chain
+    into interleaved-layout sweeps (see
+    :func:`repro.ir.passes.fuse_batched`); solutions are bit-identical.
+    """
     steps = _solve_steps(plan)
     program = Program(
         kind="solve",
@@ -107,7 +112,51 @@ def lower_solve_plan(plan, device, dtype_size: int) -> Program:
         system_size=plan.system_size,
         steps=tuple(steps),
     )
-    return run_default_passes(program)
+    return run_default_passes(program, fuse=fuse)
+
+
+def concat_solve_programs(programs, *, fuse: bool = False) -> Program:
+    """Concatenate same-device ``solve`` programs into one program.
+
+    Each input program's steps are appended unchanged (dependency
+    indices rebased), so the result prices exactly as N back-to-back
+    interpretations — the per-request baseline the service would run
+    without grouping. With ``fuse=True`` the fusion pass then collapses
+    adjacent same-signature fragments into single vectorised sweeps,
+    which is the whole point: N small solves become one batched solve.
+
+    All inputs must be ``solve`` programs on the same device with the
+    same dtype size and system size.
+    """
+    from ..util.errors import PlanError
+
+    programs = list(programs)
+    if not programs:
+        raise PlanError("cannot concatenate zero programs")
+    first = programs[0]
+    steps: List[Step] = []
+    total = 0
+    for program in programs:
+        if program.kind != "solve":
+            raise PlanError("only solve programs can be concatenated")
+        if (
+            program.device_names != first.device_names
+            or program.dtype_size != first.dtype_size
+            or program.system_size != first.system_size
+        ):
+            raise PlanError(
+                "concatenated programs must share device, dtype, and size"
+            )
+        base = len(steps)
+        for step in program.steps:
+            steps.append(
+                replace(step, deps=tuple(base + d for d in step.deps))
+            )
+        total += program.num_systems
+    merged = replace(
+        first, num_systems=total, steps=tuple(steps)
+    )
+    return run_default_passes(merged, fuse=fuse)
 
 
 def _local_fragment(

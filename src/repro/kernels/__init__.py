@@ -1,5 +1,16 @@
 """Simulated GPU kernels: exact numerics + machine-model cost accounting."""
 
+from .batched import (
+    BatchedPcrKernel,
+    BatchedSweepKernel,
+    BatchedThomasKernel,
+    batched_pcr_solve,
+    batched_pcr_split,
+    batched_pcr_thomas_sweep,
+    batched_pcr_unsplit,
+    batched_staged_sweep,
+    batched_thomas_sweep,
+)
 from .base import (
     GLOBAL_PCR_INSTR_PER_EQ,
     GLOBAL_PCR_VALUES_PER_EQ,
@@ -23,6 +34,15 @@ __all__ = [
     "GlobalPcrKernel",
     "CoopPcrKernel",
     "ThomasGlobalKernel",
+    "BatchedThomasKernel",
+    "BatchedPcrKernel",
+    "BatchedSweepKernel",
+    "batched_thomas_sweep",
+    "batched_pcr_solve",
+    "batched_pcr_split",
+    "batched_pcr_unsplit",
+    "batched_pcr_thomas_sweep",
+    "batched_staged_sweep",
     "DivideKernel",
     "TransposeKernel",
     "ReconstructKernel",

@@ -86,6 +86,41 @@ class TransposeKernel:
 
     threads_per_block: int = 256
 
+    def cost(
+        self,
+        ctx: KernelContext,
+        elements: int,
+        dsize: int,
+        *,
+        arrays: int = 1,
+        tiled: bool = False,
+    ) -> KernelCost:
+        """Price transposing ``arrays`` arrays of ``elements`` each.
+
+        The naive pass reads coalesced and writes fully strided
+        (``tiled=False``, matching :meth:`run`); the shared-memory tiled
+        variant stages tiles on-chip so both global sides stream at unit
+        stride (``tiled=True`` — what the batched ``Interleave`` opcode
+        uses).
+        """
+        spec = ctx.spec
+        total = float(elements) * arrays
+        traffic = MemoryTraffic()
+        traffic.add(spec, total * dsize, stride=1)
+        write_stride = 1 if tiled else int(spec.uncoalesced_penalty_cap)
+        traffic.add(spec, total * dsize, stride=max(1, write_stride))
+        threads = min(self.threads_per_block, spec.max_threads_per_block)
+        grid = max(1, -(-int(total) // threads))
+        return KernelCost(
+            name="transpose[tiled]" if tiled else "transpose",
+            grid_blocks=min(grid, spec.max_grid_blocks),
+            threads_per_block=threads,
+            smem_per_block=(threads * dsize if tiled else 0),
+            regs_per_thread=8,
+            phases=[ComputePhase(warps_for(int(total)) * 2.0)],
+            traffic=traffic,
+        )
+
     def run(
         self,
         ctx: KernelContext,

@@ -27,6 +27,8 @@ from ..algorithms.padding import pad_pow2, unpad_solution
 from ..algorithms.pcr import pcr_unsplit_solution
 from ..ir.instructions import (
     Barrier,
+    BatchedSolve,
+    Interleave,
     OnChipSolve,
     Pad,
     Reconstruct,
@@ -37,11 +39,13 @@ from ..ir.instructions import (
     Unpad,
     Unsplit,
 )
+from ..systems.batched import BatchedTridiagonal
 from ..systems.tridiagonal import TridiagonalBatch
 from ..util.errors import PlanError
 from .base import KernelContext
+from .batched import BatchedSweepKernel
 from .coop_pcr import CoopPcrKernel
-from .elementwise import ReconstructKernel
+from .elementwise import ReconstructKernel, TransposeKernel
 from .global_pcr import GlobalPcrKernel
 from .pcr_thomas_smem import PcrThomasSmemKernel
 
@@ -80,6 +84,21 @@ def price_costs(step: Step, ctx: KernelContext, dtype_size: int) -> List:
             thomas_switch=op.thomas_switch, variant=op.variant
         )
         return [kernel.cost(ctx, m, n, dtype_size, op.stride)]
+    if isinstance(op, Interleave):
+        # Tiled transpose: four coefficient arrays in, one solution out.
+        arrays = 4 if op.direction == "in" else 1
+        return [
+            TransposeKernel().cost(
+                ctx, m * n, dtype_size, arrays=arrays, tiled=True
+            )
+        ]
+    if isinstance(op, BatchedSolve):
+        kernel = BatchedSweepKernel(
+            stage1_steps=op.stage1_steps,
+            stage2_steps=op.stage2_steps,
+            thomas_switch=op.thomas_switch,
+        )
+        return [kernel.cost(ctx, m, n, dtype_size)]
     if isinstance(op, ReducedSolve):
         kernel = PcrThomasSmemKernel(
             thomas_switch=op.system_size, variant="coalesced"
@@ -95,7 +114,13 @@ def price_costs(step: Step, ctx: KernelContext, dtype_size: int) -> List:
 
 @dataclass
 class ExecState:
-    """Mutable data threaded through a solve-program execution."""
+    """Mutable data threaded through a solve-program execution.
+
+    ``work`` is row-major (:class:`TridiagonalBatch`) in the classic
+    chain; between an ``Interleave("in")`` and the matching
+    ``Interleave("out")`` of a fused program it is the interleaved
+    :class:`BatchedTridiagonal` and ``x`` is ``(n, m)``.
+    """
 
     work: TridiagonalBatch  # the (progressively split) coefficient batch
     x: Optional[np.ndarray] = None  # solution, once the on-chip solve ran
@@ -139,6 +164,30 @@ def execute_step(step: Step, ctx: KernelContext, state: ExecState) -> None:
             thomas_switch=op.thomas_switch, variant=op.variant
         )
         state.x = kernel.run(ctx, state.work, stride=op.stride, stage=step.stage)
+        return
+    if isinstance(op, Interleave):
+        m, n = step.shape
+        if op.direction == "in":
+            cost = TransposeKernel().cost(
+                ctx, m * n, state.work.dtype.itemsize, arrays=4, tiled=True
+            )
+            ctx.session.submit(cost, stage=step.stage)
+            state.work = BatchedTridiagonal.interleave(state.work)
+        else:
+            cost = TransposeKernel().cost(
+                ctx, m * n, state.x.dtype.itemsize, arrays=1, tiled=True
+            )
+            ctx.session.submit(cost, stage=step.stage)
+            # The fused sweep left x interleaved (n, m); restore (m, n).
+            state.x = np.ascontiguousarray(state.x.T)
+        return
+    if isinstance(op, BatchedSolve):
+        kernel = BatchedSweepKernel(
+            stage1_steps=op.stage1_steps,
+            stage2_steps=op.stage2_steps,
+            thomas_switch=op.thomas_switch,
+        )
+        state.x = kernel.run(ctx, state.work, stage=step.stage)
         return
     if isinstance(op, Unsplit):
         state.x = pcr_unsplit_solution(state.x, op.steps)

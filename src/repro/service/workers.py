@@ -120,6 +120,17 @@ class BatchSolveService:
         Optional :class:`~repro.service.queue.CircuitBreaker`. While it
         is open, :meth:`submit` sheds load with
         :class:`~repro.util.errors.ServiceOverloadedError`.
+    fuse:
+        Whether merged solves run through the batched-fusion lowering
+        (the interleaved-layout sweeps of :func:`repro.ir.fuse_batched`):
+        ``False`` never, ``True`` always, ``"auto"`` (the default)
+        prices both lowerings per group signature and runs whichever
+        the cost model says is cheaper — the interleave toll only pays
+        for itself once split stages or large merges dominate. Safe in
+        every mode: fused solutions are bit-identical to the staged
+        chain, so answers still match a standalone unfused
+        :meth:`MultiStageSolver.solve`. Grouping stays keyed by the
+        unfused program signature (fusion is a pure function of it).
 
     When a merged solve raises a typed :class:`ReproError` (a poisoned
     request — e.g. a singular system failing verification), the group is
@@ -149,10 +160,12 @@ class BatchSolveService:
         metrics=None,
         tracer=None,
         executor=None,
+        fuse: Union[bool, str] = "auto",
     ):
         if max_workers < 1:
             raise ConfigurationError(f"max_workers must be >= 1, got {max_workers}")
         self.default_device = make_device(device)
+        self.fuse = fuse
         # Accept a TuningCache, anything cache-shaped (the serving
         # tier's sharded cache quacks the same), or a path/None.
         self.cache = (
@@ -309,7 +322,7 @@ class BatchSolveService:
         switch = self.switch_points_for(dev, dtype)
         solver = MultiStageSolver(
             dev, switch, verify=self.verify, faults=self.faults,
-            tracer=self.tracer,
+            tracer=self.tracer, fuse=self.fuse,
         )
         with self._lock:
             return self._solvers.setdefault(key, solver)

@@ -1,6 +1,7 @@
 """Tridiagonal system containers, generators, properties, and I/O."""
 
 from . import generators
+from .batched import BatchedTridiagonal, deinterleave, interleave
 from .io import load_batch, save_batch
 from .properties import (
     BatchSummary,
@@ -18,6 +19,9 @@ from .tridiagonal import TridiagonalBatch, TridiagonalSystem
 __all__ = [
     "TridiagonalBatch",
     "TridiagonalSystem",
+    "BatchedTridiagonal",
+    "interleave",
+    "deinterleave",
     "generators",
     "save_batch",
     "load_batch",

@@ -81,6 +81,24 @@ class TestPlan:
         assert code == 2
         assert "error:" in text
 
+    def test_fuse_flag_prints_per_instruction_diff(self):
+        code, text = _run(["plan", "--workload", "4Kx4K", "--fuse"])
+        assert code == 0
+        assert "batched fusion diff (unfused -> fused):" in text
+        # Removed staged steps, added batched steps, kept ends.
+        assert "- dev0 compute stage3_pcr_thomas  OnChipSolve" in text
+        assert "+ dev0 compute fused_sweep        BatchedSolve" in text
+        assert "+ dev0 compute interleave         Interleave" in text
+        assert "  dev0 compute                    Unpad" in text
+        assert "vs unfused)" in text
+
+    def test_fuse_flag_rejected_for_distributed_plans(self):
+        code, text = _run(
+            ["plan", "--workload", "1x2M", "--devices", "2", "--fuse"]
+        )
+        assert code == 2
+        assert "fuse" in text.lower()
+
 
 class TestTune:
     def test_prints_switch_points(self):

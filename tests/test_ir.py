@@ -19,7 +19,9 @@ from repro.core.tuning import TuningCache, make_tuner
 from repro.dist import DistributedSolver
 from repro.gpu import make_device
 from repro.ir import (
+    BatchedSolve,
     Engine,
+    Interleave,
     OnChipSolve,
     Pad,
     Program,
@@ -29,6 +31,8 @@ from repro.ir import (
     Transfer,
     Unpad,
     Unsplit,
+    concat_solve_programs,
+    fuse_batched,
     lower_solve_plan,
     run_default_passes,
     signature_text,
@@ -268,6 +272,225 @@ class TestPasses:
         )
         with pytest.raises(PlanError):
             run_default_passes(program)
+
+
+@pytest.mark.fusion
+class TestFuseBatched:
+    """The fusion pass: staged chains become interleaved batch sweeps."""
+
+    # Fused forms of two pinned workloads (statically tuned, f64).
+    GOLDEN = {
+        # On-chip only: Pad / Interleave / BatchedSolve / Interleave / Unpad.
+        "1Kx1K": [
+            ("Pad", 1024, ""),
+            ("Interleave", "in", "interleave"),
+            ("BatchedSolve", 64, "coalesced", 0, 0, "fused_sweep"),
+            ("Interleave", "out", "deinterleave"),
+            ("Unpad", ""),
+        ],
+        # Split-heavy: the block splits fold into the BatchedSolve op.
+        "4Kx4K": [
+            ("Pad", 4096, ""),
+            ("Interleave", "in", "interleave"),
+            ("BatchedSolve", 64, "coalesced", 0, 2, "fused_sweep"),
+            ("Interleave", "out", "deinterleave"),
+            ("Unpad", ""),
+        ],
+    }
+
+    def _lower(self, name, fuse):
+        device = make_device("gtx470")
+        workload = next(w for w in paper_workloads() if w.name == name)
+        m, n = workload.shape
+        switch = _static_switch(device, m, n, 8)
+        return plan_solve(device, m, n, 8, switch).lower(
+            device, 8, fuse=fuse
+        )
+
+    @pytest.mark.parametrize("name", sorted(GOLDEN))
+    def test_fused_program_is_pinned(self, name):
+        program = self._lower(name, fuse=True)
+        got = []
+        for s in program.steps:
+            op = s.op
+            if isinstance(op, Pad):
+                got.append(("Pad", op.padded_size, s.stage))
+            elif isinstance(op, Interleave):
+                got.append(("Interleave", op.direction, s.stage))
+            elif isinstance(op, BatchedSolve):
+                got.append(
+                    (
+                        "BatchedSolve",
+                        op.thomas_switch,
+                        op.variant,
+                        op.stage1_steps,
+                        op.stage2_steps,
+                        s.stage,
+                    )
+                )
+            elif isinstance(op, Unpad):
+                got.append(("Unpad", s.stage))
+        assert got == self.GOLDEN[name]
+        assert program.steps[0].deps == ()
+        for i, step in enumerate(program.steps[1:], start=1):
+            assert step.deps == (i - 1,)
+
+    def test_fusion_is_idempotent(self):
+        fused = self._lower("4Kx4K", fuse=True)
+        # A changed-nothing pass returns the same object.
+        assert fuse_batched(fused) is fused
+
+    def test_unfusable_programs_pass_through_unchanged(self):
+        solver = DistributedSolver(2, "static", mode="rows")
+        plan, _ = solver.price(1, 1 << 16, 8)
+        dist_program = solver.lower(plan, 8)
+        assert fuse_batched(dist_program) is dist_program
+
+    def test_fused_signature_is_count_independent(self):
+        device = make_device("gtx470")
+        switch = _static_switch(device, 8, 2048, 8)
+        plan = plan_solve(device, 8, 2048, 8, switch)
+        a = plan.lower(device, 8, fuse=True)
+        b = plan.with_num_systems(123).lower(device, 8, fuse=True)
+        assert a.signature == b.signature
+        # And the fused signature differs from the unfused one.
+        assert a.signature != plan.lower(device, 8).signature
+
+    def test_validation_rejects_batched_ops_in_dist_programs(self):
+        program = Program(
+            kind="dist",
+            label="bad",
+            device_names=("a",),
+            dtype_size=8,
+            num_systems=2,
+            system_size=64,
+            steps=(
+                Step(
+                    op=Interleave("in"),
+                    engine="kernel",
+                    shape=(2, 64),
+                    stage="interleave",
+                ),
+            ),
+        )
+        with pytest.raises(PlanError):
+            run_default_passes(program)
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        m=st.integers(min_value=1, max_value=9),
+        n=st.integers(min_value=8, max_value=3000),
+    )
+    def test_property_fused_execute_matches_unfused(self, m, n):
+        device = make_device("gtx470")
+        dsize = 8
+        batch = generators.random_dominant(m, n, rng=m * 104729 + n)
+        switch = _static_switch(device, m, n, dsize)
+        plan = plan_solve(device, m, n, dsize, switch)
+        engine = Engine.for_device(device)
+        unfused = engine.execute(plan.lower(device, dsize), batch)
+        fused = engine.execute(plan.lower(device, dsize, fuse=True), batch)
+        assert np.array_equal(unfused.x, fused.x)
+
+    def test_fused_price_equals_execute(self):
+        device = make_device("gtx280")
+        batch = generators.random_dominant(16, 2048, rng=8)
+        switch = _static_switch(device, 16, 2048, 8)
+        program = plan_solve(device, 16, 2048, 8, switch).lower(
+            device, 8, fuse=True
+        )
+        engine = Engine.for_device(device)
+        assert (
+            engine.execute(program, batch).report.total_ms
+            == engine.price(program).report.total_ms
+        )
+
+
+@pytest.mark.fusion
+class TestConcatSolvePrograms:
+    def _single(self, n=64, device=None):
+        device = device or make_device("gtx470")
+        switch = _static_switch(device, 1, n, 8)
+        return lower_solve_plan(
+            plan_solve(device, 1, n, 8, switch), device, 8
+        )
+
+    def test_concat_sums_systems_and_rebases_deps(self):
+        single = self._single()
+        merged = concat_solve_programs([single] * 3)
+        assert merged.num_systems == 3
+        assert len(merged.steps) == 3 * len(single.steps)
+        for i, step in enumerate(merged.steps):
+            base = (i // len(single.steps)) * len(single.steps)
+            expect = tuple(
+                base + d for d in single.steps[i % len(single.steps)].deps
+            )
+            assert step.deps == expect
+
+    def test_fused_concat_collapses_to_one_sweep(self):
+        merged = concat_solve_programs([self._single()] * 50, fuse=True)
+        assert merged.num_systems == 50
+        ops = [type(s.op).__name__ for s in merged.steps]
+        assert ops == [
+            "Pad", "Interleave", "BatchedSolve", "Interleave", "Unpad",
+        ]
+
+    def test_concat_rejects_mismatches(self):
+        a = self._single(64)
+        b = self._single(128)
+        with pytest.raises(PlanError):
+            concat_solve_programs([a, b])
+        with pytest.raises(PlanError):
+            concat_solve_programs([])
+
+    def test_concat_executes_like_independent_solves(self):
+        device = make_device("gtx470")
+        batches = [
+            generators.random_dominant(1, 64, rng=i) for i in range(4)
+        ]
+        single = self._single()
+        engine = Engine.for_device(device)
+        expected = np.vstack(
+            [engine.execute(single, b).x for b in batches]
+        )
+        from repro.systems.tridiagonal import TridiagonalBatch
+
+        merged_batch = TridiagonalBatch(
+            np.vstack([b.a for b in batches]),
+            np.vstack([b.b for b in batches]),
+            np.vstack([b.c for b in batches]),
+            np.vstack([b.d for b in batches]),
+        )
+        fused = concat_solve_programs([single] * 4, fuse=True)
+        got = engine.execute(fused, merged_batch)
+        np.testing.assert_array_equal(got.x, expected)
+
+
+class TestPassChangeReporting:
+    """Passes report no-change by returning the same Program object,
+    which lets the pipeline skip the canonicalise re-walk."""
+
+    def _program(self):
+        device = make_device("gtx470")
+        switch = _static_switch(device, 4, 4096, 8)
+        return plan_solve(device, 4, 4096, 8, switch).lower(device, 8)
+
+    def test_canonicalize_is_identity_on_canonical_programs(self):
+        from repro.ir.passes import canonicalize, eliminate_dead_steps
+
+        program = self._program()  # already through the default pipeline
+        assert canonicalize(program) is program
+        assert eliminate_dead_steps(program) is program
+
+    def test_fuse_batched_identity_when_nothing_to_fuse(self):
+        fused = run_default_passes(self._program(), fuse=True)
+        assert fuse_batched(fused) is fused
+
+    def test_run_default_passes_idempotent(self):
+        program = self._program()
+        assert run_default_passes(program) == program
+        fused = run_default_passes(program, fuse=True)
+        assert run_default_passes(fused, fuse=True) == fused
 
 
 class TestSignatures:
