@@ -7,6 +7,7 @@ as real slowdowns.
 
 import numpy as np
 import pytest
+from _results import write_results
 
 from repro.algorithms import (
     cr_pcr_solve,
@@ -77,7 +78,7 @@ def test_pcr_split_primitive(benchmark, batch):
 
 
 @pytest.mark.fusion
-def test_many_small_systems_interleaved_sweep(benchmark, emit):
+def test_many_small_systems_interleaved_sweep(benchmark, emit, results_dir):
     """The many-small-systems regime: 1k systems of 64 equations.
 
     Wall clock pits a per-system Thomas loop (the per-request
@@ -148,6 +149,22 @@ def test_many_small_systems_interleaved_sweep(benchmark, emit):
         f"  simulated   {m} one-shot programs: {unfused_ms:8.4f} ms\n"
         f"  simulated   fused batched program: {fused_ms:8.4f} ms "
         f"({unfused_ms / fused_ms:.1f}x)",
+    )
+
+    # The shared JSON envelope carries only the *simulated* numbers:
+    # write_results artefacts must reproduce byte for byte on unchanged
+    # code, and wall clocks never do.
+    write_results(
+        "algorithms_many_small",
+        {
+            "num_systems": m,
+            "system_size": n,
+            "dtype_size": 8,
+            "unfused_ms": unfused_ms,
+            "fused_ms": fused_ms,
+            "fused_speedup": unfused_ms / fused_ms,
+        },
+        results_dir,
     )
 
     # The nightly acceptance bar: >= 2x fused simulated throughput.

@@ -120,6 +120,85 @@ def write_results(payload, results_dir=None):
     return _write_results("dist_scaling", payload, results_dir)
 
 
+# -- truncated-SPIKE approx step change -------------------------------------
+
+# Many medium systems is the regime where the exact reduced exchange
+# serialises at the hub: each of p devices funnels its spikes through
+# device 0's ingress, so the exchange grows with p while approx's
+# neighbour-tip handshake stays constant. 2^16 rows x 4 systems keeps
+# per-chunk local work small enough that the exchange is visible.
+APPROX_SYSTEMS = 4
+APPROX_SIZE = 1 << 16
+APPROX_COUNTS = (8, 16, 32)
+
+
+def run_approx_step_change(counts=APPROX_COUNTS):
+    """Price exact rows vs truncated-SPIKE approx across device counts."""
+    records = []
+    for count in counts:
+        group = make_device_group(DEVICE, count, LINK, TOPOLOGY)
+        _, rows_report = DistributedSolver(group, mode="rows").price(
+            APPROX_SYSTEMS, APPROX_SIZE, DTYPE_SIZE
+        )
+        _, approx_report = DistributedSolver(group, mode="approx").price(
+            APPROX_SYSTEMS, APPROX_SIZE, DTYPE_SIZE
+        )
+        records.append(
+            {
+                "devices": count,
+                "num_systems": APPROX_SYSTEMS,
+                "system_size": APPROX_SIZE,
+                "rows_ms": rows_report.total_ms,
+                "approx_ms": approx_report.total_ms,
+                "speedup": rows_report.total_ms / approx_report.total_ms,
+            }
+        )
+    text = ascii_table(
+        ["devices", "workload", "rows ms", "approx ms", "speedup"],
+        [
+            [
+                r["devices"],
+                f"{r['num_systems']} x {r['system_size']}",
+                f"{r['rows_ms']:.3f}",
+                f"{r['approx_ms']:.3f}",
+                f"{r['speedup']:.2f}x",
+            ]
+            for r in records
+        ],
+        title=(
+            f"Truncated-SPIKE approx vs exact rows "
+            f"({APPROX_SYSTEMS} x {APPROX_SIZE}, float64, {TOPOLOGY}:{LINK})"
+        ),
+    )
+    payload = {
+        "device": DEVICE,
+        "link": LINK,
+        "topology": TOPOLOGY,
+        "dtype_size": DTYPE_SIZE,
+        "sweep": records,
+    }
+    return payload, text
+
+
+def test_dist_approx_step_change(benchmark, emit, results_dir):
+    payload, text = benchmark.pedantic(
+        run_approx_step_change, rounds=1, iterations=1
+    )
+    emit("dist_approx", text)
+    _write_results("dist_approx", payload, results_dir)
+
+    sweep = {r["devices"]: r for r in payload["sweep"]}
+    # The acceptance criterion: a measured priced speedup over the
+    # exact rows decomposition at >= 8 devices, growing with the
+    # device count as the reduced exchange gets more serialised.
+    assert sweep[8]["speedup"] > 1.0, (
+        f"approx not faster at 8 devices: {sweep[8]['speedup']:.3f}x"
+    )
+    speedups = [sweep[c]["speedup"] for c in sorted(sweep)]
+    assert speedups == sorted(speedups)
+    assert sweep[32]["speedup"] > 2.0
+
+
 def test_dist_strong_scaling(benchmark, emit, results_dir):
     payload, text = benchmark.pedantic(run_scaling, rounds=1, iterations=1)
     emit("dist_scaling", text)
@@ -151,12 +230,23 @@ def main(argv=None) -> int:
     print(text)
     path = write_results(payload)
     print(f"wrote {path}")
+    approx_payload, approx_text = run_approx_step_change(
+        (8,) if args.smoke else APPROX_COUNTS
+    )
+    print(approx_text)
+    approx_path = _write_results("dist_approx", approx_payload)
+    print(f"wrote {approx_path}")
     strong = {r["devices"]: r for r in payload["strong"]}
     speedup8 = strong[1]["total_ms"] / strong[8]["total_ms"]
     if speedup8 < 3.0:
         print(f"FAIL: 8-device speedup only {speedup8:.2f}x (need >= 3x)")
         return 1
     print(f"OK: 8-device strong-scaling speedup {speedup8:.2f}x")
+    approx8 = approx_payload["sweep"][0]["speedup"]
+    if approx8 <= 1.0:
+        print(f"FAIL: approx not faster at 8 devices ({approx8:.3f}x)")
+        return 1
+    print(f"OK: approx step change {approx8:.2f}x at 8 devices")
     return 0
 
 

@@ -22,8 +22,9 @@ The most common entry points are re-exported here.
 
 __version__ = "1.1.0"
 
-from . import algorithms, analysis, baselines, core, dist, gpu, kernels, obs, service, systems, util  # noqa: F401
+from . import algorithms, analysis, baselines, core, dist, gpu, kernels, numerics, obs, service, systems, util  # noqa: F401
 from .core import MultiStageSolver, SelfTuner, SolveResult, SwitchPoints, solve  # noqa: F401
+from .numerics import DominanceEstimate, Governor  # noqa: F401
 from .obs import MetricsRegistry, Tracer  # noqa: F401
 from .dist import DeviceGroup, DistributedSolver, make_device_group  # noqa: F401
 from .service import BatchSolveService, ServiceResult  # noqa: F401
@@ -39,11 +40,14 @@ __all__ = [
     "dist",
     "gpu",
     "kernels",
+    "numerics",
     "obs",
     "service",
     "systems",
     "util",
     "solve",
+    "DominanceEstimate",
+    "Governor",
     "MetricsRegistry",
     "Tracer",
     "BatchSolveService",

@@ -4,7 +4,7 @@ from .cr import cr_forward_levels, cr_solve
 from .cyclic import CyclicTridiagonalBatch, cyclic_solve
 from .factorized import PcrThomasFactorization, factorize
 from .refinement import RefinementResult, mixed_precision_solve
-from .spike import spike_solve
+from .spike import spike_solve, truncated_spike_solve
 from .cr_pcr import cr_pcr_solve
 from .lu import TridiagonalLU, lu_factor, lu_solve, lu_solve_factored, scipy_banded_solve
 from .padding import pad_pow2, unpad_solution
@@ -23,6 +23,7 @@ __all__ = [
     "RefinementResult",
     "mixed_precision_solve",
     "spike_solve",
+    "truncated_spike_solve",
     "thomas_solve",
     "thomas_workspace_solve",
     "cr_solve",

@@ -105,7 +105,10 @@ def scipy_banded_solve(batch: TridiagonalBatch) -> np.ndarray:
     """Oracle solve via ``scipy.linalg.solve_banded`` (partial pivoting).
 
     Loops over systems (LAPACK is per-matrix); intended for validation,
-    not performance.
+    not performance. Raises the library's typed
+    :class:`SingularSystemError` (not scipy's ``LinAlgError``) when a
+    system has no solution, so callers — the escalation ladder
+    included — never see an untyped failure.
     """
     m, n = batch.shape
     x = np.empty((m, n), dtype=batch.dtype)
@@ -114,5 +117,10 @@ def scipy_banded_solve(batch: TridiagonalBatch) -> np.ndarray:
         ab[0, 1:] = batch.c[i, :-1]
         ab[1, :] = batch.b[i]
         ab[2, :-1] = batch.a[i, 1:]
-        x[i] = solve_banded((1, 1), ab, batch.d[i])
+        try:
+            x[i] = solve_banded((1, 1), ab, batch.d[i])
+        except np.linalg.LinAlgError as exc:
+            raise SingularSystemError(
+                f"system {i} is singular: {exc}", system_index=i
+            ) from exc
     return x

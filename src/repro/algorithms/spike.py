@@ -43,8 +43,10 @@ __all__ = [
     "split_chunks",
     "spike_rhs",
     "solve_reduced_system",
+    "truncated_reduced_solve",
     "reconstruct_chunk",
     "spike_solve",
+    "truncated_spike_solve",
 ]
 
 # Every chunk needs distinct first and last rows — the two boundary
@@ -205,6 +207,52 @@ def solve_reduced_system(
     return t_prev, s_next
 
 
+def truncated_reduced_solve(
+    y_first: np.ndarray,
+    y_last: np.ndarray,
+    w_first: np.ndarray,
+    w_last: np.ndarray,
+    v_first: np.ndarray,
+    v_last: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """The truncated-SPIKE boundary solve: independent 2×2 interfaces.
+
+    Same signature and return convention as :func:`solve_reduced_system`
+    so the two are drop-in interchangeable, but the coupling terms that
+    tie an interface to its neighbours — ``w_last_i t_{i-1}`` and
+    ``v_first_{i+1} s_{i+2}``, i.e. the spike values that crossed a
+    whole chunk — are dropped (Li, Serban & Negrut, arXiv:1509.07919).
+    What remains is one 2×2 system per chunk interface::
+
+        [ 1            v_last_i ] [ t_i     ]   [ y_last_i      ]
+        [ w_first_{i+1}    1    ] [ s_{i+1} ] = [ y_first_{i+1} ]
+
+    solved in closed form, vectorised over all ``(m, p-1)`` interfaces.
+    For a system with dominance ratio ``d > 1`` the dropped values decay
+    like ``(1/d)^(q-1)`` across a ``q``-row chunk, so the induced error
+    is bounded and checkable — and no information ever travels further
+    than one chunk boundary, which is what removes the global reduced
+    solve from the distributed critical path.
+    """
+    m, p = y_first.shape
+    dtype = y_first.dtype
+    # ``w_last`` and ``v_first`` are exactly the truncated terms; the
+    # signature keeps them so callers can swap solvers without reshaping.
+    del w_last, v_first
+    t_prev = np.zeros((m, p), dtype=dtype)
+    s_next = np.zeros((m, p), dtype=dtype)
+    if p < 2:
+        return t_prev, s_next
+    vl = v_last[:, :-1]
+    wf = w_first[:, 1:]
+    det = 1.0 - vl * wf
+    t_i = (y_last[:, :-1] - vl * y_first[:, 1:]) / det
+    s_ip1 = (y_first[:, 1:] - wf * y_last[:, :-1]) / det
+    t_prev[:, 1:] = t_i
+    s_next[:, :-1] = s_ip1
+    return t_prev, s_next
+
+
 def reconstruct_chunk(
     y: np.ndarray,
     w: np.ndarray,
@@ -230,6 +278,27 @@ def spike_solve(
     to the Thomas algorithm; an infeasible ``p`` raises
     :class:`ConfigurationError`.
     """
+    return _spike_solve(batch, partitions, solve_reduced_system)
+
+
+def truncated_spike_solve(
+    batch: TridiagonalBatch, partitions: int | str = "auto"
+) -> np.ndarray:
+    """The truncated-SPIKE approximation: SPIKE without the reduced system.
+
+    Identical to :func:`spike_solve` except the boundary unknowns come
+    from :func:`truncated_reduced_solve` — independent per-interface 2×2
+    solves instead of the global block-tridiagonal reduced system. The
+    answer is *approximate*, with error bounded by the spike decay of a
+    diagonally dominant matrix; callers are expected to check the
+    residual a posteriori (see :mod:`repro.numerics`).
+    """
+    return _spike_solve(batch, partitions, truncated_reduced_solve)
+
+
+def _spike_solve(
+    batch: TridiagonalBatch, partitions: int | str, reduced_solver
+) -> np.ndarray:
     m, n = batch.shape
     if partitions == "auto":
         p = _auto_partitions(n)
@@ -258,7 +327,7 @@ def spike_solve(
             w[chunk.index] = sol[off + m : off + 2 * m]
             v[chunk.index] = sol[off + 2 * m : off + 3 * m]
 
-    t_prev, s_next = solve_reduced_system(
+    t_prev, s_next = reduced_solver(
         np.stack([y[i][:, 0] for i in range(p)], axis=1),
         np.stack([y[i][:, -1] for i in range(p)], axis=1),
         np.stack([w[i][:, 0] for i in range(p)], axis=1),

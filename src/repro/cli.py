@@ -130,8 +130,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_plan.add_argument(
         "--mode",
         default="auto",
-        choices=["auto", "rows", "batch"],
+        choices=["auto", "rows", "batch", "approx"],
         help="distributed decomposition mode for --devices > 1",
+    )
+    p_plan.add_argument(
+        "--tolerance",
+        type=float,
+        default=None,
+        help="relative-residual tolerance: also print the numerical-"
+        "safety governor's decision (approx vs exact) with estimated "
+        "and measured residuals for a sampled workload",
     )
     p_plan.add_argument(
         "--fuse",
@@ -271,7 +279,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--dtype-size", type=int, default=8, choices=[4, 8], dest="dtype_size"
     )
     p_dist.add_argument(
-        "--mode", default="auto", choices=["auto", "rows", "batch"]
+        "--mode", default="auto", choices=["auto", "rows", "batch", "approx"]
+    )
+    p_dist.add_argument(
+        "--tolerance",
+        type=float,
+        default=None,
+        help="relative-residual tolerance: admits the truncated-SPIKE "
+        "approx mode into auto pricing when the dominance estimate "
+        "says it is safe",
     )
     p_dist.add_argument(
         "--json",
@@ -357,6 +373,21 @@ def build_parser() -> argparse.ArgumentParser:
         default=4,
         dest="dist_devices",
         help="device count for the failover phase (default 4)",
+    )
+    p_chaos.add_argument(
+        "--numerics-requests",
+        type=int,
+        default=64,
+        dest="numerics_requests",
+        help="adversarial-numerics phase requests per seed; 0 skips "
+        "the phase (default 64)",
+    )
+    p_chaos.add_argument(
+        "--tolerance",
+        type=float,
+        default=1e-8,
+        help="relative-residual tolerance the numerics phase asks the "
+        "governor to enforce (default 1e-8)",
     )
     p_chaos.add_argument(
         "--json",
@@ -471,7 +502,9 @@ def _cmd_plan(args, out) -> int:
             topology=args.topology,
             mode=args.mode,
         )
-        plan, _ = solver.price(m, n, args.dtype_size)
+        plan, _ = solver.price(
+            m, n, args.dtype_size, tolerance=args.tolerance
+        )
         program = solver.lower(plan, args.dtype_size)
         run = Engine.for_group(solver.group).price(program)
         out.write(f"group    : {solver.group.describe()}\n")
@@ -506,6 +539,8 @@ def _cmd_plan(args, out) -> int:
 
     priced_steps(program, run)
     out.write(f"total    : {run.report.total_ms:.4f} ms\n")
+    if args.tolerance is not None:
+        out.write("\n" + _governor_report(args, m, n) + "\n")
     if args.fuse:
         fused = plan.lower(device, args.dtype_size, fuse=True)
         fused_run = Engine.for_device(device).price(fused)
@@ -520,6 +555,41 @@ def _cmd_plan(args, out) -> int:
             )
         out.write("\n")
     return 0
+
+
+def _governor_report(args, m, n) -> str:
+    """The numerical-safety governor's verdict for the planned workload.
+
+    The dominance estimate and the truncated-vs-exact residuals are
+    measured on a sampled dominant batch (capped so ``repro plan`` stays
+    instant on huge workloads); the truncation bound uses the *real*
+    per-device chunk size, which is what the decision depends on.
+    """
+    from .algorithms.spike import spike_solve, truncated_spike_solve
+    from .numerics import Governor
+    from .systems import generators
+
+    if args.devices <= 1:
+        return (
+            "governor: exact — single device has no truncated-SPIKE "
+            f"path; a governed solve at tolerance {args.tolerance:.1e} "
+            "residual-verifies the staged result"
+        )
+    sample_m, sample_n = min(m, 4), min(n, 1 << 14)
+    sample = generators.random_dominant(sample_m, sample_n, rng=0)
+    chunk_rows = max(2, n // args.devices)
+    decision = Governor().decide(sample, args.tolerance, chunk_rows)
+    parts = max(2, min(args.devices, sample_n // 2))
+    approx_x = truncated_spike_solve(sample, partitions=parts)
+    exact_x = spike_solve(sample, partitions=parts)
+    return (
+        decision.describe()
+        + "\n"
+        + f"          measured on a {sample_m}x{sample_n} dominant "
+        f"sample ({parts} partitions): approx residual "
+        f"{sample.residual(approx_x).max():.3e}, exact residual "
+        f"{sample.residual(exact_x).max():.3e}"
+    )
 
 
 def _cmd_tune(args, out) -> int:
@@ -720,7 +790,9 @@ def _cmd_dist_bench(args, out) -> int:
                 args.device, count, args.link, args.topology
             )
             solver = DistributedSolver(group, mode=args.mode)
-            plan, report = solver.price(m, n, args.dtype_size)
+            plan, report = solver.price(
+                m, n, args.dtype_size, tolerance=args.tolerance
+            )
             if base_ms is None:
                 base_ms = report.total_ms
             speedup = base_ms / max(report.total_ms, 1e-300)
@@ -902,6 +974,8 @@ def _cmd_chaos(args, out) -> int:
         requests=args.requests,
         transient_p=args.transient_p,
         dist_devices=args.dist_devices,
+        numerics_requests=args.numerics_requests,
+        tolerance=args.tolerance,
     )
     for report in reports:
         out.write(report.describe() + "\n")
@@ -916,6 +990,8 @@ def _cmd_chaos(args, out) -> int:
             "requests_per_seed": args.requests,
             "transient_p": args.transient_p,
             "dist_devices": args.dist_devices,
+            "numerics_requests": args.numerics_requests,
+            "tolerance": args.tolerance,
             "clean": clean,
             "campaigns": [r.as_dict() for r in reports],
         }

@@ -97,6 +97,9 @@ class MultiStageSolver:
         self._engine.injector = faults
         self._tuner = None
         self._switch: Optional[SwitchPoints] = None
+        # Lazily built numerical-safety governor for tolerance-governed
+        # solves (metrics-free here; the service threads its registry).
+        self._governor = None
         if tuning is None:
             tuning = "default"
         if isinstance(tuning, SwitchPoints):
@@ -163,8 +166,22 @@ class MultiStageSolver:
             return plan.lower(self.device, dsize, fuse=choice)
         return plan.lower(self.device, dsize, fuse=bool(self.fuse))
 
-    def solve(self, batch: TridiagonalBatch) -> SolveResult:
-        """Solve ``batch``; returns solution, plan, and timing report."""
+    def solve(
+        self,
+        batch: TridiagonalBatch,
+        *,
+        tolerance: Optional[float] = None,
+    ) -> SolveResult:
+        """Solve ``batch``; returns solution, plan, and timing report.
+
+        With ``tolerance`` set the solve is governed by the
+        numerical-safety ladder: the result's relative residual is
+        checked, escalating through one step of iterative refinement
+        and a robust pivoted re-solve
+        (:func:`~repro.algorithms.scipy_banded_solve`) before a typed
+        :class:`~repro.util.errors.NumericalBreakdownError` is raised.
+        A governed solve never returns an unverified answer.
+        """
         dsize = dtype_size(batch.dtype)
         self.device.check_fits_global(batch.nbytes + batch.d.nbytes)
         switch = self.switch_points_for(
@@ -173,7 +190,50 @@ class MultiStageSolver:
         plan = plan_solve(
             self.device, batch.num_systems, batch.system_size, dsize, switch
         )
-        return self.execute_plan(batch, plan, switch)
+        result = self.execute_plan(batch, plan, switch)
+        if tolerance is None:
+            return result
+        return self._govern(batch, result, plan, switch, float(tolerance))
+
+    def _govern(
+        self,
+        batch: TridiagonalBatch,
+        result: SolveResult,
+        plan: SolvePlan,
+        switch: SwitchPoints,
+        tolerance: float,
+    ) -> SolveResult:
+        """Walk the escalation ladder over an executed result."""
+        from dataclasses import replace as _replace
+
+        from ..algorithms.lu import scipy_banded_solve
+        from ..numerics import Governor
+
+        if self._governor is None:
+            self._governor = Governor(tracer=self.tracer)
+
+        def refine(b: TridiagonalBatch, x: np.ndarray) -> np.ndarray:
+            residual_rhs = b.d - b.matvec(x)
+            correction = self.execute_plan(
+                TridiagonalBatch(b.a, b.b, b.c, residual_rhs), plan, switch
+            ).x
+            return x + correction
+
+        def resolve(b: TridiagonalBatch) -> np.ndarray:
+            return scipy_banded_solve(b)
+
+        outcome = self._governor.enforce(
+            batch,
+            result.x,
+            tolerance,
+            refine=refine,
+            resolve=resolve,
+            path="staged",
+            context="multi-stage solve",
+        )
+        if outcome.x is not result.x:
+            result = _replace(result, x=outcome.x)
+        return result
 
     def execute_plan(
         self, batch: TridiagonalBatch, plan: SolvePlan, switch: SwitchPoints
@@ -229,6 +289,15 @@ def solve(
     tuning: Union[SwitchPoints, str, None] = "dynamic",
     *,
     verify: bool = False,
+    tolerance: Optional[float] = None,
 ) -> SolveResult:
-    """One-call front door: solve ``batch`` on ``device`` with ``tuning``."""
-    return MultiStageSolver(device, tuning, verify=verify).solve(batch)
+    """One-call front door: solve ``batch`` on ``device`` with ``tuning``.
+
+    ``tolerance`` requests a governed solve: the answer is
+    residual-verified against it (escalating through refinement and a
+    robust re-solve) or a typed
+    :class:`~repro.util.errors.NumericalBreakdownError` is raised.
+    """
+    return MultiStageSolver(device, tuning, verify=verify).solve(
+        batch, tolerance=tolerance
+    )

@@ -11,6 +11,12 @@ Two ways to cut a workload across a device group:
 - **batch** — split a wide batch by system: :func:`batch_shares` deals
   ``m`` systems across ``p`` devices as evenly as possible, idling
   devices beyond the system count.
+
+Rows mode has an *approximate* variant (``approx``): the same chunk
+split and 3-RHS solves, but the boundary unknowns come from
+:func:`truncated_reduced_solve` — independent per-interface 2×2 solves
+instead of the global reduced system, valid when the systems are
+diagonally dominant enough (see :mod:`repro.numerics`).
 """
 
 from __future__ import annotations
@@ -25,6 +31,7 @@ from ..algorithms.spike import (
     solve_reduced_system,
     spike_rhs,
     split_chunks,
+    truncated_reduced_solve,
 )
 from ..util.errors import ConfigurationError
 
@@ -38,6 +45,7 @@ __all__ = [
     "spike_rhs",
     "split_chunks",
     "surviving_indices",
+    "truncated_reduced_solve",
 ]
 
 

@@ -16,6 +16,14 @@ Two decomposition modes exist:
   system across devices with no coupling at all; communication is the
   scatter of coefficients and the gather of solutions.
 
+A third mode, ``approx``, is rows with the reduced system truncated
+away: each chunk interface becomes an independent 2×2 solve on the
+right-hand device fed by one neighbour-to-neighbour transfer, so the
+critical path stops growing with the device count. It is only chosen
+when the caller passes a tolerance and the numerical-safety governor's
+dominance estimate says the truncation error fits (see
+:mod:`repro.numerics`); the result is always residual-checked.
+
 Like ``SolvePlan``, a ``DistPlan`` carries a :attr:`~DistPlan.signature`
 — everything that fixes the per-system arithmetic except the system
 count — so the batched solve service can group plan-compatible oversized
@@ -35,15 +43,18 @@ from .partition import batch_shares
 
 __all__ = ["DistPlan", "batch_shares"]
 
-MODES = ("rows", "batch")
+MODES = ("rows", "batch", "approx")
 ROWS_SCHEDULES = ("fused", "split")
+# Modes that decompose by rows and share the SPIKE 3-RHS local solves
+# (and hence the 3m widening rule and chunk-derived signatures).
+ROWS_LIKE_MODES = ("rows", "approx")
 
 
 @dataclass(frozen=True)
 class DistPlan:
     """Executable description of one distributed solve."""
 
-    mode: str  # "rows" | "batch"
+    mode: str  # "rows" | "batch" | "approx"
     num_devices: int
     num_systems: int  # m, the workload's system count
     system_size: int  # n, raw (pre-padding) size
@@ -80,7 +91,7 @@ class DistPlan:
         to on-chip local plans, whose signatures are count-independent).
         """
         local = tuple(plan.signature for plan in self.local_plans)
-        chunks = self.chunk_sizes if self.mode == "rows" else ()
+        chunks = self.chunk_sizes if self.mode in ROWS_LIKE_MODES else ()
         return (
             "dist",
             self.mode,
@@ -103,7 +114,7 @@ class DistPlan:
         """
         if num_systems == self.num_systems:
             return self
-        if self.mode == "rows":
+        if self.mode in ROWS_LIKE_MODES:
             per_device = (
                 3 * num_systems if self.num_devices > 1 else num_systems
             )
@@ -142,7 +153,7 @@ class DistPlan:
             f"{self.system_size} over {self.num_devices} x "
             f"{self.device_name} ({self.topology}, {self.schedule})",
         ]
-        unit = "rows" if self.mode == "rows" else "systems"
+        unit = "rows" if self.mode in ROWS_LIKE_MODES else "systems"
         for i, (size, plan) in enumerate(
             zip(self.chunk_sizes, self.local_plans)
         ):

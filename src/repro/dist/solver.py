@@ -29,8 +29,8 @@ that executes and prices single-device solves.
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass
-from typing import Dict, List, Tuple, Union
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -56,6 +56,7 @@ from .partition import (
     spike_rhs,
     split_chunks,
     surviving_indices,
+    truncated_reduced_solve,
 )
 from .pipeline import DistReport, failover_report
 from .plan import DistPlan, batch_shares
@@ -132,7 +133,7 @@ class DistributedSolver:
         elif isinstance(group, int):
             group = make_device_group(device, group, link, topology)
         self.group = group
-        if mode not in ("auto", "rows", "batch"):
+        if mode not in ("auto", "rows", "batch", "approx"):
             raise ConfigurationError(f"unknown dist mode {mode!r}")
         if schedule not in ("auto", "fused", "split"):
             raise ConfigurationError(f"unknown rows schedule {schedule!r}")
@@ -163,8 +164,22 @@ class DistributedSolver:
         self._lock = threading.Lock()
         self._switch: Dict[int, SwitchPoints] = {}
         self._solvers: Dict[Tuple[int, int], MultiStageSolver] = {}
-        self._planned: Dict[Tuple[int, int, int], Tuple[DistPlan, DistReport]] = {}
+        self._planned: Dict[Tuple, Tuple[DistPlan, DistReport]] = {}
         self._programs: Dict[Tuple[DistPlan, int], object] = {}
+        # Lazily built numerical-safety governor (shares this solver's
+        # metrics registry and tracer); owns tolerance-governed solves.
+        self._governor = None
+
+    def governor(self):
+        """The shared :class:`~repro.numerics.Governor` for this solver."""
+        from ..numerics import Governor
+
+        with self._lock:
+            if self._governor is None:
+                self._governor = Governor(
+                    metrics=self.metrics, tracer=self.tracer
+                )
+            return self._governor
 
     # -- tuning ----------------------------------------------------------
 
@@ -245,27 +260,45 @@ class DistributedSolver:
         return plan
 
     def price(
-        self, num_systems: int, system_size: int, dsize: int = 8
+        self,
+        num_systems: int,
+        system_size: int,
+        dsize: int = 8,
+        *,
+        tolerance: Optional[float] = None,
     ) -> Tuple[DistPlan, DistReport]:
         """Plan and price an ``(m, n)`` workload without touching data.
 
         The distributed analogue of :func:`repro.core.simulate_plan` —
         the quantity ``dist-bench`` charts and the hybrid dispatcher
         compares against the CPU and single-GPU models.
+
+        With ``tolerance`` set the truncated-SPIKE ``approx`` mode joins
+        the candidate set (priced honestly by the same cost model —
+        neighbour tip transfers and per-interface 2×2 solves instead of
+        the global reduced system). The tolerance *value* does not move
+        the price; whether approx is numerically admissible for a given
+        batch is the governor's call at solve time.
         """
-        key = (num_systems, system_size, dsize)
+        approx_allowed = tolerance is not None or self.mode == "approx"
+        key = (num_systems, system_size, dsize, approx_allowed)
         with self._lock:
             cached = self._planned.get(key)
         if cached is not None:
             return cached
         candidates: List[Tuple[DistPlan, DistReport]] = []
         errors: List[str] = []
-        modes = (self.mode,) if self.mode != "auto" else ("rows", "batch")
+        if self.mode != "auto":
+            modes: Tuple[str, ...] = (self.mode,)
+        else:
+            modes = ("rows", "batch") + (("approx",) if approx_allowed else ())
         for mode in modes:
             try:
-                if mode == "rows":
+                if mode in ("rows", "approx"):
                     candidates.append(
-                        self._price_rows(num_systems, system_size, dsize)
+                        self._price_rows(
+                            num_systems, system_size, dsize, mode=mode
+                        )
                     )
                 else:
                     candidates.append(
@@ -290,9 +323,10 @@ class DistributedSolver:
         chunk_sizes: Tuple[int, ...],
         schedule: str,
         local_plans: Tuple,
+        mode: str = "rows",
     ) -> DistPlan:
         return DistPlan(
-            mode="rows",
+            mode=mode,
             num_devices=len(chunk_sizes),
             num_systems=m,
             system_size=n,
@@ -304,11 +338,16 @@ class DistributedSolver:
         )
 
     def _price_rows(
-        self, m: int, n: int, dsize: int
+        self, m: int, n: int, dsize: int, *, mode: str = "rows"
     ) -> Tuple[DistPlan, DistReport]:
         p = len(self.group)
         switch = self.switch_points_for(dsize)
         if p == 1:
+            if mode == "approx":
+                raise ConfigurationError(
+                    "approx mode needs at least two devices (one device "
+                    "has no chunk interfaces to truncate)"
+                )
             local = plan_solve(self.group[0], m, n, dsize, switch)
             self._check_local_memory(local, dsize)
             plan = self._rows_plan(m, n, (n,), "fused", (local,))
@@ -321,6 +360,14 @@ class DistributedSolver:
         )
         for local in local_plans:
             self._check_local_memory(local, dsize)
+        if mode == "approx":
+            # The truncated path keeps the fused 3-RHS local solves; the
+            # split schedule exists to overlap the reduced solve, which
+            # approx mode does not have.
+            plan = self._rows_plan(
+                m, n, chunk_sizes, "fused", local_plans, mode="approx"
+            )
+            return plan, self._report_for(plan, dsize)
         schedules = (
             ("fused", "split") if self.schedule == "auto" else (self.schedule,)
         )
@@ -380,9 +427,79 @@ class DistributedSolver:
 
     # -- execution --------------------------------------------------------
 
-    def solve(self, batch: TridiagonalBatch) -> DistSolveResult:
-        """Plan and solve ``batch`` across the group."""
-        return self.execute_plan(batch, self.plan_for(batch))
+    def solve(
+        self,
+        batch: TridiagonalBatch,
+        *,
+        tolerance: Optional[float] = None,
+    ) -> DistSolveResult:
+        """Plan and solve ``batch`` across the group.
+
+        With ``tolerance`` set the solve is *governed*: the
+        numerical-safety governor measures the batch's diagonal
+        dominance and, when the truncation bound fits the tolerance,
+        lets the planner choose the truncated-SPIKE ``approx`` mode
+        (skipping the reduced system entirely). Whatever path runs, the
+        result is residual-checked and escalated — one refinement step,
+        then an exact-path re-solve — before a typed
+        :class:`~repro.util.errors.NumericalBreakdownError` is raised;
+        a governed solve never returns an unverified answer.
+        """
+        if tolerance is None:
+            return self.execute_plan(batch, self.plan_for(batch))
+        return self._solve_governed(batch, float(tolerance))
+
+    def _solve_governed(
+        self, batch: TridiagonalBatch, tolerance: float
+    ) -> DistSolveResult:
+        dsize = dtype_size(batch.dtype)
+        m, n = batch.shape
+        governor = self.governor()
+        approx_admissible = False
+        p = len(self.group)
+        if p > 1 and self.mode in ("auto", "approx"):
+            chunk_rows = min(
+                stop - start for start, stop in partition_bounds(n, p)
+            )
+            decision = governor.decide(batch, tolerance, chunk_rows)
+            approx_admissible = decision.approx
+        plan, _ = self.price(
+            m, n, dsize, tolerance=tolerance if approx_admissible else None
+        )
+        if plan.mode == "approx" and not approx_admissible:
+            # mode="approx" was forced but the estimate says unsafe;
+            # still run it — the ladder below catches what the bound
+            # could not promise.
+            pass
+        result = self.execute_plan(batch, plan)
+        path = "approx" if plan.mode == "approx" else "exact"
+
+        def refine(b: TridiagonalBatch, x: np.ndarray) -> np.ndarray:
+            residual_rhs = b.d - b.matvec(x)
+            correction = self.execute_plan(
+                TridiagonalBatch(b.a, b.b, b.c, residual_rhs), plan
+            ).x
+            return x + correction
+
+        def resolve(b: TridiagonalBatch) -> np.ndarray:
+            # The exact fallback must not re-price into approx (which a
+            # forced mode="approx" solver would): re-solve on the exact
+            # rows decomposition of the same partition explicitly.
+            exact_plan, _ = self._price_rows(m, n, dsize, mode="rows")
+            return self.execute_plan(b, exact_plan).x
+
+        outcome = governor.enforce(
+            batch,
+            result.x,
+            tolerance,
+            refine=refine,
+            resolve=resolve if path == "approx" else None,
+            path=path,
+            context="distributed solve",
+        )
+        if outcome.x is not result.x:
+            result = replace(result, x=outcome.x)
+        return result
 
     def execute_plan(
         self, batch: TridiagonalBatch, plan: DistPlan
@@ -425,7 +542,7 @@ class DistributedSolver:
             )
         try:
             try:
-                if plan.mode == "rows":
+                if plan.mode in ("rows", "approx"):
                     result = self._execute_rows(batch, plan, dsize, switch)
                 else:
                     result = self._execute_batch(batch, plan, dsize, switch)
@@ -439,7 +556,11 @@ class DistributedSolver:
             raise
         if tracer is not None:
             tracer.end(result.report.total_ms)
-        if self.verify:
+        if self.verify and plan.mode != "approx":
+            # Approx-mode answers are deliberately approximate; their
+            # verification (against the caller's tolerance, with the
+            # escalation ladder behind it) belongs to the governor in
+            # :meth:`solve`, not the exact-solve assertion here.
             assert_solution(batch, result.x, context="distributed solve")
         return result
 
@@ -580,7 +701,7 @@ class DistributedSolver:
             if self.faults is not None:
                 # Chunk data crosses the interconnect to member i; a
                 # partitioned link makes that member unreachable.
-                self.faults.check_link(0, i, label="dist:rows")
+                self.faults.check_link(0, i, label=f"dist:{plan.mode}")
             local = self._solver(i, dsize).execute_plan(
                 spike_rhs(chunk), plan.local_plans[i], switch
             )
@@ -589,7 +710,14 @@ class DistributedSolver:
             vs.append(local.x[2 * m :])
             local_reports.append(local.report)
 
-        t_prev, s_next = solve_reduced_system(
+        # Approx mode is the same decomposition with the reduced system
+        # truncated to independent per-interface 2x2 solves.
+        reduced = (
+            truncated_reduced_solve
+            if plan.mode == "approx"
+            else solve_reduced_system
+        )
+        t_prev, s_next = reduced(
             np.stack([y[:, 0] for y in ys], axis=1),
             np.stack([y[:, -1] for y in ys], axis=1),
             np.stack([w[:, 0] for w in ws], axis=1),

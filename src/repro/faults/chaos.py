@@ -30,6 +30,13 @@ Two phases:
   (:class:`~repro.util.errors.TenantQuotaExceededError` /
   :class:`~repro.util.errors.PriorityShedError`); the guarantee reads
   identically: verified solution or typed error, never silently wrong.
+- **numerics phase** — adversarial *data* instead of injected faults:
+  near-singular, non-dominant, huge-dynamic-range, NaN/Inf-poisoned,
+  and exactly singular systems submitted with an explicit residual
+  ``tolerance``, so the numerical-safety governor (dominance estimate,
+  escalation ladder, boundary validation) owns the guarantee instead of
+  the exact verifier. Malformed systems must be rejected typed at the
+  boundary; everything delivered must measure within tolerance.
 
 Everything is deterministic in the seed; :func:`run_sweep` repeats the
 campaign across seeds for the nightly tier.
@@ -46,8 +53,21 @@ from ..algorithms.verify import default_tolerance, max_residual
 from ..dist.solver import DistributedSolver
 from ..service.queue import CircuitBreaker
 from ..service.workers import BatchSolveService
-from ..systems.generators import mixed_requests, random_dominant, singular
-from ..util.errors import ReproError, ServiceOverloadedError
+from ..systems.generators import (
+    huge_dynamic_range,
+    ill_conditioned,
+    inf_poisoned,
+    mixed_requests,
+    nan_poisoned,
+    random_dominant,
+    random_uniform,
+    singular,
+)
+from ..util.errors import (
+    InvalidSystemError,
+    ReproError,
+    ServiceOverloadedError,
+)
 from .injector import FaultInjector
 from .log import FaultLog
 from .plan import (
@@ -84,6 +104,7 @@ class ChaosReport:
     bisections: int
     failover: Dict = field(default_factory=dict)
     serve: Dict = field(default_factory=dict)
+    numerics: Dict = field(default_factory=dict)
     fault_summary: Dict = field(default_factory=dict)
 
     @property
@@ -98,6 +119,12 @@ class ChaosReport:
             + self.serve["shed"]
             == self.serve["requests"]
         )
+        numerics_clean = not self.numerics or (
+            self.numerics["silent_wrong"] == 0
+            and self.numerics["untyped_errors"] == 0
+            and self.numerics["solved"] + self.numerics["typed_errors"]
+            == self.numerics["requests"]
+        )
         return (
             self.silent_wrong == 0
             and self.untyped_errors == 0
@@ -108,6 +135,7 @@ class ChaosReport:
             == self.requests
             and self.failover.get("silent_wrong", 0) == 0
             and serve_clean
+            and numerics_clean
         )
 
     def as_dict(self) -> dict:
@@ -127,6 +155,7 @@ class ChaosReport:
             "clean": self.clean,
             "failover": self.failover,
             "serve": self.serve,
+            "numerics": self.numerics,
             "fault_summary": self.fault_summary,
         }
 
@@ -162,6 +191,15 @@ class ChaosReport:
                 f"{sv['deadline_expired']} expired, {sv['shed']} shed "
                 f"({sheds or 'none'}), fleet peaked at "
                 f"{sv['max_workers']} workers"
+            )
+        if self.numerics:
+            nm = self.numerics
+            lines.append(
+                f"  numerics: {nm['requests']} adversarial requests -> "
+                f"{nm['solved']} verified, {nm['typed_errors']} typed "
+                f"({nm['rejected_invalid']} rejected at the boundary, "
+                f"{nm['breakdowns']} breakdowns), "
+                f"{nm['refined']} refined, {nm['resolved']} re-solved"
             )
         return "\n".join(lines)
 
@@ -200,6 +238,7 @@ def _run_service_phase(
     requests = _service_requests(seed, count)
     futures = []
     shed = 0
+    typed_at_submit = 0
     with service:
         for i, batch in enumerate(requests):
             expired = (i + 1) % TIGHT_DEADLINE_EVERY == 0
@@ -213,12 +252,18 @@ def _run_service_phase(
                         ),
                     )
                 )
+            except InvalidSystemError:
+                # The sprinkled singular systems (zero diagonal row) are
+                # rejected typed at the boundary now — no kernel ever
+                # sees them. Still a typed error for the audit.
+                typed_at_submit += 1
             except ServiceOverloadedError:
                 shed += 1
         service.flush()
         service.drain()
 
-    solved = typed = expired_n = untyped = silent = 0
+    solved = expired_n = untyped = silent = 0
+    typed = typed_at_submit
     worst_ratio = 0.0
     for batch, fut in futures:
         exc = fut.exception()
@@ -311,6 +356,7 @@ def _run_serve_phase(
     requests = _service_requests(seed + 2, count)
     futures = []
     shed = 0
+    typed_at_submit = 0
     shed_reasons: Dict[str, int] = {}
     max_workers = service.fleet.size
     with service:
@@ -330,6 +376,8 @@ def _run_serve_phase(
                         ),
                     )
                 )
+            except InvalidSystemError:
+                typed_at_submit += 1
             except TenantQuotaExceededError as exc:
                 shed += 1
                 key = f"tenant_{exc.quota}"
@@ -357,7 +405,8 @@ def _run_serve_phase(
         service.drain()
         max_workers = max(max_workers, service.fleet.size)
 
-    solved = typed = expired_n = untyped = silent = 0
+    solved = expired_n = untyped = silent = 0
+    typed = typed_at_submit
     worst_ratio = 0.0
     for batch, fut in futures:
         exc = fut.exception()
@@ -388,6 +437,91 @@ def _run_serve_phase(
         "worst_residual_ratio": worst_ratio,
         "max_workers": max_workers,
         "cache": service.cache.counters(),
+    }
+
+
+def _run_numerics_phase(seed: int, count: int, tolerance: float) -> dict:
+    """Adversarial *data* through the governed service — no injected faults.
+
+    The request mix is every kind of numerically hostile system the
+    generators know how to make: near-singular, non-dominant,
+    huge-dynamic-range, NaN/Inf-poisoned, and exactly singular, leavened
+    with well-behaved dominant batches. Every request carries an explicit
+    ``tolerance``, so the numerical-safety governor (not the exact
+    verifier) owns the guarantee, which here reads:
+
+        **a solution whose measured relative residual is within the
+        requested tolerance, or a typed error — never neither.**
+
+    Poisoned and singular systems must be rejected typed at the boundary;
+    near-singular ones may solve via the escalation ladder or fail with
+    :class:`~repro.util.errors.NumericalBreakdownError` — both are fine,
+    a wrong answer delivered silently is not.
+    """
+    rng = np.random.default_rng(seed + 3)
+    hostile = (
+        lambda m, n, g: random_dominant(m, n, rng=g),
+        lambda m, n, g: huge_dynamic_range(m, n, rng=g),
+        lambda m, n, g: random_uniform(m, n, rng=g),
+        lambda m, n, g: ill_conditioned(m, n, epsilon=1e-13, rng=g),
+        # Moderately ill-conditioned: the staged solve misses tolerance
+        # but one refinement step recovers it — exercises the ladder's
+        # middle rung, not just accept/breakdown.
+        lambda m, n, g: ill_conditioned(m, n, epsilon=1e-7, rng=g),
+        lambda m, n, g: nan_poisoned(m, n, rng=g),
+        lambda m, n, g: inf_poisoned(m, n, rng=g),
+        lambda m, n, g: singular(m, n),
+    )
+    service = BatchSolveService(max_workers=2, auto_flush=8)
+    futures = []
+    rejected_invalid = 0
+    with service:
+        for i in range(count):
+            m = int(rng.integers(1, 5))
+            n = int(rng.choice((64, 128, 256)))
+            batch = hostile[i % len(hostile)](m, n, rng)
+            try:
+                futures.append(
+                    (batch, service.submit(batch, tolerance=tolerance))
+                )
+            except InvalidSystemError:
+                rejected_invalid += 1
+        service.flush()
+        service.drain()
+        outcomes = service.metrics.get("repro_numerics_outcomes_total")
+        refined = int(outcomes.value(path="service", rung="refined"))
+        resolved = int(outcomes.value(path="service", rung="resolved"))
+
+    solved = untyped = silent = breakdowns = 0
+    typed = rejected_invalid
+    worst_ratio = 0.0
+    for batch, fut in futures:
+        exc = fut.exception()
+        if exc is None:
+            ratio = batch.residual(fut.result().x).max() / tolerance
+            worst_ratio = max(worst_ratio, ratio)
+            if ratio > 1.0:
+                silent += 1
+            else:
+                solved += 1
+        elif isinstance(exc, ReproError):
+            typed += 1
+            if type(exc).__name__ == "NumericalBreakdownError":
+                breakdowns += 1
+        else:
+            untyped += 1
+    return {
+        "requests": count,
+        "tolerance": tolerance,
+        "solved": solved,
+        "typed_errors": typed,
+        "rejected_invalid": rejected_invalid,
+        "breakdowns": breakdowns,
+        "refined": refined,
+        "resolved": resolved,
+        "untyped_errors": untyped,
+        "silent_wrong": silent,
+        "worst_residual_ratio": worst_ratio,
     }
 
 
@@ -437,11 +571,16 @@ def run_campaign(
     dist_devices: int = 4,
     failover_solves: int = 3,
     serve_requests: int = 120,
+    numerics_requests: int = 64,
+    tolerance: float = 1e-8,
 ) -> ChaosReport:
-    """One full three-phase campaign; deterministic in ``seed``.
+    """One full four-phase campaign; deterministic in ``seed``.
 
-    ``serve_requests=0`` skips the serving-tier phase (the report's
-    ``serve`` dict stays empty and ``clean`` ignores it).
+    ``serve_requests=0`` skips the serving-tier phase and
+    ``numerics_requests=0`` skips the adversarial-numerics phase (the
+    report's corresponding dict stays empty and ``clean`` ignores it).
+    ``tolerance`` is the per-request residual bound the numerics phase
+    asks the governor to enforce.
     """
     log = FaultLog()
     service = _run_service_phase(seed, requests, transient_p, log)
@@ -449,6 +588,11 @@ def run_campaign(
     serve = (
         _run_serve_phase(seed, serve_requests, transient_p, log)
         if serve_requests
+        else {}
+    )
+    numerics = (
+        _run_numerics_phase(seed, numerics_requests, tolerance)
+        if numerics_requests
         else {}
     )
     summary = log.summary()
@@ -469,6 +613,7 @@ def run_campaign(
         bisections=service["bisections"],
         failover=failover,
         serve=serve,
+        numerics=numerics,
         fault_summary=summary,
     )
 
@@ -479,6 +624,8 @@ def run_sweep(
     requests: int = 200,
     transient_p: float = 0.02,
     dist_devices: int = 4,
+    numerics_requests: int = 64,
+    tolerance: float = 1e-8,
 ) -> Tuple[ChaosReport, ...]:
     """The campaign across several seeds (the nightly configuration)."""
     return tuple(
@@ -487,6 +634,8 @@ def run_sweep(
             requests=requests,
             transient_p=transient_p,
             dist_devices=dist_devices,
+            numerics_requests=numerics_requests,
+            tolerance=tolerance,
         )
         for seed in seeds
     )

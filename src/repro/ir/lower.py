@@ -46,6 +46,13 @@ _SPIKE_VALUES = 4.0
 _DATA_VALUES = 2.0
 _CORRECTION_VALUES = 2.0
 
+# Approx (truncated-SPIKE) mode moves only neighbour-to-neighbour
+# traffic: a chunk sends its trailing (y_last, v_last) pair one device
+# to the right, and the interface owner sends the single boundary value
+# t_i back. No boundary data ever reaches device 0.
+_TIP_VALUES = 2.0
+_APPROX_CORRECTION_VALUES = 1.0
+
 
 def _solve_steps(
     plan,
@@ -185,6 +192,8 @@ def lower_dist_plan(plan, group, dtype_size: int, switch) -> Program:
     """
     if plan.mode == "batch":
         return _lower_batch(plan, group, dtype_size)
+    if plan.mode == "approx" and plan.num_devices > 1:
+        return _lower_approx(plan, group, dtype_size)
     return _lower_rows(plan, group, dtype_size, switch)
 
 
@@ -231,6 +240,7 @@ def _lower_rows(plan, group, dtype_size: int, switch) -> Program:
                     stage="send_spikes",
                     shape=(m, chunk),
                     deps=(spike_last,),
+                    resource="dev0:ingress",
                 )
             )
             data_plan = plan_solve(group[i], m, chunk, dtype_size, switch)
@@ -241,6 +251,11 @@ def _lower_rows(plan, group, dtype_size: int, switch) -> Program:
                 steps, data_plan, i, "data_solve", (spike_last,)
             )
             values = _DATA_VALUES
+        # Boundary messages physically converge on device 0: serialise
+        # them on its ingress link, exactly as batch mode's gather does.
+        # This is what the truncated (approx) mode's neighbour-only
+        # exchange avoids — its hub-free step change at high device
+        # counts comes from here.
         steps.append(
             Step(
                 op=Transfer(values, i, 0),
@@ -249,6 +264,7 @@ def _lower_rows(plan, group, dtype_size: int, switch) -> Program:
                 stage="send_boundary",
                 shape=(m, chunk),
                 deps=(last,),
+                resource="dev0:ingress",
             )
         )
         boundary_sends.append(len(steps) - 1)
@@ -273,6 +289,7 @@ def _lower_rows(plan, group, dtype_size: int, switch) -> Program:
                 stage="recv_correction",
                 shape=(m, chunk),
                 deps=(reduced,),
+                resource="dev0:egress",
             )
         )
         steps.append(
@@ -289,6 +306,94 @@ def _lower_rows(plan, group, dtype_size: int, switch) -> Program:
             kind="dist",
             label=label,
             device_names=names,
+            dtype_size=dtype_size,
+            num_systems=m,
+            system_size=plan.system_size,
+            schedule=plan.schedule,
+            topology=plan.topology,
+            steps=tuple(steps),
+        )
+    )
+
+
+def _lower_approx(plan, group, dtype_size: int) -> Program:
+    """The truncated-SPIKE program: no reduced system, no hub device.
+
+    Every device runs the same fused 3-RHS local solve as rows mode,
+    then each chunk *interface* is one independent 2×2 solve placed on
+    the interface's right-hand device, fed by a single
+    neighbour-to-neighbour tip transfer from the left. One boundary
+    value flows back left for the reconstruction. The critical path is
+    local solve + one hop + a 2×2 solve + one hop — constant in the
+    device count, which is exactly the step change over rows mode's
+    all-to-zero reduced solve at high ``p``.
+    """
+    p = plan.num_devices
+    m = plan.num_systems
+
+    steps: List[Step] = []
+    local_last: List[int] = []
+    for i in range(p):
+        local_last.append(
+            _local_fragment(steps, plan.local_plans[i], i, "local_solve", ())
+        )
+    tip_sends: dict = {}
+    for i in range(p - 1):
+        steps.append(
+            Step(
+                op=Transfer(_TIP_VALUES, i, i + 1),
+                device=i,
+                engine="xfer",
+                stage="send_tips",
+                shape=(m, plan.chunk_sizes[i]),
+                deps=(local_last[i],),
+            )
+        )
+        tip_sends[i] = len(steps) - 1
+    interface: dict = {}
+    corrections: dict = {}
+    for i in range(1, p):
+        steps.append(
+            Step(
+                op=ReducedSolve(2),
+                device=i,
+                stage="interface_solve",
+                shape=(m, 2),
+                deps=(local_last[i], tip_sends[i - 1]),
+            )
+        )
+        interface[i] = len(steps) - 1
+        steps.append(
+            Step(
+                op=Transfer(_APPROX_CORRECTION_VALUES, i, i - 1),
+                device=i,
+                engine="xfer",
+                stage="send_correction",
+                shape=(m, plan.chunk_sizes[i]),
+                deps=(interface[i],),
+            )
+        )
+        corrections[i] = len(steps) - 1
+    for i in range(p):
+        deps = [local_last[i]]
+        if i in interface:
+            deps.append(interface[i])
+        if i + 1 in corrections:
+            deps.append(corrections[i + 1])
+        steps.append(
+            Step(
+                op=Reconstruct(),
+                device=i,
+                stage="reconstruct",
+                shape=(m, plan.chunk_sizes[i]),
+                deps=tuple(deps),
+            )
+        )
+    return run_default_passes(
+        Program(
+            kind="dist",
+            label=group.describe(),
+            device_names=tuple(d.name for d in group),
             dtype_size=dtype_size,
             num_systems=m,
             system_size=plan.system_size,

@@ -1,0 +1,95 @@
+"""Cheap a-priori safety estimation for the approximate solve path.
+
+Truncated SPIKE drops the coupling terms that cross a whole chunk. For
+a system whose rows have dominance ratio ``d = |b| / (|a| + |c|) > 1``
+the spike values decay at least geometrically with distance from the
+chunk boundary (Li, Serban & Negrut, arXiv:1509.07919, Thm. 1-style
+bound), so the dropped values — spike tips that crossed ``q - 1`` rows —
+are bounded by ``(1/d)^(q-1)``. :class:`DominanceEstimate` measures the
+per-system ratios in one vectorised pass over the coefficients (cost of
+one matvec, negligible next to any solve) and turns them into a bound
+the governor can compare against the caller's tolerance.
+
+The estimate is deliberately *a priori and conservative*: it gates
+whether the approximate path is worth attempting at all. Safety does
+not rest on it — every governed solve is still residual-checked a
+posteriori and escalated if the check fails (see
+:mod:`repro.numerics.governor`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..systems.properties import dominance_ratio
+from ..systems.tridiagonal import TridiagonalBatch
+
+__all__ = ["DominanceEstimate", "SAFETY_MARGIN"]
+
+# The a-priori bound must clear the tolerance with this much headroom
+# before the governor attempts the approximate path; the margin absorbs
+# the bound's slack (it ignores RHS scaling and rounding) so borderline
+# workloads go straight to the exact path instead of bouncing off the
+# residual check.
+SAFETY_MARGIN = 0.25
+
+
+@dataclass(frozen=True)
+class DominanceEstimate:
+    """Per-system dominance ratios plus the derived truncation bound.
+
+    ``ratios`` is the ``(m,)`` array of worst-row dominance ratios;
+    ``min_ratio`` the batch-wide worst case (the governor gates on the
+    whole batch because a merged group solve shares one path).
+    """
+
+    ratios: np.ndarray
+    min_ratio: float
+    num_systems: int
+    system_size: int
+
+    @classmethod
+    def measure(cls, batch: TridiagonalBatch) -> "DominanceEstimate":
+        """One vectorised pass over the coefficients."""
+        ratios = dominance_ratio(batch)
+        return cls(
+            ratios=ratios,
+            min_ratio=float(ratios.min()) if ratios.size else 0.0,
+            num_systems=batch.num_systems,
+            system_size=batch.system_size,
+        )
+
+    @property
+    def weakest_system(self) -> int:
+        """Index of the least dominant system in the batch."""
+        return int(np.argmin(self.ratios)) if self.ratios.size else 0
+
+    def truncation_bound(self, chunk_rows: int) -> float:
+        """Decay bound ``(1/d)^(q-1)`` on the dropped spike tips.
+
+        ``chunk_rows`` is the smallest per-device chunk ``q`` — the
+        shortest distance a dropped coupling value travelled. Without
+        dominance (``d <= 1``) nothing decays and the bound is 1 (i.e.
+        useless, and the governor will not take the approximate path).
+        """
+        if not np.isfinite(self.min_ratio):
+            return 0.0
+        if self.min_ratio <= 1.0:
+            return 1.0
+        return float(self.min_ratio ** -(max(2, int(chunk_rows)) - 1))
+
+    def safe_for(self, tolerance: float, chunk_rows: int) -> bool:
+        """Is the approximate path worth attempting at this tolerance?"""
+        return self.truncation_bound(chunk_rows) <= SAFETY_MARGIN * float(
+            tolerance
+        )
+
+    def describe(self) -> str:
+        """One-line summary for CLI output and logs."""
+        return (
+            f"dominance ratio min {self.min_ratio:.3g} over "
+            f"{self.num_systems} x {self.system_size} "
+            f"(weakest system {self.weakest_system})"
+        )

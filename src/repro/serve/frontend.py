@@ -139,6 +139,7 @@ class AsyncSolveService:
         priority: Optional[str] = None,
         timeout: Optional[float] = None,
         deadline_ms: Optional[float] = None,
+        tolerance: Optional[float] = None,
     ) -> "Future[ServiceResult]":
         """The sync facade: admission, then the service's own submit.
 
@@ -155,7 +156,11 @@ class AsyncSolveService:
                 raise
         try:
             future = self.service.submit(
-                batch, device, timeout=timeout, deadline_ms=deadline_ms
+                batch,
+                device,
+                timeout=timeout,
+                deadline_ms=deadline_ms,
+                tolerance=tolerance,
             )
         except Exception:
             if ticket is not None:
@@ -175,6 +180,7 @@ class AsyncSolveService:
         priority: Optional[str] = None,
         timeout: Optional[float] = None,
         deadline_ms: Optional[float] = None,
+        tolerance: Optional[float] = None,
     ) -> "asyncio.Future[ServiceResult]":
         """Awaitable submission: admit + enqueue now, result later.
 
@@ -190,6 +196,7 @@ class AsyncSolveService:
             priority=priority,
             timeout=timeout,
             deadline_ms=deadline_ms,
+            tolerance=tolerance,
         )
         return asyncio.wrap_future(inner)
 
@@ -201,6 +208,7 @@ class AsyncSolveService:
         tenant: str = "default",
         priority: Optional[str] = None,
         deadline_ms: Optional[float] = None,
+        tolerance: Optional[float] = None,
     ) -> ServiceResult:
         """Submit one request, flush, await its answer."""
         future = await self.submit(
@@ -209,6 +217,7 @@ class AsyncSolveService:
             tenant=tenant,
             priority=priority,
             deadline_ms=deadline_ms,
+            tolerance=tolerance,
         )
         self.flush()
         return await future
@@ -220,10 +229,17 @@ class AsyncSolveService:
         *,
         tenant: str = "default",
         priority: Optional[str] = None,
+        tolerance: Optional[float] = None,
     ) -> List[ServiceResult]:
         """Submit a stream, flush once, gather in submission order."""
         futures = [
-            await self.submit(batch, device, tenant=tenant, priority=priority)
+            await self.submit(
+                batch,
+                device,
+                tenant=tenant,
+                priority=priority,
+                tolerance=tolerance,
+            )
             for batch in batches
         ]
         self.flush()
@@ -236,10 +252,17 @@ class AsyncSolveService:
         *,
         tenant: str = "default",
         priority: Optional[str] = None,
+        tolerance: Optional[float] = None,
     ) -> List[ServiceResult]:
         """The sync facade of :meth:`solve_many` — same path, no loop."""
         futures = [
-            self.submit_sync(batch, device, tenant=tenant, priority=priority)
+            self.submit_sync(
+                batch,
+                device,
+                tenant=tenant,
+                priority=priority,
+                tolerance=tolerance,
+            )
             for batch in batches
         ]
         self.flush()

@@ -62,6 +62,11 @@ class ServiceRequest:
     key: GroupKey
     plan: "object"  # the per-request SolvePlan (what a standalone solve runs)
     deadline: Optional[float] = None
+    # Requested relative-residual tolerance, or None for ungoverned.
+    # Merged groups honour the strictest member tolerance (see
+    # SolveGroup.strictest_tolerance) so fusing never weakens anyone's
+    # error contract.
+    tolerance: Optional[float] = None
     future: Future = field(default_factory=Future)
 
 
@@ -86,6 +91,13 @@ class SolveGroup:
         if len(self.requests) == 1:
             return self.requests[0].batch
         return TridiagonalBatch.stack([r.batch for r in self.requests])
+
+    def strictest_tolerance(self) -> Optional[float]:
+        """Tightest member tolerance, or ``None`` when nobody asked."""
+        tolerances = [
+            r.tolerance for r in self.requests if r.tolerance is not None
+        ]
+        return min(tolerances) if tolerances else None
 
     def offsets(self) -> List[int]:
         """Row offset of each request within the merged solution."""

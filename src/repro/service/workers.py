@@ -44,10 +44,12 @@ from ..systems.tridiagonal import TridiagonalBatch
 from ..util.errors import (
     ConfigurationError,
     DeadlineExceededError,
+    InvalidSystemError,
     ReproError,
     ServiceError,
     ServiceOverloadedError,
 )
+from ..util.validation import check_system_batch
 from .batcher import GroupKey, ServiceRequest, SolveGroup, group_requests
 from .queue import BoundedRequestQueue, CircuitBreaker
 from .stats import ServiceStats
@@ -233,6 +235,13 @@ class BatchSolveService:
             self.breaker.attach_metrics(self.metrics)
         if self.faults is not None:
             self.faults.log.attach_metrics(self.metrics)
+        # The numerical-safety governor: verifies every governed group
+        # against the strictest member tolerance and escalates (see
+        # repro.numerics). Shares the service's registry and tracer so
+        # escalation/fallback rates land in the same dump.
+        from ..numerics import Governor
+
+        self.governor = Governor(metrics=self.metrics, tracer=self.tracer)
 
     @property
     def dist_solver(self) -> Optional[DistributedSolver]:
@@ -371,6 +380,7 @@ class BatchSolveService:
         *,
         timeout: Optional[float] = None,
         deadline_ms: Optional[float] = None,
+        tolerance: Optional[float] = None,
     ) -> "Future[ServiceResult]":
         """Queue one solve request; returns a future for its result.
 
@@ -378,10 +388,30 @@ class BatchSolveService:
         :class:`ServiceOverloadedError` and is counted in the stats.
         ``deadline_ms`` is a wall-clock budget from now: the request
         fails with :class:`DeadlineExceededError` instead of returning
-        a result the caller stopped waiting for.
+        a result the caller stopped waiting for. ``tolerance`` requests
+        a governed solve: the answer's relative residual is verified
+        against it (a merged group honours its strictest member) or the
+        request fails with a typed
+        :class:`~repro.util.errors.NumericalBreakdownError`.
+
+        Malformed systems — NaN/Inf coefficients, zero diagonals — are
+        rejected here, before any queueing, with a typed
+        :class:`~repro.util.errors.InvalidSystemError`.
         """
         if self._closed:
             raise ServiceError("service is closed")
+        try:
+            check_system_batch(batch, context="service request")
+        except InvalidSystemError:
+            self.metrics.counter(
+                "repro_service_invalid_total",
+                "Requests rejected at the boundary for malformed systems.",
+            ).inc()
+            if self.faults is not None:
+                self.faults.note(
+                    "numerics", "rejected", detail="invalid system at submit"
+                )
+            raise
         if self.breaker is not None and not self.breaker.allow():
             self.stats.record_shed()
             if self.faults is not None:
@@ -435,6 +465,7 @@ class BatchSolveService:
             key=key,
             plan=plan,
             deadline=deadline,
+            tolerance=None if tolerance is None else float(tolerance),
         )
         try:
             self._queue.put(
@@ -490,6 +521,45 @@ class BatchSolveService:
             )
         return True
 
+    def _enforce_group(
+        self,
+        merged: TridiagonalBatch,
+        first: ServiceRequest,
+        x: np.ndarray,
+        tolerance: float,
+    ) -> np.ndarray:
+        """Residual-verify a merged solve against ``tolerance``.
+
+        Escalates through one iterative-refinement step (re-executing
+        the group's own plan on the residual right-hand side — same
+        instruction stream, so bit-compatible with the merged solve)
+        before raising :class:`~repro.util.errors.NumericalBreakdownError`
+        for the bisection logic in :meth:`_execute_group` to isolate.
+        """
+
+        def refine(b: TridiagonalBatch, cur: np.ndarray) -> np.ndarray:
+            residual_rhs = b.d - b.matvec(cur)
+            rhs_batch = TridiagonalBatch(b.a, b.b, b.c, residual_rhs)
+            plan = first.plan.with_num_systems(b.num_systems)
+            if isinstance(first.plan, DistPlan):
+                correction = self.dist_solver.execute_plan(rhs_batch, plan).x
+            else:
+                solver = self.solver_for(first.device, b.dtype)
+                switch = self.switch_points_for(first.device, b.dtype)
+                correction = solver.execute_plan(rhs_batch, plan, switch).x
+            return cur + correction
+
+        outcome = self.governor.enforce(
+            merged,
+            x,
+            tolerance,
+            refine=refine,
+            resolve=None,
+            path="service",
+            context="merged group solve",
+        )
+        return outcome.x
+
     def _execute_group(self, group: SolveGroup) -> None:
         """One merged solve; bisect on typed errors, enforce deadlines."""
         live = [r for r in group.requests if not self._expire(r, "before")]
@@ -511,6 +581,15 @@ class BatchSolveService:
                 result = solver.execute_plan(
                     merged, first.plan.with_num_systems(merged.num_systems), switch
                 )
+            # Governed groups: verify the merged answer against the
+            # strictest member tolerance and walk the escalation ladder.
+            # A NumericalBreakdownError raised here is a *typed* error,
+            # so the bisection below isolates the offending member and
+            # its group-mates still get (individually verified) answers.
+            x_out = result.x
+            tolerance = group.strictest_tolerance()
+            if tolerance is not None:
+                x_out = self._enforce_group(merged, first, x_out, tolerance)
         except ReproError as exc:
             if len(live) > 1:
                 # A typed failure in a merged batch: one member may be
@@ -569,7 +648,7 @@ class BatchSolveService:
         for req, rows in deliveries:
             req.future.set_result(
                 ServiceResult(
-                    x=np.ascontiguousarray(result.x[rows]),
+                    x=np.ascontiguousarray(x_out[rows]),
                     plan=req.plan,
                     switch_points=result.switch_points,
                     report=result.report,

@@ -7,6 +7,7 @@ from .properties import (
     BatchSummary,
     condition_estimate,
     dominance_margin,
+    dominance_ratio,
     has_zero_diagonal,
     is_diagonally_dominant,
     is_symmetric,
@@ -26,6 +27,7 @@ __all__ = [
     "save_batch",
     "load_batch",
     "dominance_margin",
+    "dominance_ratio",
     "is_diagonally_dominant",
     "is_symmetric",
     "is_toeplitz",

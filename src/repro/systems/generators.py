@@ -32,6 +32,9 @@ __all__ = [
     "ocean_mixing",
     "ill_conditioned",
     "singular",
+    "huge_dynamic_range",
+    "nan_poisoned",
+    "inf_poisoned",
     "identity",
     "from_solution",
     "mixed_requests",
@@ -303,6 +306,83 @@ def singular(
     b[:, row] = 0
     c[:, row] = 0
     return TridiagonalBatch(a, b, c, d)
+
+
+def huge_dynamic_range(
+    num_systems: int,
+    system_size: int,
+    *,
+    decades: float = 12.0,
+    rng: RngLike = None,
+    dtype=np.float64,
+) -> TridiagonalBatch:
+    """Dominant systems with row magnitudes spanning ``decades`` of scale.
+
+    Each row of a :func:`random_dominant` base is multiplied — all four
+    arrays, RHS included — by ``10**u`` with ``u`` uniform in
+    ``[-decades/2, decades/2]``. Row scaling preserves both the exact
+    solution and the per-row dominance ratio, so these systems are
+    mathematically benign but numerically abusive: naive residual norms
+    and absolute-error thresholds break long before the solver does.
+    """
+    check_positive_int(num_systems, "num_systems")
+    check_positive_int(system_size, "system_size")
+    gen = _rng(rng)
+    base = random_dominant(num_systems, system_size, rng=gen, dtype=dtype)
+    scale = np.power(
+        10.0,
+        gen.uniform(-decades / 2, decades / 2, (num_systems, system_size)),
+    ).astype(dtype)
+    return TridiagonalBatch(
+        base.a * scale, base.b * scale, base.c * scale, base.d * scale
+    )
+
+
+def _poisoned(
+    num_systems: int,
+    system_size: int,
+    poison: float,
+    rng: RngLike,
+    dtype,
+) -> TridiagonalBatch:
+    """A dominant batch with one coefficient replaced by ``poison``."""
+    gen = _rng(rng)
+    base = random_dominant(num_systems, system_size, rng=gen, dtype=dtype)
+    b = base.b.copy()
+    system = int(gen.integers(0, num_systems))
+    row = int(gen.integers(0, system_size))
+    b[system, row] = poison
+    return TridiagonalBatch(base.a, b, base.c, base.d)
+
+
+def nan_poisoned(
+    num_systems: int,
+    system_size: int,
+    *,
+    rng: RngLike = None,
+    dtype=np.float64,
+) -> TridiagonalBatch:
+    """One random main-diagonal entry replaced by NaN.
+
+    Boundary validation (:func:`~repro.util.validation.check_system_batch`)
+    must reject these with a typed error before any kernel runs.
+    """
+    check_positive_int(num_systems, "num_systems")
+    check_positive_int(system_size, "system_size")
+    return _poisoned(num_systems, system_size, float("nan"), rng, dtype)
+
+
+def inf_poisoned(
+    num_systems: int,
+    system_size: int,
+    *,
+    rng: RngLike = None,
+    dtype=np.float64,
+) -> TridiagonalBatch:
+    """One random main-diagonal entry replaced by +Inf (see nan_poisoned)."""
+    check_positive_int(num_systems, "num_systems")
+    check_positive_int(system_size, "system_size")
+    return _poisoned(num_systems, system_size, float("inf"), rng, dtype)
 
 
 def identity(

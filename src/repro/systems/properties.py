@@ -16,6 +16,7 @@ from .tridiagonal import TridiagonalBatch
 
 __all__ = [
     "dominance_margin",
+    "dominance_ratio",
     "is_diagonally_dominant",
     "is_symmetric",
     "is_toeplitz",
@@ -34,6 +35,26 @@ def dominance_margin(batch: TridiagonalBatch) -> np.ndarray:
     """
     margin = np.abs(batch.b) - np.abs(batch.a) - np.abs(batch.c)
     return margin.min(axis=1)
+
+
+def dominance_ratio(batch: TridiagonalBatch) -> np.ndarray:
+    """Per-system worst-case dominance ratio ``min_i |b| / (|a| + |c|)``.
+
+    Rows with zero off-diagonals are infinitely dominant (they couple to
+    nothing). A ratio ``d > 1`` means strict row dominance; the SPIKE
+    coupling spikes then decay like ``(1/d)^k`` with distance ``k`` from
+    the chunk boundary (Li, Serban & Negrut, arXiv:1509.07919), which is
+    what the truncated-SPIKE error bound in
+    :class:`repro.numerics.DominanceEstimate` is built on.
+    """
+    off = np.abs(batch.a) + np.abs(batch.c)
+    ratio = np.divide(
+        np.abs(batch.b),
+        off,
+        out=np.full(batch.shape, np.inf, dtype=np.float64),
+        where=off > 0,
+    )
+    return ratio.min(axis=1)
 
 
 def is_diagonally_dominant(batch: TridiagonalBatch, *, strict: bool = False) -> bool:

@@ -27,8 +27,10 @@ __all__ = [
     "ReproError",
     "ConfigurationError",
     "ShapeError",
+    "InvalidSystemError",
     "SingularSystemError",
     "NumericsError",
+    "NumericalBreakdownError",
     "DeviceError",
     "ResourceExhaustedError",
     "TuningError",
@@ -55,6 +57,21 @@ class ShapeError(ReproError, ValueError):
     """Input arrays have inconsistent or unsupported shapes."""
 
 
+class InvalidSystemError(ReproError, ValueError):
+    """A submitted system is malformed before any arithmetic happens.
+
+    Raised by :func:`repro.util.validation.check_system_batch` at the
+    service boundary for NaN/Inf coefficients or an exactly-zero main
+    diagonal — inputs that would otherwise propagate as garbage
+    solutions or raw numpy warnings. The offending system index (within
+    the batch) is carried in :attr:`system_index` when known.
+    """
+
+    def __init__(self, message: str, system_index: int | None = None):
+        super().__init__(message)
+        self.system_index = system_index
+
+
 class NumericsError(ReproError, ArithmeticError):
     """A numerical failure (overflow, NaN propagation, divergence)."""
 
@@ -70,6 +87,43 @@ class SingularSystemError(NumericsError):
     def __init__(self, message: str, system_index: int | None = None):
         super().__init__(message)
         self.system_index = system_index
+
+
+class NumericalBreakdownError(NumericsError):
+    """The numerical-safety governor's escalation ladder ran out of rungs.
+
+    Raised when a solve could not be brought within the caller's
+    requested tolerance even after iterative refinement and an
+    exact-path re-solve. Carries the diagnostics of the worst offending
+    system so callers (and the chaos audit) can attribute the failure
+    without re-running anything:
+
+    - :attr:`system_index` — index within the batch of the system with
+      the largest relative residual;
+    - :attr:`residual` — that system's final relative residual;
+    - :attr:`tolerance` — the tolerance the caller requested;
+    - :attr:`dominance_ratio` — the system's measured diagonal-dominance
+      ratio (``< 1`` means no dominance guarantee);
+    - :attr:`attempts` — the ladder rungs that were tried, in order
+      (e.g. ``("approx", "refine", "exact")``).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        system_index: int | None = None,
+        residual: float | None = None,
+        tolerance: float | None = None,
+        dominance_ratio: float | None = None,
+        attempts: tuple = (),
+    ):
+        super().__init__(message)
+        self.system_index = system_index
+        self.residual = residual
+        self.tolerance = tolerance
+        self.dominance_ratio = dominance_ratio
+        self.attempts = tuple(attempts)
 
 
 class DeviceError(ReproError):

@@ -11,7 +11,7 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
-from .errors import ConfigurationError, ShapeError
+from .errors import ConfigurationError, InvalidSystemError, ShapeError
 
 __all__ = [
     "require",
@@ -21,6 +21,7 @@ __all__ = [
     "next_power_of_two",
     "check_dtype",
     "check_same_shape",
+    "check_system_batch",
     "ilog2",
 ]
 
@@ -75,6 +76,38 @@ def check_dtype(arr: np.ndarray, name: str) -> np.dtype:
             f"{name} must have dtype float32 or float64, got {arr.dtype}"
         )
     return arr.dtype
+
+
+def check_system_batch(batch, *, context: str = "request"):
+    """Reject malformed systems with a typed :class:`InvalidSystemError`.
+
+    The service-boundary gate: NaN/Inf anywhere in the coefficients or
+    right-hand side, or an exactly-zero main-diagonal entry, fails fast
+    with the offending system's index instead of propagating as a
+    garbage solution or a raw numpy warning deep inside a merged group
+    solve. Two vectorised reductions over the batch — cheap relative to
+    any solve. Returns ``batch`` so call sites can chain.
+    """
+    finite = (
+        np.isfinite(batch.a).all(axis=1)
+        & np.isfinite(batch.b).all(axis=1)
+        & np.isfinite(batch.c).all(axis=1)
+        & np.isfinite(batch.d).all(axis=1)
+    )
+    if not finite.all():
+        index = int(np.argmin(finite))
+        raise InvalidSystemError(
+            f"{context}: system {index} contains NaN or Inf coefficients",
+            system_index=index,
+        )
+    diag_ok = (batch.b != 0).all(axis=1)
+    if not diag_ok.all():
+        index = int(np.argmin(diag_ok))
+        raise InvalidSystemError(
+            f"{context}: system {index} has a zero main-diagonal entry",
+            system_index=index,
+        )
+    return batch
 
 
 def check_same_shape(arrays: Sequence[np.ndarray], names: Iterable[str]) -> tuple:

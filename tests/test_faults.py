@@ -360,12 +360,20 @@ class TestServiceRecovery:
 
     @pytest.mark.filterwarnings("ignore::RuntimeWarning")
     def test_bisection_isolates_the_poison_request(self):
-        """One singular request merged with five good ones: the good
-        five still solve bit-correctly, only the poison fails."""
+        """One hopeless governed request merged with five good ones: the
+        good five still solve bit-correctly, only the poison fails.
+
+        (Exactly singular systems no longer reach the solver — submit
+        rejects them typed — so the poison is a valid near-singular
+        system the exact verifier rejects.)
+        """
+        from repro.util.errors import NumericsError
+
         good = [generators.random_dominant(1, 64, rng=i) for i in range(5)]
+        poison = generators.ill_conditioned(1, 64, epsilon=1e-13, rng=9)
         with BatchSolveService(DEVICE, SWITCH, verify=True) as svc:
             good_futs = [svc.submit(b) for b in good[:3]]
-            poison_fut = svc.submit(generators.singular(1, 64))
+            poison_fut = svc.submit(poison)
             good_futs += [svc.submit(b) for b in good[3:]]
             svc.flush()
             for batch, fut in zip(good, good_futs):
@@ -373,7 +381,7 @@ class TestServiceRecovery:
                 np.testing.assert_array_equal(
                     res.x, MultiStageSolver(DEVICE, SWITCH).solve(batch).x
                 )
-            with pytest.raises(SingularSystemError):
+            with pytest.raises(NumericsError):
                 poison_fut.result(timeout=30)
             snap = svc.stats.snapshot()
         assert snap["group_bisections"] >= 1
@@ -382,12 +390,15 @@ class TestServiceRecovery:
 
     @pytest.mark.filterwarnings("ignore::RuntimeWarning")
     def test_breaker_sheds_after_consecutive_failures(self):
+        from repro.util.errors import NumericalBreakdownError
+
+        poison = generators.ill_conditioned(1, 64, epsilon=1e-13, rng=9)
         breaker = CircuitBreaker(failure_threshold=2, cooldown_s=60.0)
         with BatchSolveService(DEVICE, SWITCH, breaker=breaker) as svc:
             for _ in range(2):
-                fut = svc.submit(generators.singular(1, 64))
+                fut = svc.submit(poison, tolerance=1e-12)
                 svc.flush()
-                with pytest.raises(SingularSystemError):
+                with pytest.raises(NumericalBreakdownError):
                     fut.result(timeout=30)
             assert breaker.state == "open"
             with pytest.raises(ServiceOverloadedError):

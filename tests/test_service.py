@@ -223,17 +223,31 @@ class TestBatchSolveService:
             assert f2.result(timeout=30).x.shape == (2, 128)
 
     def test_failed_group_propagates_to_every_future(self):
-        # A singular system makes the whole merged solve raise; every
-        # member future must observe the failure.
-        bad = generators.singular(2, 64)
+        # Exactly singular systems are rejected typed at submit now, so
+        # the poison here is a *valid* but hopeless batch: near-singular
+        # with a tolerance the escalation ladder cannot reach. The
+        # merged solve raises typed, the group bisects, and every member
+        # future observes its own failure.
+        bad = generators.ill_conditioned(2, 64, epsilon=1e-13, rng=0)
         with BatchSolveService(DEVICE, SWITCH) as svc:
-            futures = [svc.submit(bad), svc.submit(bad)]
+            futures = [
+                svc.submit(bad, tolerance=1e-12),
+                svc.submit(bad, tolerance=1e-12),
+            ]
             svc.flush()
             for fut in futures:
                 with pytest.raises(Exception):
                     fut.result(timeout=30)
             svc.drain()
         assert svc.stats.snapshot()["requests_failed"] == 2
+
+    def test_singular_rejected_typed_at_submit(self):
+        from repro.util.errors import InvalidSystemError
+
+        with BatchSolveService(DEVICE, SWITCH) as svc:
+            with pytest.raises(InvalidSystemError):
+                svc.submit(generators.singular(2, 64))
+        assert svc.metrics.get("repro_service_invalid_total").total() == 1
 
     def test_submit_after_close_raises(self):
         svc = BatchSolveService(DEVICE, SWITCH)
